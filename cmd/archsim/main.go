@@ -1,0 +1,83 @@
+// Command archsim runs the discrete-event architecture simulators and
+// prints model-vs-simulation comparisons (experiment V1), plus the
+// embedding and module-assignment ablations that justify the paper's
+// contention-free assumptions.
+//
+// Usage:
+//
+//	archsim -n 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optspeed/internal/core"
+	"optspeed/internal/experiments"
+	"optspeed/internal/partition"
+	"optspeed/internal/simarch"
+	"optspeed/internal/stencil"
+)
+
+func main() {
+	n := flag.Int("n", 128, "grid points per side")
+	flag.Parse()
+
+	res, err := experiments.Validate(*n)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.RenderValidation(os.Stdout, res); err != nil {
+		fatal(err)
+	}
+
+	// Hypercube embedding ablation.
+	p := core.MustProblem(*n, stencil.FivePoint, partition.Strip)
+	hc := core.DefaultHypercube(0)
+	fmt.Println("## Hypercube embedding ablation (32 nodes, strips)")
+	fmt.Println("mapping  comm (s)   max hops  avg hops")
+	for _, m := range []simarch.Mapping{simarch.GrayMapping, simarch.NaiveMapping, simarch.RandomMapping} {
+		r, err := simarch.SimulateHypercube(p, hc, 32, m, 7)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %-10.4g %-9d %.2f\n", m, r.CommTime, r.MaxHops, r.AvgHops)
+	}
+	fmt.Println()
+
+	// Banyan module-assignment ablation.
+	by := core.DefaultBanyan(0)
+	pb := core.MustProblem(*n, stencil.FivePoint, partition.Strip)
+	fmt.Println("## Banyan module-assignment ablation (64 processors, strips)")
+	fmt.Println("assignment  read (s)   conflicts  passes")
+	for _, a := range []simarch.Assignment{simarch.OwnModule, simarch.ShiftModule, simarch.RandomModule} {
+		r, err := simarch.SimulateBanyan(pb, by, 64, a, 7)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-11s %-10.4g %-10d %d\n", a, r.ReadTime, r.Conflicts, r.Passes)
+	}
+	fmt.Println()
+
+	// Bus discipline comparison.
+	bus := core.DefaultSyncBus(0)
+	fmt.Println("## Bus arbitration disciplines (strips): paper's bulk model vs word-interleaved")
+	fmt.Println("P    bulk read (s)  word-interleaved read (s)")
+	for _, procs := range []int{2, 4, 8, 16, 32} {
+		b, err := simarch.SimulateSyncBus(p, bus, procs, simarch.BulkTransfers)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := simarch.SimulateSyncBus(p, bus, procs, simarch.WordInterleaved)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-4d %-14.4g %.4g\n", procs, b.ReadPhase, w.ReadPhase)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "archsim: %v\n", err)
+	os.Exit(1)
+}

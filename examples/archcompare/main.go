@@ -1,0 +1,77 @@
+// Architecture shoot-out: the paper's Table I in action. Grow the
+// problem and watch the optimal speedup of each architecture class —
+// hypercubes scale linearly, banyans almost linearly, buses stall at
+// the cube root.
+//
+//	go run ./examples/archcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optspeed"
+)
+
+func main() {
+	archs := []optspeed.Architecture{
+		optspeed.DefaultHypercube(0),
+		optspeed.DefaultMesh(0),
+		optspeed.DefaultBanyan(0),
+		optspeed.DefaultAsyncBus(0),
+		optspeed.DefaultSyncBus(0),
+	}
+
+	fmt.Println("Optimal speedup by architecture (square partitions, 5-point stencil,")
+	fmt.Println("machine grows with the problem):")
+	fmt.Println()
+	fmt.Printf("%-12s", "n")
+	for _, a := range archs {
+		fmt.Printf("%12s", a.Name())
+	}
+	fmt.Println()
+	for _, n := range []int{128, 256, 512, 1024, 2048, 4096} {
+		p, err := optspeed.NewProblem(n, optspeed.FivePoint, optspeed.Square)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d", n)
+		for _, a := range archs {
+			s, err := optspeed.OptimalSpeedup(p, a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12.1f", s)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "growth:")
+	for _, a := range archs {
+		fmt.Printf("%12s", optspeed.SpeedupGrowth(a, optspeed.Square))
+	}
+	fmt.Println()
+	fmt.Println()
+
+	// The paper's leverage analysis: where should the hardware budget go?
+	fmt.Println("Hardware leverage on a shared bus at n = 1024 (optimized cycle-time")
+	fmt.Println("ratio after doubling one component's speed — lower is better):")
+	p, err := optspeed.NewProblem(1024, optspeed.FivePoint, optspeed.Square)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bus := optspeed.DefaultSyncBus(0)
+	levBus, err := optspeed.Leverage(p, bus, optspeed.LeverageBus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levFlops, err := optspeed.Leverage(p, bus, optspeed.LeverageFlops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  2x bus speed:  %.2f of the original cycle time (paper: 0.63)\n", levBus.Ratio)
+	fmt.Printf("  2x flop speed: %.2f of the original cycle time (paper: 0.79)\n", levFlops.Ratio)
+	fmt.Println()
+	fmt.Println("Communication speed buys more than compute speed once the bus is")
+	fmt.Println("the bottleneck — the paper's §6.1 leverage result.")
+}

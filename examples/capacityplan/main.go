@@ -1,0 +1,70 @@
+// Capacity planning with the paper's Fig. 7 machinery: you are buying a
+// shared-bus machine — how many processors can your workloads actually
+// exploit, and what is the smallest problem that justifies a given
+// machine size?
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optspeed"
+)
+
+func main() {
+	bus := optspeed.DefaultSyncBus(0)
+
+	fmt.Println("Largest processor count each workload can gainfully use")
+	fmt.Println("(synchronous bus, square partitions):")
+	fmt.Println()
+	fmt.Println("workload             5-point  9-point")
+	for _, n := range []int{128, 256, 512, 1024} {
+		p5, err := optspeed.NewProblem(n, optspeed.FivePoint, optspeed.Square)
+		if err != nil {
+			log.Fatal(err)
+		}
+		max5, err := optspeed.MaxGainfulProcs(p5, bus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p9, err := optspeed.NewProblem(n, optspeed.NinePoint, optspeed.Square)
+		if err != nil {
+			log.Fatal(err)
+		}
+		max9, err := optspeed.MaxGainfulProcs(p9, bus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4dx%-4d grid       %7d  %7d\n", n, n, max5, max9)
+	}
+	fmt.Println()
+	fmt.Println("(The paper's anchors: 256x256 5-point -> 14, 9-point -> 22.)")
+	fmt.Println()
+
+	fmt.Println("Smallest grid that keeps an N-processor machine fully busy:")
+	fmt.Println()
+	fmt.Println("N    strips(sync)  strips(async)  squares")
+	async := optspeed.DefaultAsyncBus(0)
+	for _, procs := range []int{8, 16, 24, 32} {
+		pStrip, _ := optspeed.NewProblem(16, optspeed.FivePoint, optspeed.Strip)
+		pSquare, _ := optspeed.NewProblem(16, optspeed.FivePoint, optspeed.Square)
+		nSync, err := optspeed.MinGridAllProcs(pStrip, bus, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nAsync, err := optspeed.MinGridAllProcs(pStrip, async, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nSq, err := optspeed.MinGridAllProcs(pSquare, bus, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-13d %-14d %d\n", procs, nSync, nAsync, nSq)
+	}
+	fmt.Println()
+	fmt.Println("Squares need far smaller problems than strips to exploit the")
+	fmt.Println("same machine — the paper's Fig. 7 in table form.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: ask the Nicol-Willard model how many processors a problem
+// deserves, on two very different machines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optspeed"
+)
+
+func main() {
+	// A 512×512 Laplace solve with the 5-point stencil and square
+	// partitions — the paper's canonical workload.
+	p, err := optspeed.NewProblem(512, optspeed.FivePoint, optspeed.Square)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A shared bus with unbounded processors: the model finds an
+	// interior optimum — adding processors past it SLOWS the solve.
+	bus := optspeed.DefaultSyncBus(0)
+	alloc, err := optspeed.Optimize(p, bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on a shared bus:\n", p)
+	fmt.Printf("  optimal processors: %d (interior optimum: %v)\n", alloc.Procs, alloc.Interior)
+	fmt.Printf("  optimal speedup:    %.1f\n", alloc.Speedup)
+	fmt.Printf("  growth law:         %s\n\n", optspeed.SpeedupGrowth(bus, optspeed.Square))
+
+	// The same problem on a hypercube: all-or-nothing, and the more
+	// processors the better.
+	cube := optspeed.DefaultHypercube(1024)
+	alloc, err = optspeed.Optimize(p, cube)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on a 1024-node hypercube:\n", p)
+	fmt.Printf("  optimal processors: %d (used all: %v)\n", alloc.Procs, alloc.UsedAll)
+	fmt.Printf("  optimal speedup:    %.1f\n", alloc.Speedup)
+	fmt.Printf("  growth law:         %s\n", optspeed.SpeedupGrowth(cube, optspeed.Square))
+}

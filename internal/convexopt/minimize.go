@@ -1,0 +1,97 @@
+// Package convexopt provides the small optimization toolbox the
+// Nicol-Willard model needs: minimization of unimodal (convex) functions
+// over integer and real intervals, and real root finding for the cubic
+// optimality condition of square partitions on a synchronous bus
+// (paper §6.1: E·T·s³ + 4k(c·s² − b·n²) = 0).
+//
+// Every cycle-time model in the paper is convex in the partition area A
+// (paper §8), so golden-section / ternary search is exact up to the
+// termination tolerance and integer ternary search is exact, period.
+package convexopt
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinimizeInt returns the argument in [lo, hi] minimizing f, assuming f is
+// unimodal on the interval (strictly decreasing then strictly increasing,
+// either part possibly empty). Ties are resolved toward the smaller
+// argument. It panics if lo > hi.
+//
+// The search is ternary with a final linear sweep over the residual
+// bracket, so it calls f O(log(hi-lo)) times and is exact for unimodal f.
+func MinimizeInt(lo, hi int, f func(int) float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("convexopt: MinimizeInt empty interval [%d, %d]", lo, hi))
+	}
+	for hi-lo > 8 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2 - 1
+		} else {
+			lo = m1 + 1
+		}
+	}
+	best, bestVal := lo, f(lo)
+	for x := lo + 1; x <= hi; x++ {
+		if v := f(x); v < bestVal {
+			best, bestVal = x, v
+		}
+	}
+	return best
+}
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// MinimizeReal returns an argument within tol of the minimizer of a
+// unimodal f on [lo, hi], using golden-section search. It panics if
+// lo > hi or tol <= 0.
+func MinimizeReal(lo, hi, tol float64, f func(float64) float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("convexopt: MinimizeReal empty interval [%g, %g]", lo, hi))
+	}
+	if tol <= 0 {
+		panic(fmt.Sprintf("convexopt: MinimizeReal non-positive tolerance %g", tol))
+	}
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 <= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}
+
+// IsUnimodal reports whether the samples f(lo), f(lo+step), ..., f(hi)
+// descend (weakly) and then ascend (weakly), i.e. are consistent with a
+// unimodal function. Intended for tests and model sanity checks.
+func IsUnimodal(lo, hi, step int, f func(int) float64) bool {
+	if step <= 0 || lo > hi {
+		return false
+	}
+	const eps = 1e-12
+	prev := f(lo)
+	rising := false
+	for x := lo + step; x <= hi; x += step {
+		cur := f(x)
+		if cur > prev*(1+eps)+eps {
+			rising = true
+		} else if rising && cur < prev*(1-eps)-eps {
+			return false
+		}
+		prev = cur
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package convexopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeIntQuadratic(t *testing.T) {
+	for _, target := range []int{-50, -1, 0, 3, 17, 99} {
+		f := func(x int) float64 { d := float64(x - target); return d * d }
+		if got := MinimizeInt(-100, 100, f); got != target {
+			t.Errorf("target %d: got %d", target, got)
+		}
+	}
+}
+
+func TestMinimizeIntEndpoints(t *testing.T) {
+	inc := func(x int) float64 { return float64(x) }
+	if got := MinimizeInt(5, 500, inc); got != 5 {
+		t.Errorf("increasing: got %d, want 5", got)
+	}
+	dec := func(x int) float64 { return -float64(x) }
+	if got := MinimizeInt(5, 500, dec); got != 500 {
+		t.Errorf("decreasing: got %d, want 500", got)
+	}
+	if got := MinimizeInt(7, 7, inc); got != 7 {
+		t.Errorf("singleton: got %d", got)
+	}
+}
+
+func TestMinimizeIntTieBreaksLow(t *testing.T) {
+	flat := func(x int) float64 { return 1 }
+	if got := MinimizeInt(3, 30, flat); got != 3 {
+		t.Errorf("flat: got %d, want 3", got)
+	}
+}
+
+func TestMinimizeIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty interval did not panic")
+		}
+	}()
+	MinimizeInt(2, 1, func(int) float64 { return 0 })
+}
+
+// Property: on random convex piecewise functions a·(x−m)² + b·|x−m|,
+// MinimizeInt finds the true minimizer.
+func TestMinimizeIntProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		lo := rng.Intn(2000) - 1000
+		hi := lo + rng.Intn(3000)
+		m := lo + rng.Intn(hi-lo+1)
+		a := rng.Float64() + 0.01
+		b := rng.Float64() * 10
+		fn := func(x int) float64 {
+			d := float64(x - m)
+			return a*d*d + b*math.Abs(d)
+		}
+		return MinimizeInt(lo, hi, fn) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper's bus cycle-time shape t(A) = c1·A + c2/A is
+// minimized at sqrt(c2/c1); MinimizeInt must land within one unit of the
+// clamped continuous optimum.
+func TestMinimizeIntBusShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func() bool {
+		c1 := rng.Float64()*10 + 1e-3
+		c2 := rng.Float64()*1e9 + 1
+		lo, hi := 1, 1<<20
+		fn := func(x int) float64 { return c1*float64(x) + c2/float64(x) }
+		got := MinimizeInt(lo, hi, fn)
+		cont := math.Sqrt(c2 / c1)
+		want := int(math.Round(cont))
+		if want < lo {
+			want = lo
+		}
+		if want > hi {
+			want = hi
+		}
+		// The integer optimum is one of the neighbors of the continuous one.
+		best := want
+		for _, cand := range []int{want - 1, want, want + 1} {
+			if cand >= lo && cand <= hi && fn(cand) < fn(best) {
+				best = cand
+			}
+		}
+		return got == best || fn(got) <= fn(best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeReal(t *testing.T) {
+	got := MinimizeReal(0, 10, 1e-9, func(x float64) float64 { return (x - math.Pi) * (x - math.Pi) })
+	if math.Abs(got-math.Pi) > 1e-7 {
+		t.Errorf("got %.10f, want π", got)
+	}
+}
+
+func TestMinimizeRealEndpoints(t *testing.T) {
+	got := MinimizeReal(2, 9, 1e-9, func(x float64) float64 { return x })
+	if math.Abs(got-2) > 1e-6 {
+		t.Errorf("increasing: got %g", got)
+	}
+	got = MinimizeReal(2, 9, 1e-9, func(x float64) float64 { return -x })
+	if math.Abs(got-9) > 1e-6 {
+		t.Errorf("decreasing: got %g", got)
+	}
+}
+
+func TestMinimizeRealPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { MinimizeReal(2, 1, 1e-6, func(float64) float64 { return 0 }) },
+		"zero tol": func() { MinimizeReal(0, 1, 0, func(float64) float64 { return 0 }) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("did not panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestIsUnimodal(t *testing.T) {
+	v := func(x int) float64 { return math.Abs(float64(x - 5)) }
+	if !IsUnimodal(0, 10, 1, v) {
+		t.Error("V shape not unimodal")
+	}
+	w := func(x int) float64 {
+		if x == 3 || x == 7 {
+			return 0
+		}
+		return 1
+	}
+	if IsUnimodal(0, 10, 1, w) {
+		t.Error("W shape reported unimodal")
+	}
+	if IsUnimodal(0, 10, 0, v) {
+		t.Error("zero step accepted")
+	}
+	if IsUnimodal(10, 0, 1, v) {
+		t.Error("empty range accepted")
+	}
+	if !IsUnimodal(0, 10, 1, func(int) float64 { return 2 }) {
+		t.Error("constant not unimodal")
+	}
+}

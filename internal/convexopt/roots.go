@@ -1,0 +1,97 @@
+package convexopt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bisect returns a root of f in [lo, hi] to absolute tolerance tol,
+// assuming f(lo) and f(hi) have opposite signs (or one endpoint is a
+// root). It returns an error if the bracket is invalid.
+func Bisect(lo, hi, tol float64, f func(float64) float64) (float64, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("convexopt: Bisect empty interval [%g, %g]", lo, hi)
+	}
+	flo, fhi := f(lo), f(hi)
+	switch {
+	case flo == 0:
+		return lo, nil
+	case fhi == 0:
+		return hi, nil
+	case flo*fhi > 0:
+		return 0, fmt.Errorf("convexopt: Bisect needs a sign change on [%g, %g], got f=%g and %g", lo, hi, flo, fhi)
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if flo*fm < 0 {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	_ = fhi
+	return lo + (hi-lo)/2, nil
+}
+
+// NewtonPolished runs Newton's method from x0 with analytic derivative df,
+// falling back to the start point if the iteration diverges. Used to polish
+// closed-form roots to full float64 precision.
+func NewtonPolished(x0 float64, f, df func(float64) float64) float64 {
+	x := x0
+	for i := 0; i < 40; i++ {
+		d := df(x)
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return x
+		}
+		next := x - f(x)/d
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return x
+		}
+		if math.Abs(next-x) <= 1e-15*math.Max(1, math.Abs(x)) {
+			return next
+		}
+		x = next
+	}
+	return x
+}
+
+// PositiveCubicRoot returns the unique positive real root of
+//
+//	a·x³ + b·x² + d = 0        (a > 0, b ≥ 0, d < 0)
+//
+// which is the form of the paper's square-partition optimality condition
+// E·T·s³ + 4k·c·s² − 4k·b_bus·n² = 0 (§6.1). Uniqueness: for x ≥ 0 the
+// polynomial is strictly increasing from d < 0, so exactly one positive
+// root exists. The root is bracketed and bisected, then Newton-polished.
+func PositiveCubicRoot(a, b, d float64) (float64, error) {
+	if a <= 0 {
+		return 0, fmt.Errorf("convexopt: cubic leading coefficient a=%g must be positive", a)
+	}
+	if b < 0 {
+		return 0, fmt.Errorf("convexopt: cubic coefficient b=%g must be non-negative", b)
+	}
+	if d >= 0 {
+		return 0, fmt.Errorf("convexopt: cubic constant d=%g must be negative", d)
+	}
+	f := func(x float64) float64 { return a*x*x*x + b*x*x + d }
+	df := func(x float64) float64 { return 3*a*x*x + 2*b*x }
+	// Bracket: root ≤ max(cbrt(-d/a), sqrt(-d/b)); grow to be safe.
+	hi := math.Cbrt(-d / a)
+	if b > 0 {
+		if alt := math.Sqrt(-d / b); alt < hi {
+			hi = alt
+		}
+	}
+	for f(hi) < 0 {
+		hi *= 2
+	}
+	root, err := Bisect(0, hi, 1e-12*math.Max(1, hi), f)
+	if err != nil {
+		return 0, err
+	}
+	return NewtonPolished(root, f, df), nil
+}

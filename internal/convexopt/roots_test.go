@@ -1,0 +1,123 @@
+package convexopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(0, 4, 1e-12, func(x float64) float64 { return x*x - 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %.12f, want √2", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if root, err := Bisect(0, 5, 1e-12, f); err != nil || root != 0 {
+		t.Errorf("root at lo: %g, %v", root, err)
+	}
+	if root, err := Bisect(-5, 0, 1e-12, f); err != nil || root != 0 {
+		t.Errorf("root at hi: %g, %v", root, err)
+	}
+}
+
+func TestBisectErrors(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(0, 4, 1e-12, f); err == nil {
+		t.Error("no sign change accepted")
+	}
+	if _, err := Bisect(4, 0, 1e-12, f); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestNewtonPolished(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 8 }
+	df := func(x float64) float64 { return 3 * x * x }
+	got := NewtonPolished(1.9, f, df)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("got %.15f, want 2", got)
+	}
+	// Zero derivative: falls back gracefully.
+	got = NewtonPolished(0, f, df)
+	if got != 0 {
+		t.Errorf("zero-derivative start: got %g, want start point", got)
+	}
+}
+
+func TestPositiveCubicRootExact(t *testing.T) {
+	// (x−3)(x²+3x+9)·a form: a·x³ − 27a = 0 has root 3.
+	root, err := PositiveCubicRoot(2, 0, -54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-3) > 1e-10 {
+		t.Errorf("root = %.12f, want 3", root)
+	}
+}
+
+func TestPositiveCubicRootValidation(t *testing.T) {
+	if _, err := PositiveCubicRoot(0, 1, -1); err == nil {
+		t.Error("a=0 accepted")
+	}
+	if _, err := PositiveCubicRoot(1, -1, -1); err == nil {
+		t.Error("b<0 accepted")
+	}
+	if _, err := PositiveCubicRoot(1, 1, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+// Property: for random positive (a, b) and negative d the returned root
+// satisfies the cubic to high relative precision and is positive.
+func TestPositiveCubicRootProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func() bool {
+		a := math.Exp(rng.Float64()*20 - 10) // span many magnitudes
+		b := math.Exp(rng.Float64()*20-10) * float64(rng.Intn(2))
+		d := -math.Exp(rng.Float64()*20 - 10)
+		root, err := PositiveCubicRoot(a, b, d)
+		if err != nil || root <= 0 {
+			return false
+		}
+		val := a*root*root*root + b*root*root + d
+		scale := math.Max(math.Abs(d), a*root*root*root)
+		return math.Abs(val) <= 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperCubic solves the paper's §6.1 optimality condition
+// E·T·s³ + 4k(c·s² − b·n²) = 0 for the calibrated machine and checks the
+// root reduces to the closed form when c = 0.
+func TestPaperCubic(t *testing.T) {
+	et := 5 * 1.6e-6
+	k := 1.0
+	b := 1.0e-5
+	n := 256.0
+	root, err := PositiveCubicRoot(et, 0, -4*k*b*n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Cbrt(4 * k * b * n * n / et)
+	if math.Abs(root-want) > 1e-9*want {
+		t.Errorf("c=0 root %.10g, closed form %.10g", root, want)
+	}
+	// c > 0 pushes the optimal side smaller.
+	c := 100 * b
+	root2, err := PositiveCubicRoot(et, 4*k*c, -4*k*b*n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2 >= root {
+		t.Errorf("c>0 root %.6g not smaller than c=0 root %.6g", root2, root)
+	}
+}

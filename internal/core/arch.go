@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Architecture is one of the paper's parallel architecture classes,
+// parameterized by its communication hardware and the processor flop time.
+// Implementations provide the per-iteration cycle time for a given
+// partition area; everything else (optimization, speedups, minimal grid
+// sizes) is derived in this package from convexity.
+type Architecture interface {
+	// Name identifies the architecture ("hypercube", "sync-bus", ...).
+	Name() string
+
+	// Tflp returns the time for one floating point operation (seconds).
+	Tflp() float64
+
+	// Procs returns the number of available processors; 0 means
+	// unbounded (the paper's "architecture grows with the problem").
+	Procs() int
+
+	// CycleTime returns t_cycle for problem p when each partition holds
+	// area grid points, i.e. P = n²/area processors participate. For
+	// area = n² (one processor) every architecture returns the pure
+	// computation time E·n²·T_flp: a single processor communicates with
+	// no one (paper §4).
+	CycleTime(p Problem, area float64) float64
+
+	// CommTime returns the t_a component in isolation (zero for a
+	// single processor). For overlapped architectures this is the
+	// non-overlappable portion plus any exposed backlog, so that
+	// CycleTime = compute + CommTime does NOT generally hold; use it
+	// for reporting, not arithmetic.
+	CommTime(p Problem, area float64) float64
+
+	// Validate checks parameter sanity.
+	Validate() error
+}
+
+// computeTime is the universal t_comp = E(S)·A·T_flp.
+func computeTime(p Problem, area, tflp float64) float64 {
+	return p.Flops() * area * tflp
+}
+
+// procsFor returns P = n²/area as a float; callers guard area > 0.
+func procsFor(p Problem, area float64) float64 {
+	return p.GridPoints() / area
+}
+
+// singleProc reports whether the area corresponds to one processor (the
+// whole grid in one memory): within rounding of n².
+func singleProc(p Problem, area float64) bool {
+	return area >= p.GridPoints()-0.5
+}
+
+func sqrtf(x float64) float64 { return math.Sqrt(x) }
+
+func cbrt(x float64) float64 { return math.Cbrt(x) }
+
+func validTflp(name string, tflp float64) error {
+	if tflp <= 0 || math.IsNaN(tflp) || math.IsInf(tflp, 0) {
+		return fmt.Errorf("core: %s: T_flp=%g must be positive and finite", name, tflp)
+	}
+	return nil
+}
+
+func validProcs(name string, procs int) error {
+	if procs < 0 {
+		return fmt.Errorf("core: %s: procs=%d must be non-negative (0 = unbounded)", name, procs)
+	}
+	return nil
+}
+
+// boundedProcs clamps the admissible processor range for p on arch a:
+// [1, min(a.Procs() or ∞, p.MaxProcs())].
+func boundedProcs(p Problem, a Architecture) int {
+	maxP := p.MaxProcs()
+	if n := a.Procs(); n > 0 && n < maxP {
+		maxP = n
+	}
+	if maxP < 1 {
+		maxP = 1
+	}
+	return maxP
+}

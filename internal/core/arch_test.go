@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// allArchs returns one default instance of every architecture.
+func allArchs(procs int) []Architecture {
+	return []Architecture{
+		DefaultHypercube(procs),
+		DefaultMesh(procs),
+		DefaultSyncBus(procs),
+		DefaultAsyncBus(procs),
+		AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, NProcs: procs, Overlap: OverlapReadsAndWrites},
+		DefaultBanyan(procs),
+	}
+}
+
+func TestArchValidation(t *testing.T) {
+	for _, a := range allArchs(16) {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s default invalid: %v", a.Name(), err)
+		}
+	}
+	bad := []Architecture{
+		Hypercube{TflpTime: 0, Alpha: 1, Beta: 1, PacketWords: 8},
+		Hypercube{TflpTime: 1, Alpha: -1, Beta: 1, PacketWords: 8},
+		Hypercube{TflpTime: 1, Alpha: 1, Beta: 1, PacketWords: 0},
+		Hypercube{TflpTime: 1, Alpha: 1, Beta: 1, PacketWords: 8, NProcs: -1},
+		Mesh{TflpTime: 1, Alpha: 1, Beta: -1, PacketWords: 8},
+		SyncBus{TflpTime: 1, B: 0},
+		SyncBus{TflpTime: 1, B: 1, C: -1},
+		SyncBus{TflpTime: math.NaN(), B: 1},
+		AsyncBus{TflpTime: 1, B: 0},
+		AsyncBus{TflpTime: 1, B: 1, C: -2},
+		AsyncBus{TflpTime: 1, B: 1, Overlap: BusOverlap(9)},
+		Banyan{TflpTime: 1, W: 0},
+		Banyan{TflpTime: 1, W: -1},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s with bad params validated", a.Name())
+		}
+	}
+}
+
+// TestSingleProcessorNoComm: every architecture charges zero communication
+// when the whole grid sits on one processor (paper §4: "if only one
+// processor is used then no communication costs are suffered").
+func TestSingleProcessorNoComm(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := MustProblem(64, stencil.FivePoint, sh)
+		full := p.GridPoints()
+		for _, a := range allArchs(0) {
+			if got := a.CommTime(p, full); got != 0 {
+				t.Errorf("%s/%s: CommTime(n²) = %g, want 0", a.Name(), sh, got)
+			}
+			want := p.SerialTime(a.Tflp())
+			if got := a.CycleTime(p, full); math.Abs(got-want) > 1e-18 {
+				t.Errorf("%s/%s: CycleTime(n²) = %g, want serial %g", a.Name(), sh, got, want)
+			}
+		}
+	}
+}
+
+// TestCommPositiveWhenParallel: with more than one processor, every
+// architecture charges positive communication time.
+func TestCommPositiveWhenParallel(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := MustProblem(64, stencil.FivePoint, sh)
+		for _, a := range allArchs(0) {
+			area := p.AreaFor(4)
+			if got := a.CommTime(p, area); got <= 0 {
+				t.Errorf("%s/%s: CommTime(P=4) = %g, want > 0", a.Name(), sh, got)
+			}
+		}
+	}
+}
+
+// TestCycleExceedsCompute: cycle time is never below pure computation.
+func TestCycleExceedsCompute(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := MustProblem(128, stencil.NinePoint, sh)
+		for _, a := range allArchs(0) {
+			for _, procs := range []int{1, 2, 4, 16, 64} {
+				area := p.AreaFor(procs)
+				comp := p.Flops() * area * a.Tflp()
+				if got := a.CycleTime(p, area); got < comp-1e-18 {
+					t.Errorf("%s/%s P=%d: cycle %g < compute %g", a.Name(), sh, procs, got, comp)
+				}
+			}
+		}
+	}
+}
+
+// TestHypercubeMonotone reproduces §4: on [2, n²] the hypercube cycle
+// time is decreasing in the processor count (equivalently increasing in
+// area), so t_cycle is minimized at either 1 processor or all processors.
+func TestHypercubeMonotone(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := MustProblem(64, stencil.FivePoint, sh)
+		hc := DefaultHypercube(0)
+		maxP := p.MaxProcs()
+		prev := math.Inf(1)
+		for procs := 2; procs <= maxP; procs *= 2 {
+			cur := hc.CycleTime(p, p.AreaFor(procs))
+			if cur > prev+1e-15 {
+				t.Errorf("%s: hypercube cycle increased at P=%d: %g > %g", sh, procs, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestMeshMatchesHypercube: the paper treats mesh communication as the
+// same nearest-neighbor cost (§5).
+func TestMeshMatchesHypercube(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Square)
+	hc, ms := DefaultHypercube(16), DefaultMesh(16)
+	for _, procs := range []int{1, 2, 4, 16} {
+		a := p.AreaFor(procs)
+		if hc.CycleTime(p, a) != ms.CycleTime(p, a) {
+			t.Errorf("P=%d: mesh cycle differs from hypercube", procs)
+		}
+	}
+}
+
+// TestBanyanStages: log₂(P) stages; a single processor pays nothing,
+// two processors one stage.
+func TestBanyanStages(t *testing.T) {
+	if stages(1) != 0 {
+		t.Errorf("stages(1) = %g", stages(1))
+	}
+	if stages(2) != 1 {
+		t.Errorf("stages(2) = %g", stages(2))
+	}
+	if stages(1024) != 10 {
+		t.Errorf("stages(1024) = %g", stages(1024))
+	}
+}
+
+// TestAsyncNeverSlowerThanSync: at identical parameters the asynchronous
+// bus cycle time never exceeds the synchronous one (overlap only helps),
+// and the fully-overlapped variant never exceeds the write-overlap one.
+func TestAsyncNeverSlowerThanSync(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		for _, c := range []float64{0, DefaultBusCycle, 50 * DefaultBusCycle} {
+			p := MustProblem(128, stencil.FivePoint, sh)
+			sync := SyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, C: c}
+			async := AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, C: c}
+			full := AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, C: c, Overlap: OverlapReadsAndWrites}
+			for procs := 1; procs <= 128; procs *= 2 {
+				a := p.AreaFor(procs)
+				ts, ta, tf := sync.CycleTime(p, a), async.CycleTime(p, a), full.CycleTime(p, a)
+				if ta > ts*(1+1e-12) {
+					t.Errorf("%s c=%g P=%d: async %g > sync %g", sh, c, procs, ta, ts)
+				}
+				if tf > ta*(1+1e-12) {
+					t.Errorf("%s c=%g P=%d: full-async %g > async %g", sh, c, procs, tf, ta)
+				}
+			}
+		}
+	}
+}
+
+// TestBusOverlapString covers the stringers.
+func TestBusOverlapString(t *testing.T) {
+	if OverlapWrites.String() != "overlap-writes" {
+		t.Error(OverlapWrites.String())
+	}
+	if OverlapReadsAndWrites.String() != "overlap-reads-writes" {
+		t.Error(OverlapReadsAndWrites.String())
+	}
+	if BusOverlap(9).String() == "" {
+		t.Error("unknown overlap empty")
+	}
+	if DefaultAsyncBus(4).Name() != "async-bus" {
+		t.Error(DefaultAsyncBus(4).Name())
+	}
+	fa := AsyncBus{TflpTime: 1, B: 1, Overlap: OverlapReadsAndWrites}
+	if fa.Name() != "full-async-bus" {
+		t.Error(fa.Name())
+	}
+}
+
+// TestSyncBusContentionLinear: the effective communication time grows
+// linearly in the processor count (the c + b·P contention model).
+func TestSyncBusContentionLinear(t *testing.T) {
+	p := MustProblem(128, stencil.FivePoint, partition.Strip)
+	bus := DefaultSyncBus(0)
+	// For strips V is constant, so CommTime(P) = ω·V·(c + b·P) is affine in P.
+	t4 := bus.CommTime(p, p.AreaFor(4))
+	t8 := bus.CommTime(p, p.AreaFor(8))
+	t16 := bus.CommTime(p, p.AreaFor(16))
+	// Second difference of an affine function vanishes.
+	if d := (t16 - t8) - 2*((t8-t4)/1); math.Abs(d) > 1e-12*t16 {
+		// (t8−t4) covers ΔP=4, (t16−t8) covers ΔP=8: slope doubles.
+		t.Errorf("contention not linear in P: %g %g %g", t4, t8, t16)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/partition"
+)
+
+// Banyan models a machine communicating over a banyan-type switching
+// network, such as the BBN Butterfly or IBM RP3 (paper §7). Under the
+// paper's assumptions — one global memory module per processor, boundary
+// values only in global memory, 2×2 switches, writes scheduled without
+// contention, and a module assignment that makes all concurrent boundary
+// reads conflict-free — a global read costs two trips across the log₂(P)
+// stage network:
+//
+//	t_r = 2·W·log₂(P)
+//
+// with W the switch speed. An iteration reads its boundary (V words,
+// serially) and then computes while writes drain asynchronously:
+//
+//	t_cycle = V·2·W·log₂(P) + E·A·T_flp.
+type Banyan struct {
+	TflpTime float64 // seconds per flop
+	W        float64 // switch traversal time (seconds)
+	NProcs   int     // available processors; 0 = unbounded
+}
+
+// Name implements Architecture.
+func (b Banyan) Name() string { return "banyan" }
+
+// Tflp implements Architecture.
+func (b Banyan) Tflp() float64 { return b.TflpTime }
+
+// Procs implements Architecture.
+func (b Banyan) Procs() int { return b.NProcs }
+
+// Validate implements Architecture.
+func (b Banyan) Validate() error {
+	if err := validTflp(b.Name(), b.TflpTime); err != nil {
+		return err
+	}
+	if err := validProcs(b.Name(), b.NProcs); err != nil {
+		return err
+	}
+	if b.W <= 0 {
+		return fmt.Errorf("core: banyan: switch time w=%g must be positive", b.W)
+	}
+	return nil
+}
+
+// stages returns log₂(P), the banyan stage count for P processors (the
+// network is sized for the processors actually employed).
+func stages(procs float64) float64 {
+	if procs <= 1 {
+		return 0
+	}
+	return math.Log2(procs)
+}
+
+// networkStages returns the stage count a transfer crosses. With a fixed
+// machine (NProcs > 0) the network depth is log₂(NProcs) regardless of
+// how many processors the decomposition employs — this is the paper's §7
+// fixed-N analysis, in which the cycle time is minimized by minimizing A
+// ("all available processors are employed", or one). With NProcs = 0 the
+// machine grows with the decomposition, so the depth is log₂(P) — the
+// paper's scaled analysis ("a factor which arises from the growing
+// number of stages of the switching network as the problem grows").
+func (b Banyan) networkStages(procsUsed float64) float64 {
+	if b.NProcs > 0 {
+		return stages(float64(b.NProcs))
+	}
+	return stages(procsUsed)
+}
+
+// CommTime implements Architecture: the boundary reading phase
+// V·2·W·stages. For strips the paper's form is 4·n·k·W·log₂(N); for
+// squares 8·s·k·W·log₂(N).
+func (b Banyan) CommTime(p Problem, area float64) float64 {
+	if singleProc(p, area) {
+		return 0
+	}
+	return p.ReadWords(area) * 2 * b.W * b.networkStages(procsFor(p, area))
+}
+
+// CycleTime implements Architecture.
+func (b Banyan) CycleTime(p Problem, area float64) float64 {
+	return computeTime(p, area, b.TflpTime) + b.CommTime(p, area)
+}
+
+// ScaledCycleTime returns the cycle time when the machine grows with the
+// problem at F points per processor (paper §7): for squares
+// 8·√F·k·W·log₂(n²/F) + E·F·T_flp, giving Θ(n²/log n) optimal speedup.
+// Strip partitions cannot hold F fixed below one row; at the forced
+// A = n (one row per processor) the speedup is Θ(n/log n).
+func (b Banyan) ScaledCycleTime(p Problem, pointsPerProc float64) float64 {
+	area := pointsPerProc
+	if p.Shape == partition.Strip && area < float64(p.N) {
+		area = float64(p.N)
+	}
+	return b.CycleTime(p, area)
+}
+
+var _ Architecture = Banyan{}

@@ -1,0 +1,43 @@
+package core
+
+import "optspeed/internal/partition"
+
+// ShapeChoice reports which partition shape wins for a problem on an
+// architecture, with both optimized allocations for comparison.
+type ShapeChoice struct {
+	Best   partition.Shape
+	Strip  Allocation
+	Square Allocation
+	// Advantage is the winning speedup divided by the losing one
+	// (≥ 1). The paper's §6.1: "the clear superiority of squares using
+	// realistic parameter values and large problems" — but strips can
+	// win at small sizes or degenerate parameters, which is why
+	// reference [13] uses them.
+	Advantage float64
+}
+
+// BestShape optimizes the problem under both partition shapes and
+// returns the comparison. The problem's own Shape field is ignored.
+func BestShape(p Problem, arch Architecture) (ShapeChoice, error) {
+	pStrip := p
+	pStrip.Shape = partition.Strip
+	aStrip, err := Optimize(pStrip, arch)
+	if err != nil {
+		return ShapeChoice{}, err
+	}
+	pSq := p
+	pSq.Shape = partition.Square
+	aSq, err := Optimize(pSq, arch)
+	if err != nil {
+		return ShapeChoice{}, err
+	}
+	choice := ShapeChoice{Strip: aStrip, Square: aSq}
+	if aSq.Speedup >= aStrip.Speedup {
+		choice.Best = partition.Square
+		choice.Advantage = aSq.Speedup / aStrip.Speedup
+	} else {
+		choice.Best = partition.Strip
+		choice.Advantage = aStrip.Speedup / aSq.Speedup
+	}
+	return choice, nil
+}

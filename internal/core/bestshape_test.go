@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// TestBestShapeSquaresWinOnBus: the paper's §6.1 conclusion for
+// realistic parameters and large problems.
+func TestBestShapeSquaresWinOnBus(t *testing.T) {
+	for _, n := range []int{256, 512, 1024} {
+		p := MustProblem(n, stencil.FivePoint, partition.Strip) // shape ignored
+		choice, err := BestShape(p, DefaultSyncBus(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Best != partition.Square {
+			t.Errorf("n=%d: best shape %s, want square", n, choice.Best)
+		}
+		if choice.Advantage < 1 {
+			t.Errorf("n=%d: advantage %g < 1", n, choice.Advantage)
+		}
+		if choice.Square.Speedup < choice.Strip.Speedup {
+			t.Errorf("n=%d: inconsistent allocations", n)
+		}
+	}
+}
+
+// TestBestShapeAdvantageGrows: the square advantage widens with the
+// problem (speedups scale as (n²)^{1/3} vs (n²)^{1/4}).
+func TestBestShapeAdvantageGrows(t *testing.T) {
+	bus := DefaultSyncBus(0)
+	prev := 0.0
+	for _, n := range []int{256, 1024, 4096} {
+		p := MustProblem(n, stencil.FivePoint, partition.Square)
+		choice, err := BestShape(p, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Advantage <= prev {
+			t.Errorf("n=%d: advantage %g did not grow past %g", n, choice.Advantage, prev)
+		}
+		prev = choice.Advantage
+	}
+}
+
+// TestBestShapeHypercubeStartupRegime: on a startup-dominated hypercube
+// strips WIN — they exchange 4 messages per iteration against the
+// squares' 8, and when β dominates, message count decides. This is the
+// §2/§13 observation ("situations exist where the use of strips yields
+// better performance than squares"; Saltz-Naik-Nicol ran strips on the
+// real iPSC). With cheap startup the perimeter volume decides and
+// squares win back.
+func TestBestShapeHypercubeStartupRegime(t *testing.T) {
+	p := MustProblem(1024, stencil.FivePoint, partition.Square)
+	// β-dominated: the calibrated iPSC-like machine.
+	choice, err := BestShape(p, DefaultHypercube(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Best != partition.Strip {
+		t.Errorf("startup-dominated: best shape %s, want strip", choice.Best)
+	}
+	// Volume-dominated: free startup, expensive per-packet cost with
+	// tiny packets.
+	cheap := DefaultHypercube(64)
+	cheap.Beta = 0
+	cheap.PacketWords = 1
+	choice, err = BestShape(p, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Best != partition.Square {
+		t.Errorf("volume-dominated: best shape %s, want square", choice.Best)
+	}
+}
+
+func TestBestShapeErrors(t *testing.T) {
+	if _, err := BestShape(Problem{}, DefaultSyncBus(0)); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

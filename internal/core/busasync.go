@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/partition"
+)
+
+// BusOverlap selects how much communication an asynchronous bus overlaps
+// with computation (paper §6.2).
+type BusOverlap int
+
+const (
+	// OverlapWrites is the paper's §6.2 model: reads are synchronous
+	// (a reading phase precedes the computation phase); boundary writes
+	// are posted to global memory as boundary points are updated and
+	// drain concurrently with computation.
+	OverlapWrites BusOverlap = iota
+	// OverlapReadsAndWrites is the paper's relaxed variant (end of
+	// §6.2): reads also overlap (half the grid points update in
+	// parallel with the initial read requests, half with the boundary
+	// writes), buying a further 2^{1/3} ≈ 1.26× speedup for squares.
+	OverlapReadsAndWrites
+)
+
+// String names the overlap mode.
+func (o BusOverlap) String() string {
+	switch o {
+	case OverlapWrites:
+		return "overlap-writes"
+	case OverlapReadsAndWrites:
+		return "overlap-reads-writes"
+	default:
+		return fmt.Sprintf("BusOverlap(%d)", int(o))
+	}
+}
+
+// AsyncBus models a shared-memory bus allowing asynchronous writes to
+// global memory (paper §6.2). An iteration is a reading phase followed by
+// a computation phase; boundary values are written as soon as they are
+// updated (boundary points update first). If the bus has not drained its
+// posted-write backlog when computation ends, the iteration waits for it:
+//
+//	t_cycle = t_read + max(E·A·T_flp, b·B_total)        (paper eq. (7))
+//
+// where t_read = t_a(sync)/2 and B_total is the total write load, summed
+// over all processors, offered to the bus during the iteration.
+type AsyncBus struct {
+	TflpTime float64    // seconds per flop
+	B        float64    // bus cycle time per word (seconds)
+	C        float64    // fixed per-word overhead on synchronous reads (seconds)
+	NProcs   int        // available processors; 0 = unbounded
+	Overlap  BusOverlap // how much communication overlaps computation
+}
+
+// Name implements Architecture.
+func (a AsyncBus) Name() string {
+	if a.Overlap == OverlapReadsAndWrites {
+		return "full-async-bus"
+	}
+	return "async-bus"
+}
+
+// Tflp implements Architecture.
+func (a AsyncBus) Tflp() float64 { return a.TflpTime }
+
+// Procs implements Architecture.
+func (a AsyncBus) Procs() int { return a.NProcs }
+
+// Validate implements Architecture.
+func (a AsyncBus) Validate() error {
+	if err := validTflp(a.Name(), a.TflpTime); err != nil {
+		return err
+	}
+	if err := validProcs(a.Name(), a.NProcs); err != nil {
+		return err
+	}
+	if a.B <= 0 {
+		return fmt.Errorf("core: async-bus: bus cycle time b=%g must be positive", a.B)
+	}
+	if a.C < 0 {
+		return fmt.Errorf("core: async-bus: overhead c=%g must be non-negative", a.C)
+	}
+	if a.Overlap != OverlapWrites && a.Overlap != OverlapReadsAndWrites {
+		return fmt.Errorf("core: async-bus: invalid overlap mode %d", int(a.Overlap))
+	}
+	return nil
+}
+
+// CycleTime implements Architecture (paper equation (7) and its
+// fully-overlapped variant).
+func (a AsyncBus) CycleTime(p Problem, area float64) float64 {
+	comp := computeTime(p, area, a.TflpTime)
+	if singleProc(p, area) {
+		return comp
+	}
+	v := p.ReadWords(area)
+	procs := procsFor(p, area)
+	writeLoad := a.B * procs * v // b·B_total: all processors' posted writes
+	switch a.Overlap {
+	case OverlapReadsAndWrites:
+		// Reads and writes both drain concurrently with computation;
+		// the bus must move 2·P·V words per iteration regardless.
+		readIssue := v * a.C // per-word issue overhead is not overlapped
+		return readIssue + math.Max(comp, 2*writeLoad)
+	default:
+		tRead := v * (a.C + a.B*procs) // half the synchronous t_a
+		return tRead + math.Max(comp, writeLoad)
+	}
+}
+
+// CommTime implements Architecture: the exposed (non-overlapped)
+// communication time, i.e. CycleTime minus the computation time.
+func (a AsyncBus) CommTime(p Problem, area float64) float64 {
+	return a.CycleTime(p, area) - computeTime(p, area, a.TflpTime)
+}
+
+// OptimalStripArea returns Â for strips with unbounded processors and
+// c = 0 (paper §6.2): the cycle time is convex in A with minimum where
+// the max() arguments are equal,
+//
+//	Â = sqrt(2·k·b·n³ / (E·T_flp)),
+//
+// exactly 1/√2 times the synchronous-bus area. The returned value ignores
+// c (like the paper); Optimize handles c > 0 numerically.
+func (a AsyncBus) OptimalStripArea(p Problem) float64 {
+	n := float64(p.N)
+	k := float64(partition.Strip.Perimeters(p.Stencil))
+	factor := 2.0
+	if a.Overlap == OverlapReadsAndWrites {
+		// Fully overlapped: E·A·T = 2·b·P·V ⇒ Â = sqrt(4·k·b·n³/(E·T)).
+		factor = 4
+	}
+	return sqrtf(factor * k * a.B * n * n * n / (p.Flops() * a.TflpTime))
+}
+
+// OptimalSquareSide returns ŝ for squares with unbounded processors and
+// c = 0 (paper §6.2): E·s²·T = 4·k·b·n²/s gives
+//
+//	ŝ = (4·k·b·n²/(E·T_flp))^{1/3}
+//
+// identical to the synchronous-bus side; the fully-overlapped variant has
+// ŝ = (8·k·b·n²/(E·T_flp))^{1/3}.
+func (a AsyncBus) OptimalSquareSide(p Problem) float64 {
+	n := float64(p.N)
+	k := float64(partition.Square.Perimeters(p.Stencil))
+	factor := 4.0
+	if a.Overlap == OverlapReadsAndWrites {
+		factor = 8
+	}
+	return cbrt(factor * k * a.B * n * n / (p.Flops() * a.TflpTime))
+}
+
+// OptimalArea returns the real-valued optimal partition area for the
+// problem's shape (c = 0 closed form).
+func (a AsyncBus) OptimalArea(p Problem) float64 {
+	if p.Shape == partition.Strip {
+		return a.OptimalStripArea(p)
+	}
+	side := a.OptimalSquareSide(p)
+	return side * side
+}
+
+var _ Architecture = AsyncBus{}

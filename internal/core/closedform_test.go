@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optspeed/internal/convexopt"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// Property: the paper's closed-form continuous optima agree with a
+// numeric golden-section minimizer of the exact cycle-time function,
+// for random machine parameters. This is the strongest check that the
+// implemented formulas are the functions the paper differentiates.
+
+// numericOptimalArea minimizes CycleTime over real areas.
+func numericOptimalArea(p Problem, arch Architecture) float64 {
+	lo := float64(p.Shape.MinArea(p.N))
+	hi := p.GridPoints()
+	return convexopt.MinimizeReal(lo, hi, 1e-6*hi, func(a float64) float64 {
+		return arch.CycleTime(p, a)
+	})
+}
+
+func TestSyncBusClosedFormsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	f := func() bool {
+		n := 128 << rng.Intn(3)
+		st := stencil.Builtins()[rng.Intn(4)]
+		bus := SyncBus{
+			TflpTime: math.Exp(rng.Float64()*6 - 16),
+			B:        math.Exp(rng.Float64()*6 - 14),
+			C:        0,
+		}
+		// Strips.
+		pStrip := MustProblem(n, st, partition.Strip)
+		closed := bus.OptimalStripArea(pStrip)
+		numeric := numericOptimalArea(pStrip, bus)
+		// Clamp: the closed form may exceed the feasible range; compare
+		// only interior optima.
+		if closed > float64(n) && closed < pStrip.GridPoints() {
+			if math.Abs(closed-numeric)/closed > 1e-3 {
+				return false
+			}
+		}
+		// Squares.
+		pSq := MustProblem(n, st, partition.Square)
+		side := bus.OptimalSquareSide(pSq)
+		area := side * side
+		numericSq := numericOptimalArea(pSq, bus)
+		if area > 1 && area < pSq.GridPoints() {
+			if math.Abs(area-numericSq)/area > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncBusCubicWithOverheadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	f := func() bool {
+		n := 256
+		bus := SyncBus{
+			TflpTime: math.Exp(rng.Float64()*4 - 15),
+			B:        math.Exp(rng.Float64()*4 - 13),
+			C:        math.Exp(rng.Float64()*6 - 14), // c > 0: the cubic path
+		}
+		p := MustProblem(n, stencil.FivePoint, partition.Square)
+		side := bus.OptimalSquareSide(p)
+		area := side * side
+		if area <= 1 || area >= p.GridPoints() {
+			return true // boundary optimum: nothing to compare
+		}
+		numeric := numericOptimalArea(p, bus)
+		return math.Abs(area-numeric)/area < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsyncBusClosedFormsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	f := func() bool {
+		n := 128 << rng.Intn(3)
+		bus := AsyncBus{
+			TflpTime: math.Exp(rng.Float64()*6 - 16),
+			B:        math.Exp(rng.Float64()*6 - 14),
+		}
+		pStrip := MustProblem(n, stencil.FivePoint, partition.Strip)
+		closed := bus.OptimalStripArea(pStrip)
+		if closed > float64(n) && closed < pStrip.GridPoints() {
+			numeric := numericOptimalArea(pStrip, bus)
+			if math.Abs(closed-numeric)/closed > 1e-3 {
+				return false
+			}
+		}
+		pSq := MustProblem(n, stencil.FivePoint, partition.Square)
+		side := bus.OptimalSquareSide(pSq)
+		area := side * side
+		if area > 1 && area < pSq.GridPoints() {
+			numeric := numericOptimalArea(pSq, bus)
+			if math.Abs(area-numeric)/area > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimalAreaDispatch: OptimalArea picks the right shape form.
+func TestOptimalAreaDispatch(t *testing.T) {
+	bus := DefaultSyncBus(0)
+	pStrip := MustProblem(256, stencil.FivePoint, partition.Strip)
+	if got, want := bus.OptimalArea(pStrip), bus.OptimalStripArea(pStrip); got != want {
+		t.Errorf("strip dispatch: %g != %g", got, want)
+	}
+	pSq := MustProblem(256, stencil.FivePoint, partition.Square)
+	side := bus.OptimalSquareSide(pSq)
+	if got := bus.OptimalArea(pSq); math.Abs(got-side*side) > 1e-12 {
+		t.Errorf("square dispatch: %g != %g", got, side*side)
+	}
+	async := DefaultAsyncBus(0)
+	if got, want := async.OptimalArea(pStrip), async.OptimalStripArea(pStrip); got != want {
+		t.Errorf("async strip dispatch: %g != %g", got, want)
+	}
+	if got := async.OptimalArea(pSq); got <= 0 {
+		t.Errorf("async square dispatch: %g", got)
+	}
+	// Fully-overlapped variants use their own constants.
+	full := AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, Overlap: OverlapReadsAndWrites}
+	if full.OptimalStripArea(pStrip) <= async.OptimalStripArea(pStrip) {
+		t.Error("full-async strip area not larger")
+	}
+	if full.OptimalSquareSide(pSq) <= async.OptimalSquareSide(pSq) {
+		t.Error("full-async square side not larger")
+	}
+}

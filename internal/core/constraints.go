@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/convexopt"
+)
+
+// Constraints narrow the admissible allocations (paper §3: "we will
+// optimize the number of processors by choosing the value of A which
+// minimizes t_cycle, subject to memory constraints and processor
+// availability constraints").
+type Constraints struct {
+	// MemWordsPerProc caps the partition area: a processor's memory
+	// must hold its subgrid (plus halo, which the model folds into the
+	// constant). 0 = unconstrained.
+	MemWordsPerProc float64
+	// MinProcs forces at least this many processors (e.g. a machine
+	// whose nodes cannot be left idle). 0 = no minimum.
+	MinProcs int
+}
+
+// Validate checks the constraint parameters.
+func (c Constraints) Validate() error {
+	if c.MemWordsPerProc < 0 {
+		return fmt.Errorf("core: memory constraint %g must be non-negative", c.MemWordsPerProc)
+	}
+	if c.MinProcs < 0 {
+		return fmt.Errorf("core: MinProcs %d must be non-negative", c.MinProcs)
+	}
+	return nil
+}
+
+// minProcsFor returns the smallest processor count satisfying the
+// memory constraint for the problem: ⌈n²/M⌉.
+func (c Constraints) minProcsFor(p Problem) int {
+	min := 1
+	if c.MemWordsPerProc > 0 {
+		min = int(math.Ceil(p.GridPoints() / c.MemWordsPerProc))
+	}
+	if c.MinProcs > min {
+		min = c.MinProcs
+	}
+	if min < 1 {
+		min = 1
+	}
+	return min
+}
+
+// OptimizeConstrained is Optimize restricted to allocations meeting the
+// constraints. When memory prohibits the single-processor option, the
+// paper's rule applies: "If memory limitations prohibit the latter
+// option, then the computation should be spread maximally" (§4) — which
+// falls out of convexity here rather than being special-cased.
+func OptimizeConstrained(p Problem, arch Architecture, c Constraints) (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if err := arch.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	lo := c.minProcsFor(p)
+	hi := boundedProcs(p, arch)
+	if lo > hi {
+		return Allocation{}, fmt.Errorf(
+			"core: constraints unsatisfiable: need ≥ %d processors but only %d admissible", lo, hi)
+	}
+	cycle := func(procs int) float64 { return arch.CycleTime(p, p.AreaFor(procs)) }
+	// Unimodal on [max(2,lo), hi]; lo itself may be the special
+	// single-processor point.
+	best := lo
+	if s := maxInt(lo, 2); s <= hi {
+		best = convexopt.MinimizeInt(s, hi, cycle)
+	}
+	for _, cand := range []int{lo, lo + 1, hi} {
+		if cand >= lo && cand <= hi && cycle(cand) < cycle(best) {
+			best = cand
+		}
+	}
+	t := cycle(best)
+	return Allocation{
+		Problem:        p,
+		Arch:           arch.Name(),
+		Procs:          best,
+		Area:           p.AreaFor(best),
+		CycleTime:      t,
+		Speedup:        p.SerialTime(arch.Tflp()) / t,
+		UsedAll:        best == hi,
+		Single:         best == 1,
+		Interior:       best > lo && best < hi,
+		ContinuousArea: continuousArea(p, arch, best),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

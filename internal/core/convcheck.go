@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvergenceCheck models the cost of convergence checking that the
+// paper's baseline cycle model omits (§4): every updated point is
+// compared with its previous value (extra computation, ~50% of the
+// update work for small stencils), and each partition's local verdict is
+// disseminated through the whole machine (non-local communication whose
+// delay grows with the processor count). Saltz, Naik, and Nicol [13]
+// reduce the cost by checking only on scheduled iterations; Period
+// captures that amortization.
+type ConvergenceCheck struct {
+	// ComputeFraction is the extra per-point computation of one check,
+	// as a fraction of E(S) (paper: ≈ 0.5 for 5-point stencils).
+	ComputeFraction float64
+	// Period runs the check every Period-th iteration (≥ 1). The
+	// amortized per-iteration cost divides by Period.
+	Period int
+}
+
+// DefaultConvergenceCheck is the paper's 5-point figure, checked every
+// iteration.
+var DefaultConvergenceCheck = ConvergenceCheck{ComputeFraction: 0.5, Period: 1}
+
+// Validate checks the parameters.
+func (cc ConvergenceCheck) Validate() error {
+	if cc.ComputeFraction < 0 {
+		return fmt.Errorf("core: convergence check fraction %g must be non-negative", cc.ComputeFraction)
+	}
+	if cc.Period < 1 {
+		return fmt.Errorf("core: convergence check period %d must be ≥ 1", cc.Period)
+	}
+	return nil
+}
+
+// DisseminationTime returns the time to combine and broadcast the
+// per-partition convergence verdicts on the given architecture with P
+// participating processors — the non-local stage whose cost the paper
+// calls "extremely high" on hypercubes without scheduling.
+func DisseminationTime(arch Architecture, procs int) float64 {
+	if procs <= 1 {
+		return 0
+	}
+	pf := float64(procs)
+	switch a := arch.(type) {
+	case Hypercube:
+		// Recursive-doubling all-reduce: log₂(P) rounds, each a
+		// one-word exchange (send + receive, half duplex).
+		rounds := math.Ceil(math.Log2(pf))
+		return rounds * 2 * (a.Alpha + a.Beta)
+	case Mesh:
+		if a.ConvergenceHardware {
+			// The paper's §5 machines provide dedicated global-bus
+			// convergence logic: free.
+			return 0
+		}
+		// Ring reduction + broadcast across the mesh diameter.
+		return 2 * pf * (a.Alpha + a.Beta)
+	case SyncBus:
+		// One word from each processor over the bus (paper §6:
+		// "insignificant because it involves only one number from
+		// each processor").
+		return pf * (a.C + a.B)
+	case AsyncBus:
+		return pf * (a.C + a.B)
+	case Banyan:
+		// Gather to one module and broadcast back: 2P one-word
+		// network crossings.
+		return 2 * pf * 2 * a.W * stages(pf)
+	default:
+		return 0
+	}
+}
+
+// CycleTimeWithCheck returns the per-iteration time including the
+// amortized convergence check: the baseline cycle plus
+// (check computation + dissemination)/Period.
+func CycleTimeWithCheck(p Problem, arch Architecture, cc ConvergenceCheck, procs int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cc.Validate(); err != nil {
+		return 0, err
+	}
+	if procs < 1 || procs > p.MaxProcs() {
+		return 0, fmt.Errorf("core: CycleTimeWithCheck: procs=%d out of range [1, %d]", procs, p.MaxProcs())
+	}
+	area := p.AreaFor(procs)
+	base := arch.CycleTime(p, area)
+	checkComp := cc.ComputeFraction * p.Flops() * area * arch.Tflp()
+	diss := DisseminationTime(arch, procs)
+	return base + (checkComp+diss)/float64(cc.Period), nil
+}
+
+// OptimizeWithCheck minimizes the checked cycle time over the processor
+// range. Convergence checking shifts bus optima toward fewer processors
+// and can make "spread maximally" lose to an interior count even on a
+// hypercube when the check runs every iteration — the effect the paper's
+// §4 discussion (and reference [13]) is about.
+func OptimizeWithCheck(p Problem, arch Architecture, cc ConvergenceCheck) (Allocation, error) {
+	if err := cc.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if err := arch.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	maxP := boundedProcs(p, arch)
+	cycle := func(procs int) float64 {
+		t, err := CycleTimeWithCheck(p, arch, cc, procs)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return t
+	}
+	// The checked cycle adds a non-decreasing dissemination term; the
+	// sum need not be unimodal, so scan candidates densely around the
+	// unchecked optimum and the endpoints, then refine with a local
+	// descent. Processor counts are small integers in every regime the
+	// paper treats, so an exact scan over a bounded window is cheap.
+	base, err := Optimize(p, arch)
+	if err != nil {
+		return Allocation{}, err
+	}
+	best, bestT := 1, cycle(1)
+	consider := func(procs int) {
+		if procs < 1 || procs > maxP {
+			return
+		}
+		if t := cycle(procs); t < bestT || (t == bestT && procs < best) {
+			best, bestT = procs, t
+		}
+	}
+	consider(maxP)
+	consider(base.Procs)
+	// Geometric scan covers the whole range at ~1% resolution.
+	for procs := 1; procs <= maxP; procs = procs*101/100 + 1 {
+		consider(procs)
+	}
+	// Local refinement around the incumbent.
+	for delta := -8; delta <= 8; delta++ {
+		consider(best + delta)
+	}
+	serial := p.SerialTime(arch.Tflp())
+	return Allocation{
+		Problem:        p,
+		Arch:           arch.Name(),
+		Procs:          best,
+		Area:           p.AreaFor(best),
+		CycleTime:      bestT,
+		Speedup:        serial / bestT,
+		UsedAll:        best == maxP,
+		Single:         best == 1,
+		Interior:       best > 1 && best < maxP,
+		ContinuousArea: p.AreaFor(best),
+	}, nil
+}
+
+// CheckOverheadFraction returns the fraction of the checked cycle spent
+// on convergence checking at the given processor count — the number the
+// Saltz-Naik-Nicol schedules drive toward zero.
+func CheckOverheadFraction(p Problem, arch Architecture, cc ConvergenceCheck, procs int) (float64, error) {
+	with, err := CycleTimeWithCheck(p, arch, cc, procs)
+	if err != nil {
+		return 0, err
+	}
+	base := arch.CycleTime(p, p.AreaFor(procs))
+	return (with - base) / with, nil
+}

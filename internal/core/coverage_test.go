@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// Tests for the reporting and convenience surfaces not covered by the
+// paper-claim tests.
+
+func TestGrowthOrderStrings(t *testing.T) {
+	cases := map[GrowthOrder]string{
+		GrowthLinear:     "Θ(n²)",
+		GrowthNearLinear: "Θ(n²/log n)",
+		GrowthRootN:      "Θ(n/log n)",
+		GrowthCubeRoot:   "Θ((n²)^{1/3})",
+		GrowthFourthRoot: "Θ((n²)^{1/4})",
+	}
+	for g, want := range cases {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), want)
+		}
+	}
+	if GrowthOrder(99).String() == "" {
+		t.Error("unknown order empty")
+	}
+}
+
+func TestSpeedupGrowthTable(t *testing.T) {
+	cases := []struct {
+		arch Architecture
+		sh   partition.Shape
+		want GrowthOrder
+	}{
+		{DefaultHypercube(0), partition.Square, GrowthLinear},
+		{DefaultMesh(0), partition.Strip, GrowthLinear},
+		{DefaultBanyan(0), partition.Square, GrowthNearLinear},
+		{DefaultBanyan(0), partition.Strip, GrowthRootN},
+		{DefaultSyncBus(0), partition.Square, GrowthCubeRoot},
+		{DefaultSyncBus(0), partition.Strip, GrowthFourthRoot},
+		{DefaultAsyncBus(0), partition.Square, GrowthCubeRoot},
+		{DefaultAsyncBus(0), partition.Strip, GrowthFourthRoot},
+	}
+	for _, tc := range cases {
+		if got := SpeedupGrowth(tc.arch, tc.sh); got != tc.want {
+			t.Errorf("SpeedupGrowth(%s, %s) = %s, want %s", tc.arch.Name(), tc.sh, got, tc.want)
+		}
+	}
+}
+
+func TestLeverageKindStrings(t *testing.T) {
+	for _, k := range []LeverageKind{LeverageBus, LeverageFlops, LeverageOverhead, LeverageSwitch, LeverageLink} {
+		if k.String() == "" {
+			t.Errorf("LeverageKind %d has empty String", int(k))
+		}
+	}
+	if LeverageKind(42).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestLeverageTableAllArchs(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	for _, arch := range []Architecture{
+		DefaultSyncBus(0), DefaultAsyncBus(0), DefaultHypercube(64),
+		DefaultMesh(64), DefaultBanyan(64),
+	} {
+		rows, err := LeverageTable(p, arch)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name(), err)
+		}
+		if len(rows) == 0 {
+			t.Errorf("%s: no applicable leverage kinds", arch.Name())
+		}
+		for _, r := range rows {
+			if r.Ratio <= 0 || r.Ratio > 1+1e-9 {
+				t.Errorf("%s %s: ratio %g outside (0, 1]", arch.Name(), r.Kind, r.Ratio)
+			}
+		}
+	}
+}
+
+func TestLeverageInapplicable(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	if _, err := Leverage(p, DefaultSyncBus(0), LeverageSwitch); err == nil {
+		t.Error("switch leverage on a bus accepted")
+	}
+	if _, err := Leverage(p, DefaultBanyan(0), LeverageBus); err == nil {
+		t.Error("bus leverage on a banyan accepted")
+	}
+	if _, err := Leverage(p, DefaultHypercube(0), LeverageOverhead); err == nil {
+		t.Error("overhead leverage on a hypercube accepted")
+	}
+	if _, err := Leverage(p, DefaultMesh(0), LeverageSwitch); err == nil {
+		t.Error("switch leverage on a mesh accepted")
+	}
+}
+
+func TestLeverageLinkAndSwitch(t *testing.T) {
+	p := MustProblem(512, stencil.FivePoint, partition.Square)
+	// A communication-bound (but still profitably parallel) hypercube
+	// benefits from faster links: at the all-processors optimum the
+	// per-node compute is tiny against the α/β message costs.
+	hc := Hypercube{TflpTime: DefaultTflp, Alpha: 1e-4, Beta: 1e-4, PacketWords: 64, NProcs: 256}
+	res, err := Leverage(p, hc, LeverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio >= 1 {
+		t.Errorf("link leverage ratio %g, want < 1", res.Ratio)
+	}
+	by := DefaultBanyan(256)
+	res, err = Leverage(p, by, LeverageSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio >= 1 {
+		t.Errorf("switch leverage ratio %g, want < 1", res.Ratio)
+	}
+	// Flops leverage applies everywhere.
+	for _, arch := range []Architecture{hc, DefaultMesh(64), by} {
+		if _, err := Leverage(p, arch, LeverageFlops); err != nil {
+			t.Errorf("%s flops leverage: %v", arch.Name(), err)
+		}
+	}
+}
+
+func TestBanyanScaledCycleTime(t *testing.T) {
+	by := DefaultBanyan(0)
+	pSq := MustProblem(256, stencil.FivePoint, partition.Square)
+	// Squares: F respected.
+	c1 := by.ScaledCycleTime(pSq, 64)
+	if c1 <= 0 {
+		t.Error("non-positive scaled cycle")
+	}
+	// Strips: area floor of one row (n points).
+	pStrip := MustProblem(256, stencil.FivePoint, partition.Strip)
+	c2 := by.ScaledCycleTime(pStrip, 1)
+	want := by.CycleTime(pStrip, 256)
+	if math.Abs(c2-want) > 1e-18 {
+		t.Errorf("strip floor not applied: %g vs %g", c2, want)
+	}
+}
+
+func TestAllProcsSpeedupAndCurve(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(16)
+	s, err := AllProcsSpeedup(p, bus, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Speedup(p, bus, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != direct {
+		t.Errorf("AllProcsSpeedup %g != Speedup %g", s, direct)
+	}
+	curve := SpeedupCurve(p, bus, 16)
+	if len(curve) != 16 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if math.Abs(curve[15]-direct) > 1e-12 {
+		t.Errorf("curve endpoint %g != %g", curve[15], direct)
+	}
+	if math.Abs(curve[0]-1) > 1e-12 {
+		t.Errorf("curve[0] = %g, want 1", curve[0])
+	}
+}
+
+func TestClampArea(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Strip)
+	if got := clampArea(p, 1); got != 64 { // strip floor: one row
+		t.Errorf("clamp low = %g", got)
+	}
+	if got := clampArea(p, 1e9); got != 4096 {
+		t.Errorf("clamp high = %g", got)
+	}
+	if got := clampArea(p, 640); got != 640 {
+		t.Errorf("clamp interior = %g", got)
+	}
+}
+
+func TestMaxGainfulProcsErrors(t *testing.T) {
+	if _, err := MaxGainfulProcs(Problem{}, DefaultSyncBus(0)); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestWithProcsUnknownArch(t *testing.T) {
+	// withProcs passes unknown architectures through unchanged.
+	a := fakeArch{}
+	if got := withProcs(a, 5); got != a {
+		t.Error("unknown arch not passed through")
+	}
+}
+
+// fakeArch is a minimal Architecture for pass-through tests.
+type fakeArch struct{}
+
+func (fakeArch) Name() string                              { return "fake" }
+func (fakeArch) Tflp() float64                             { return 1 }
+func (fakeArch) Procs() int                                { return 0 }
+func (fakeArch) CycleTime(p Problem, area float64) float64 { return p.Flops() * area }
+func (fakeArch) CommTime(Problem, float64) float64         { return 0 }
+func (fakeArch) Validate() error                           { return nil }
+
+func TestSpeedupGrowthUnknownArch(t *testing.T) {
+	if got := SpeedupGrowth(fakeArch{}, partition.Square); got != GrowthLinear {
+		t.Errorf("unknown arch growth = %s", got)
+	}
+}
+
+func TestDisseminationUnknownArch(t *testing.T) {
+	if got := DisseminationTime(fakeArch{}, 16); got != 0 {
+		t.Errorf("unknown arch dissemination = %g", got)
+	}
+}
+
+func TestImproveUnknownArch(t *testing.T) {
+	if _, err := improve(fakeArch{}, LeverageFlops); err == nil {
+		t.Error("unknown arch accepted by improve")
+	}
+	if _, err := SpecFor(fakeArch{}); err == nil {
+		t.Error("unknown arch accepted by SpecFor")
+	}
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// --- Convergence-check model (§4) ---
+
+func TestConvergenceCheckValidate(t *testing.T) {
+	if err := (ConvergenceCheck{ComputeFraction: -1, Period: 1}).Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := (ConvergenceCheck{ComputeFraction: 0.5, Period: 0}).Validate(); err == nil {
+		t.Error("period 0 accepted")
+	}
+	if err := DefaultConvergenceCheck.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckAddsCost: the checked cycle exceeds the bare cycle, by the
+// paper's ~50% of compute plus dissemination when checking every
+// iteration.
+func TestCheckAddsCost(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	hc := DefaultHypercube(0)
+	const procs = 64
+	base := hc.CycleTime(p, p.AreaFor(procs))
+	with, err := CycleTimeWithCheck(p, hc, DefaultConvergenceCheck, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := p.Flops() * p.AreaFor(procs) * hc.TflpTime
+	wantExtra := 0.5*comp + DisseminationTime(hc, procs)
+	if math.Abs((with-base)-wantExtra) > 1e-15 {
+		t.Errorf("extra %g, want %g", with-base, wantExtra)
+	}
+}
+
+// TestCheckDisseminationGrows: dissemination cost grows with the
+// processor count on every architecture without convergence hardware,
+// and is free on a mesh with it (§5).
+func TestCheckDisseminationGrows(t *testing.T) {
+	archs := []Architecture{
+		DefaultHypercube(0),
+		DefaultSyncBus(0),
+		DefaultAsyncBus(0),
+		DefaultBanyan(0),
+	}
+	for _, a := range archs {
+		d16 := DisseminationTime(a, 16)
+		d256 := DisseminationTime(a, 256)
+		if !(0 < d16 && d16 < d256) {
+			t.Errorf("%s: dissemination 16→%g, 256→%g", a.Name(), d16, d256)
+		}
+	}
+	if DisseminationTime(DefaultMesh(0), 64) != 0 {
+		t.Error("mesh with convergence hardware charged for dissemination")
+	}
+	noHW := DefaultMesh(0)
+	noHW.ConvergenceHardware = false
+	if DisseminationTime(noHW, 64) <= 0 {
+		t.Error("mesh without hardware free")
+	}
+	if DisseminationTime(DefaultHypercube(0), 1) != 0 {
+		t.Error("single processor disseminates")
+	}
+}
+
+// TestScheduledChecksInsignificant reproduces the Saltz-Naik-Nicol
+// result the paper cites: scheduling convergence checks (large Period)
+// drives the overhead to an insignificant fraction.
+func TestScheduledChecksInsignificant(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	hc := DefaultHypercube(0)
+	const procs = 64
+	every, err := CheckOverheadFraction(p, hc, ConvergenceCheck{ComputeFraction: 0.5, Period: 1}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled, err := CheckOverheadFraction(p, hc, ConvergenceCheck{ComputeFraction: 0.5, Period: 50}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if every < 0.10 {
+		t.Errorf("unscheduled overhead only %.3f — too small to matter", every)
+	}
+	if scheduled > 0.02 {
+		t.Errorf("scheduled overhead %.3f not insignificant", scheduled)
+	}
+}
+
+// TestOptimizeWithCheckShiftsOptimum: the two forces of convergence
+// checking move the optimum in opposite directions. On a bus, the check
+// computation raises the effective E(S) by 50%, pushing the optimum to
+// MORE processors — P* scales by 1.5^{2/3} ≈ 1.31 (14 → 18 at the Fig. 7
+// anchor). On a startup-dominated hypercube, the per-iteration
+// dissemination (growing like log P) drags the optimum off the
+// all-processors endpoint.
+func TestOptimizeWithCheckShiftsOptimum(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(0)
+	base := MustOptimize(p, bus)
+	checked, err := OptimizeWithCheck(p, bus, ConvergenceCheck{ComputeFraction: 0.5, Period: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProcs := int(float64(base.Procs) * math.Pow(1.5, 2.0/3))
+	if d := absInt(checked.Procs - wantProcs); d > 1 {
+		t.Errorf("checked bus optimum %d procs, want ≈ %d (base %d × 1.5^{2/3})",
+			checked.Procs, wantProcs, base.Procs)
+	}
+	relaxed, err := OptimizeWithCheck(p, bus, ConvergenceCheck{ComputeFraction: 0.5, Period: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := absInt(relaxed.Procs - base.Procs); d > 1 {
+		t.Errorf("relaxed optimum %d far from unchecked %d", relaxed.Procs, base.Procs)
+	}
+	// The checked optimum is at least as good as the endpoints.
+	for _, cand := range []int{1, base.Procs, checked.Procs} {
+		tc, err := CycleTimeWithCheck(p, bus, ConvergenceCheck{ComputeFraction: 0.5, Period: 1}, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc < checked.CycleTime-1e-15 {
+			t.Errorf("candidate P=%d beats reported optimum: %g < %g", cand, tc, checked.CycleTime)
+		}
+	}
+
+	// Hypercube, pure dissemination (no extra compute): the unchecked
+	// optimum spreads maximally; per-iteration dissemination pulls the
+	// optimum strictly inside.
+	pc := MustProblem(64, stencil.FivePoint, partition.Square)
+	hc := DefaultHypercube(0)
+	baseHC := MustOptimize(pc, hc)
+	if !baseHC.UsedAll {
+		t.Fatalf("unchecked hypercube did not spread: %+v", baseHC)
+	}
+	checkedHC, err := OptimizeWithCheck(pc, hc, ConvergenceCheck{ComputeFraction: 0, Period: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checkedHC.Procs >= baseHC.Procs {
+		t.Errorf("dissemination did not shrink the hypercube optimum: %d vs %d",
+			checkedHC.Procs, baseHC.Procs)
+	}
+}
+
+func TestCycleTimeWithCheckErrors(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Strip)
+	if _, err := CycleTimeWithCheck(p, DefaultSyncBus(0), DefaultConvergenceCheck, 0); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := CycleTimeWithCheck(p, DefaultSyncBus(0), ConvergenceCheck{Period: 0}, 2); err == nil {
+		t.Error("bad check accepted")
+	}
+	if _, err := OptimizeWithCheck(p, SyncBus{}, DefaultConvergenceCheck); err == nil {
+		t.Error("bad arch accepted")
+	}
+	if _, err := OptimizeWithCheck(Problem{}, DefaultSyncBus(0), DefaultConvergenceCheck); err == nil {
+		t.Error("bad problem accepted")
+	}
+	if _, err := OptimizeWithCheck(p, DefaultSyncBus(0), ConvergenceCheck{Period: -1}); err == nil {
+		t.Error("bad check accepted in optimize")
+	}
+}
+
+// --- Constraints (§3) ---
+
+func TestOptimizeConstrainedMemory(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	hc := DefaultHypercube(1024)
+	free := MustOptimize(p, hc)
+	if !free.UsedAll {
+		t.Fatalf("unconstrained hypercube should spread: %+v", free)
+	}
+	// Memory for only a quarter of the grid per node: at least 4 procs.
+	constrained, err := OptimizeConstrained(p, hc, Constraints{MemWordsPerProc: p.GridPoints() / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Procs < 4 {
+		t.Errorf("memory constraint violated: %d procs", constrained.Procs)
+	}
+	// The paper's §4 rule: with one processor prohibited, spread maximally
+	// (hypercube cycle is decreasing on [2, max]).
+	if !constrained.UsedAll {
+		t.Errorf("memory-constrained hypercube did not spread maximally: %+v", constrained)
+	}
+}
+
+// TestOptimizeConstrainedForcesParallel: a machine where a single
+// processor would win, but memory forbids it.
+func TestOptimizeConstrainedForcesParallel(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Strip)
+	// Make communication so expensive one processor is optimal.
+	hc := Hypercube{TflpTime: DefaultTflp, Alpha: 1, Beta: 1, PacketWords: 64}
+	free := MustOptimize(p, hc)
+	if !free.Single {
+		t.Fatalf("expected single-processor optimum: %+v", free)
+	}
+	forced, err := OptimizeConstrained(p, hc, Constraints{MemWordsPerProc: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Procs < 2 {
+		t.Errorf("constraint ignored: %+v", forced)
+	}
+}
+
+func TestOptimizeConstrainedErrors(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Strip)
+	bus := DefaultSyncBus(8)
+	if _, err := OptimizeConstrained(p, bus, Constraints{MemWordsPerProc: -1}); err == nil {
+		t.Error("negative memory accepted")
+	}
+	if _, err := OptimizeConstrained(p, bus, Constraints{MinProcs: -1}); err == nil {
+		t.Error("negative MinProcs accepted")
+	}
+	// Unsatisfiable: need more processors than the machine has.
+	if _, err := OptimizeConstrained(p, bus, Constraints{MemWordsPerProc: 10}); err == nil {
+		t.Error("unsatisfiable constraints accepted")
+	}
+	if _, err := OptimizeConstrained(Problem{}, bus, Constraints{}); err == nil {
+		t.Error("bad problem accepted")
+	}
+}
+
+func TestOptimizeConstrainedMatchesFree(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(0)
+	free := MustOptimize(p, bus)
+	c, err := OptimizeConstrained(p, bus, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Procs != free.Procs {
+		t.Errorf("no-constraint optimum %d != free %d", c.Procs, free.Procs)
+	}
+	// MinProcs above the free optimum binds.
+	bound, err := OptimizeConstrained(p, bus, Constraints{MinProcs: free.Procs + 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Procs != free.Procs+10 {
+		t.Errorf("MinProcs bind: got %d, want %d", bound.Procs, free.Procs+10)
+	}
+}
+
+// --- Elasticities (§6.1 generalized) ---
+
+// TestElasticityKnownExponents pins the closed-form exponents at the
+// c = 0 bus optimum: squares t* ∝ b^{2/3}·T^{1/3}, strips t* ∝ (b·T)^{1/2}.
+func TestElasticityKnownExponents(t *testing.T) {
+	bus := DefaultSyncBus(0)
+	cases := []struct {
+		sh    partition.Shape
+		param Param
+		want  float64
+	}{
+		{partition.Square, ParamBusCycle, 2.0 / 3},
+		{partition.Square, ParamTflp, 1.0 / 3},
+		{partition.Strip, ParamBusCycle, 0.5},
+		{partition.Strip, ParamTflp, 0.5},
+	}
+	for _, tc := range cases {
+		p := MustProblem(2048, stencil.FivePoint, tc.sh)
+		e, err := Elasticity(p, bus, tc.param)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-tc.want) > 0.02 {
+			t.Errorf("%s d log t*/d log %s = %.4f, want %.3f", tc.sh, tc.param, e, tc.want)
+		}
+	}
+}
+
+// TestElasticitiesSumToOne: time-scale invariance — multiplying every
+// time constant by λ multiplies the optimal cycle time by λ, so the
+// elasticities of a c = 0 bus sum to 1.
+func TestElasticitiesSumToOne(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := MustProblem(1024, stencil.FivePoint, sh)
+		rows, err := ElasticityTable(p, DefaultSyncBus(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Elasticity
+		}
+		if math.Abs(sum-1) > 0.03 {
+			t.Errorf("%s: elasticities sum to %.4f, want 1", sh, sum)
+		}
+	}
+}
+
+func TestElasticityErrors(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Strip)
+	if _, err := Elasticity(p, DefaultSyncBus(0), ParamSwitch); err == nil {
+		t.Error("inapplicable parameter accepted")
+	}
+	if _, err := Elasticity(Problem{}, DefaultSyncBus(0), ParamBusCycle); err == nil {
+		t.Error("bad problem accepted")
+	}
+	if !strings.Contains(ParamBusCycle.String(), "b") || Param(99).String() == "" {
+		t.Error("param strings")
+	}
+}
+
+// TestElasticityHypercube: at large n the hypercube is compute-bound, so
+// the T_flp elasticity approaches 1 and link elasticities are small.
+func TestElasticityHypercube(t *testing.T) {
+	p := MustProblem(4096, stencil.FivePoint, partition.Square)
+	hc := DefaultHypercube(256)
+	eT, err := Elasticity(p, hc, ParamTflp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBeta, err := Elasticity(p, hc, ParamBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eT < 0.9 {
+		t.Errorf("compute elasticity %.3f, want ≈ 1", eT)
+	}
+	if eBeta > 0.1 {
+		t.Errorf("startup elasticity %.3f, want ≈ 0", eBeta)
+	}
+}
+
+// --- Machine specs ---
+
+func TestMachineSpecRoundTrip(t *testing.T) {
+	machines := []Architecture{
+		DefaultHypercube(64),
+		DefaultMesh(16),
+		DefaultSyncBus(8),
+		FlexBus(30),
+		DefaultAsyncBus(0),
+		AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, Overlap: OverlapReadsAndWrites},
+		DefaultBanyan(128),
+	}
+	p := MustProblem(128, stencil.FivePoint, partition.Square)
+	for _, m := range machines {
+		data, err := MarshalMachine(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseMachine(data)
+		if err != nil {
+			t.Fatalf("%s: %v\ndata: %s", m.Name(), err, data)
+		}
+		if back.Name() != m.Name() {
+			t.Errorf("round trip changed type: %s → %s", m.Name(), back.Name())
+		}
+		// Behavioral equality: identical cycle times across a sweep.
+		for _, procs := range []int{1, 4, 16} {
+			a := p.AreaFor(procs)
+			if got, want := back.CycleTime(p, a), m.CycleTime(p, a); math.Abs(got-want) > 1e-18 {
+				t.Errorf("%s P=%d: cycle %g != %g after round trip", m.Name(), procs, got, want)
+			}
+		}
+	}
+}
+
+func TestParseMachineErrors(t *testing.T) {
+	if _, err := ParseMachine([]byte(`{`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ParseMachine([]byte(`{"type":"quantum"}`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := ParseMachine([]byte(`{"type":"sync-bus","b":-1}`)); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+	if _, err := SpecFor(nil); err == nil {
+		t.Error("nil architecture accepted")
+	}
+}
+
+func TestMachineSpecDefaults(t *testing.T) {
+	arch, err := ParseMachine([]byte(`{"type":"sync-bus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, ok := arch.(SyncBus)
+	if !ok {
+		t.Fatalf("wrong type %T", arch)
+	}
+	if bus.TflpTime != DefaultTflp || bus.B != DefaultBusCycle {
+		t.Errorf("defaults not applied: %+v", bus)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/partition"
+)
+
+// Hypercube models a message-passing hypercube such as the Intel iPSC
+// (paper §4). Adjacent partitions map to physically adjacent processors
+// (binary-reflected Gray embedding), so a transfer never contends with
+// other traffic; the cost of a V-word message between neighbors is
+//
+//	t_n = ⌈V/PacketWords⌉·Alpha + Beta
+//
+// with Alpha the per-packet transmission cost and Beta the startup cost.
+// One communication port is active at a time and links are half duplex
+// (paper footnote 2), so a partition pays for each of its sends and
+// receives in sequence: 8 transfers for squares (4 neighbors × send+recv),
+// 4 for strips.
+type Hypercube struct {
+	TflpTime    float64 // seconds per flop
+	Alpha       float64 // per-packet transmission cost (seconds)
+	Beta        float64 // per-message startup cost (seconds)
+	PacketWords float64 // words per packet
+	NProcs      int     // available processors; 0 = unbounded
+}
+
+// Name implements Architecture.
+func (h Hypercube) Name() string { return "hypercube" }
+
+// Tflp implements Architecture.
+func (h Hypercube) Tflp() float64 { return h.TflpTime }
+
+// Procs implements Architecture.
+func (h Hypercube) Procs() int { return h.NProcs }
+
+// Validate implements Architecture.
+func (h Hypercube) Validate() error {
+	if err := validTflp(h.Name(), h.TflpTime); err != nil {
+		return err
+	}
+	if err := validProcs(h.Name(), h.NProcs); err != nil {
+		return err
+	}
+	if h.Alpha < 0 || h.Beta < 0 {
+		return fmt.Errorf("core: hypercube: alpha=%g and beta=%g must be non-negative", h.Alpha, h.Beta)
+	}
+	if h.PacketWords <= 0 {
+		return fmt.Errorf("core: hypercube: packet size %g words must be positive", h.PacketWords)
+	}
+	return nil
+}
+
+// transfers returns the number of sequential message transfers a partition
+// performs per iteration and the per-message word count.
+func (h Hypercube) transfers(p Problem, area float64) (count float64, words float64) {
+	k := float64(p.K())
+	switch p.Shape {
+	case partition.Strip:
+		// Two neighbors, k·n words each way, send and receive.
+		return 4, k * float64(p.N)
+	case partition.Square:
+		// Four neighbors, k·√A words each way, send and receive.
+		return 8, k * sqrtf(area)
+	default:
+		panic("core: invalid shape")
+	}
+}
+
+// CommTime implements Architecture: the nearest-neighbor exchange time.
+func (h Hypercube) CommTime(p Problem, area float64) float64 {
+	if singleProc(p, area) {
+		return 0
+	}
+	count, words := h.transfers(p, area)
+	packets := math.Ceil(words / h.PacketWords)
+	return count * (packets*h.Alpha + h.Beta)
+}
+
+// CycleTime implements Architecture. The hypercube does not overlap
+// communication with computation in the paper's model: t = t_comp + t_a.
+func (h Hypercube) CycleTime(p Problem, area float64) float64 {
+	return computeTime(p, area, h.TflpTime) + h.CommTime(p, area)
+}
+
+// ScaledCycleTime returns the constant per-iteration time C when the
+// machine grows with the problem at F points per processor (paper §4):
+// C = E·F·T_flp + t_a(F). Optimal speedup is then E·n²·T_flp / C — linear
+// in n².
+func (h Hypercube) ScaledCycleTime(p Problem, pointsPerProc float64) float64 {
+	scaled := p // strips cannot hold F fixed; callers use squares (paper §4)
+	return computeTime(scaled, pointsPerProc, h.TflpTime) + h.CommTime(scaled, pointsPerProc)
+}
+
+var _ Architecture = Hypercube{}
+
+// Mesh models a nearest-neighbor grid architecture such as the Illiac IV
+// or NASA's Finite Element Machine (paper §5). Strips and squares embed
+// with adjacency preserved, so the communication cost takes the same
+// α/β nearest-neighbor form as the hypercube; the distinguishing hardware
+// is a global bus and convergence-check support, which the paper's cycle
+// model treats as free (§5). ConvergenceHardware records that property for
+// reporting.
+type Mesh struct {
+	TflpTime            float64
+	Alpha               float64
+	Beta                float64
+	PacketWords         float64
+	NProcs              int
+	ConvergenceHardware bool // dedicated global-bus convergence logic
+}
+
+// Name implements Architecture.
+func (m Mesh) Name() string { return "mesh" }
+
+// Tflp implements Architecture.
+func (m Mesh) Tflp() float64 { return m.TflpTime }
+
+// Procs implements Architecture.
+func (m Mesh) Procs() int { return m.NProcs }
+
+// Validate implements Architecture.
+func (m Mesh) Validate() error { return m.hc().Validate() }
+
+func (m Mesh) hc() Hypercube {
+	return Hypercube{TflpTime: m.TflpTime, Alpha: m.Alpha, Beta: m.Beta,
+		PacketWords: m.PacketWords, NProcs: m.NProcs}
+}
+
+// CommTime implements Architecture (same nearest-neighbor form as the
+// hypercube, paper §5: "the observations made for hypercubes apply
+// equally well").
+func (m Mesh) CommTime(p Problem, area float64) float64 {
+	return m.hc().CommTime(p, area)
+}
+
+// CycleTime implements Architecture.
+func (m Mesh) CycleTime(p Problem, area float64) float64 {
+	return m.hc().CycleTime(p, area)
+}
+
+var _ Architecture = Mesh{}

@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// Efficiency returns speedup divided by processors used: the metric
+// behind the paper's "smallest grid which fully benefits" question, and
+// the quantity isoefficiency analysis holds constant.
+func Efficiency(p Problem, arch Architecture, procs int) (float64, error) {
+	s, err := Speedup(p, arch, procs)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(procs), nil
+}
+
+// IsoefficiencyGrid returns the smallest grid size n at which the
+// problem sustains efficiency ≥ target on exactly procs processors — the
+// isoefficiency function of the architecture, sampled pointwise. The
+// paper's Fig. 7 is the special case "efficiency at which all processors
+// remain optimal"; fixing a target efficiency instead yields the
+// textbook isoefficiency curves (linear in P for nearest-neighbor
+// machines with square partitions, polynomial for buses).
+func IsoefficiencyGrid(p Problem, arch Architecture, procs int, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("core: isoefficiency target %g must be in (0, 1)", target)
+	}
+	if procs < 1 {
+		return 0, fmt.Errorf("core: procs=%d must be positive", procs)
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	ok := func(n int) (bool, error) {
+		q := p
+		q.N = n
+		if err := q.Validate(); err != nil {
+			return false, err
+		}
+		if q.MaxProcs() < procs {
+			return false, nil
+		}
+		e, err := Efficiency(q, arch, procs)
+		if err != nil {
+			return false, err
+		}
+		return e >= target, nil
+	}
+	// Efficiency at fixed P increases with n for every model in the
+	// paper (communication grows sublinearly in n² while computation
+	// grows linearly), so binary search applies.
+	lo, hi := 1, 2
+	for {
+		good, err := ok(hi)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			break
+		}
+		lo = hi + 1
+		hi *= 2
+		if hi > 1<<24 {
+			return 0, fmt.Errorf("core: no grid below n=%d reaches efficiency %g on %d procs (%s)",
+				hi, target, procs, arch.Name())
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// IsoefficiencyCurve samples IsoefficiencyGrid across processor counts.
+// The returned slice is parallel to procCounts.
+func IsoefficiencyCurve(p Problem, arch Architecture, procCounts []int, target float64) ([]int, error) {
+	out := make([]int, len(procCounts))
+	for i, procs := range procCounts {
+		n, err := IsoefficiencyGrid(p, arch, procs, target)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// IsoefficiencyWorkExponent fits σ in W(P) ∝ P^σ from the endpoints of
+// an isoefficiency curve, where W = n² is the problem size. The paper's
+// growth orders invert to: hypercube/mesh squares σ = 1 (up to the
+// packetization constant), bus squares σ = 3 (from N^{3/2} ∝ n), bus
+// strips σ = 4 (from N² ∝ n).
+func IsoefficiencyWorkExponent(procCounts, grids []int) (float64, error) {
+	if len(procCounts) != len(grids) || len(procCounts) < 2 {
+		return 0, fmt.Errorf("core: need ≥ 2 matching samples")
+	}
+	p0, p1 := float64(procCounts[0]), float64(procCounts[len(procCounts)-1])
+	w0 := float64(grids[0]) * float64(grids[0])
+	w1 := float64(grids[len(grids)-1]) * float64(grids[len(grids)-1])
+	if p0 <= 0 || p1 <= 0 || w0 <= 0 || w1 <= 0 || p0 == p1 {
+		return 0, fmt.Errorf("core: degenerate isoefficiency samples")
+	}
+	return log(w1/w0) / log(p1/p0), nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+func TestEfficiencyBounds(t *testing.T) {
+	p := MustProblem(1024, stencil.FivePoint, partition.Square)
+	for _, arch := range allArchs(0) {
+		for _, procs := range []int{1, 4, 64} {
+			e, err := Efficiency(p, arch, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e <= 0 || e > 1+1e-9 {
+				t.Errorf("%s P=%d: efficiency %g outside (0, 1]", arch.Name(), procs, e)
+			}
+		}
+		e1, err := Efficiency(p, arch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e1-1) > 1e-12 {
+			t.Errorf("%s: single-processor efficiency %g != 1", arch.Name(), e1)
+		}
+	}
+}
+
+// TestEfficiencyDecreasesWithProcs: at fixed n, adding processors can
+// only hold or reduce efficiency (communication share grows).
+func TestEfficiencyDecreasesWithProcs(t *testing.T) {
+	p := MustProblem(512, stencil.FivePoint, partition.Square)
+	for _, arch := range allArchs(0) {
+		prev := math.Inf(1)
+		for _, procs := range []int{4, 16, 64, 256} {
+			e, err := Efficiency(p, arch, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e > prev+1e-12 {
+				t.Errorf("%s: efficiency rose at P=%d (%g > %g)", arch.Name(), procs, e, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestIsoefficiencyGridValidation(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(0)
+	if _, err := IsoefficiencyGrid(p, bus, 4, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := IsoefficiencyGrid(p, bus, 4, 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if _, err := IsoefficiencyGrid(p, bus, 0, 0.5); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := IsoefficiencyGrid(p, SyncBus{}, 4, 0.5); err == nil {
+		t.Error("invalid arch accepted")
+	}
+}
+
+// TestIsoefficiencyAchieved: the returned grid meets the target and the
+// next smaller grid does not.
+func TestIsoefficiencyAchieved(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(0)
+	const target = 0.75
+	for _, procs := range []int{4, 9, 16} {
+		n, err := IsoefficiencyGrid(p, bus, procs, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p
+		q.N = n
+		e, err := Efficiency(q, bus, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < target {
+			t.Errorf("P=%d: n=%d has efficiency %g < %g", procs, n, e, target)
+		}
+		if n > 1 {
+			q.N = n - 1
+			if q.MaxProcs() >= procs {
+				e, err := Efficiency(q, bus, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e >= target {
+					t.Errorf("P=%d: n=%d already meets the target (minimality violated)", procs, n-1)
+				}
+			}
+		}
+	}
+}
+
+// TestIsoefficiencyWorkExponents: the textbook growth rates fall out of
+// the model — W(P) ∝ P³ for bus squares, P⁴ for bus strips, and ≈ P for
+// the hypercube (packetization steps keep it near, not exactly at, 1).
+func TestIsoefficiencyWorkExponents(t *testing.T) {
+	procCounts := []int{8, 16, 32, 64}
+	cases := []struct {
+		name string
+		sh   partition.Shape
+		arch Architecture
+		want float64
+		tol  float64
+	}{
+		{"bus squares", partition.Square, DefaultSyncBus(0), 3, 0.25},
+		{"bus strips", partition.Strip, DefaultSyncBus(0), 4, 0.25},
+		{"hypercube squares", partition.Square, DefaultHypercube(0), 1, 0.45},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := MustProblem(64, stencil.FivePoint, tc.sh)
+			grids, err := IsoefficiencyCurve(p, tc.arch, procCounts, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigma, err := IsoefficiencyWorkExponent(procCounts, grids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sigma-tc.want) > tc.tol {
+				t.Errorf("σ = %.3f, want %.1f ± %.2f (grids %v)", sigma, tc.want, tc.tol, grids)
+			}
+		})
+	}
+}
+
+func TestIsoefficiencyWorkExponentValidation(t *testing.T) {
+	if _, err := IsoefficiencyWorkExponent([]int{1}, []int{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := IsoefficiencyWorkExponent([]int{1, 2}, []int{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := IsoefficiencyWorkExponent([]int{2, 2}, []int{4, 4}); err == nil {
+		t.Error("degenerate samples accepted")
+	}
+}

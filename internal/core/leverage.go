@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"optspeed/internal/partition"
+)
+
+// LeverageKind identifies a hardware improvement whose performance
+// leverage the paper quantifies (§6.1 and §8).
+type LeverageKind int
+
+const (
+	// LeverageBus halves the bus cycle time b (doubles bus speed).
+	LeverageBus LeverageKind = iota
+	// LeverageFlops halves T_flp (doubles floating-point speed).
+	LeverageFlops
+	// LeverageOverhead halves the fixed per-word overhead c.
+	LeverageOverhead
+	// LeverageSwitch halves the banyan switch time w.
+	LeverageSwitch
+	// LeverageLink halves the hypercube per-packet cost α and startup β.
+	LeverageLink
+)
+
+// String names the improvement.
+func (l LeverageKind) String() string {
+	switch l {
+	case LeverageBus:
+		return "2x bus speed"
+	case LeverageFlops:
+		return "2x flop speed"
+	case LeverageOverhead:
+		return "2x lower overhead c"
+	case LeverageSwitch:
+		return "2x switch speed"
+	case LeverageLink:
+		return "2x link speed"
+	default:
+		return fmt.Sprintf("LeverageKind(%d)", int(l))
+	}
+}
+
+// LeverageResult reports the ratio of the re-optimized cycle time after a
+// hardware improvement to the optimized cycle time before it. The paper's
+// reference points (squares on a synchronous bus, c = 0): doubling bus
+// speed gives 2^{-2/3} ≈ 0.63, doubling flop speed 2^{-1/3} ≈ 0.79; for
+// strips both give 1/√2 ≈ 0.71 for bus speed and flop speed alike; and
+// halving c reduces the strip overhead term linearly.
+type LeverageResult struct {
+	Kind   LeverageKind
+	Before float64 // optimized cycle time with original parameters
+	After  float64 // optimized cycle time with improved parameters
+	Ratio  float64 // After / Before
+}
+
+// Leverage re-optimizes the problem after the given hardware improvement
+// and reports the cycle-time ratio. Both optimizations use unbounded
+// processors so the ratios match the paper's closed forms.
+func Leverage(p Problem, arch Architecture, kind LeverageKind) (LeverageResult, error) {
+	improved, err := improve(arch, kind)
+	if err != nil {
+		return LeverageResult{}, err
+	}
+	before, err := Optimize(p, unboundedCopy(arch))
+	if err != nil {
+		return LeverageResult{}, err
+	}
+	after, err := Optimize(p, unboundedCopy(improved))
+	if err != nil {
+		return LeverageResult{}, err
+	}
+	return LeverageResult{
+		Kind:   kind,
+		Before: before.CycleTime,
+		After:  after.CycleTime,
+		Ratio:  after.CycleTime / before.CycleTime,
+	}, nil
+}
+
+// improve returns a copy of the architecture with the improvement applied.
+func improve(arch Architecture, kind LeverageKind) (Architecture, error) {
+	switch a := arch.(type) {
+	case SyncBus:
+		switch kind {
+		case LeverageBus:
+			a.B /= 2
+		case LeverageFlops:
+			a.TflpTime /= 2
+		case LeverageOverhead:
+			a.C /= 2
+		default:
+			return nil, fmt.Errorf("core: leverage %s not applicable to %s", kind, arch.Name())
+		}
+		return a, nil
+	case AsyncBus:
+		switch kind {
+		case LeverageBus:
+			a.B /= 2
+		case LeverageFlops:
+			a.TflpTime /= 2
+		case LeverageOverhead:
+			a.C /= 2
+		default:
+			return nil, fmt.Errorf("core: leverage %s not applicable to %s", kind, arch.Name())
+		}
+		return a, nil
+	case Hypercube:
+		switch kind {
+		case LeverageFlops:
+			a.TflpTime /= 2
+		case LeverageLink:
+			a.Alpha /= 2
+			a.Beta /= 2
+		default:
+			return nil, fmt.Errorf("core: leverage %s not applicable to %s", kind, arch.Name())
+		}
+		return a, nil
+	case Mesh:
+		switch kind {
+		case LeverageFlops:
+			a.TflpTime /= 2
+		case LeverageLink:
+			a.Alpha /= 2
+			a.Beta /= 2
+		default:
+			return nil, fmt.Errorf("core: leverage %s not applicable to %s", kind, arch.Name())
+		}
+		return a, nil
+	case Banyan:
+		switch kind {
+		case LeverageFlops:
+			a.TflpTime /= 2
+		case LeverageSwitch:
+			a.W /= 2
+		default:
+			return nil, fmt.Errorf("core: leverage %s not applicable to %s", kind, arch.Name())
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("core: leverage on unknown architecture %T", arch)
+	}
+}
+
+// LeverageTable computes every applicable leverage ratio for the
+// architecture, in declaration order.
+func LeverageTable(p Problem, arch Architecture) ([]LeverageResult, error) {
+	kinds := []LeverageKind{LeverageBus, LeverageFlops, LeverageOverhead, LeverageSwitch, LeverageLink}
+	var out []LeverageResult
+	for _, kind := range kinds {
+		if _, err := improve(arch, kind); err != nil {
+			continue
+		}
+		res, err := Leverage(p, arch, kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// theoreticalBusLeverage returns the paper's closed-form leverage ratio
+// for a synchronous bus at c = 0; used by tests to validate Leverage.
+func theoreticalBusLeverage(shape partition.Shape, kind LeverageKind) (float64, bool) {
+	const (
+		twoToMinusThird    = 0.7937005259840998 // 2^{-1/3}
+		twoToMinusTwoThird = 0.6299605249474366 // 2^{-2/3}
+		invSqrt2           = 0.7071067811865476 // 1/√2
+	)
+	switch shape {
+	case partition.Strip:
+		switch kind {
+		case LeverageBus, LeverageFlops:
+			return invSqrt2, true
+		}
+	case partition.Square:
+		switch kind {
+		case LeverageBus:
+			return twoToMinusTwoThird, true
+		case LeverageFlops:
+			return twoToMinusThird, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/partition"
+)
+
+// MinGridAllProcs returns the smallest grid size n whose optimal bus
+// allocation employs all N processors (paper Fig. 7). The paper's
+// inequalities give closed forms at c = 0:
+//
+//	strips, sync bus   (4):  fewer than N used iff N²·b/T > E·n/(4k)
+//	                         ⇒ n_min = ⌈4·k·b·N²/(E·T)⌉
+//	strips, async bus:       n_min = ⌈2·k·b·N²/(E·T)⌉
+//	squares, either bus (6): fewer than N used iff N^{3/2}·b/T > E·n/(4k)
+//	                         ⇒ n_min = ⌈4·k·b·N^{3/2}/(E·T)⌉
+//
+// The function works for any Architecture by searching on the exact
+// cycle-time model (so c > 0 and bounded processor counts are handled);
+// use MinGridClosedForm for the paper's c = 0 expressions.
+func MinGridAllProcs(p Problem, arch Architecture, procs int) (int, error) {
+	if procs < 1 {
+		return 0, fmt.Errorf("core: MinGridAllProcs: procs=%d must be positive", procs)
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	usesAll := func(n int) (bool, error) {
+		q := p
+		q.N = n
+		if q.MaxProcs() < procs {
+			return false, nil
+		}
+		bounded := withProcs(arch, procs)
+		alloc, err := Optimize(q, bounded)
+		if err != nil {
+			return false, err
+		}
+		return alloc.Procs == procs, nil
+	}
+	// The all-procs property is monotone in n for the paper's models:
+	// larger problems only increase the computation-to-communication
+	// ratio. Exponential bracket then binary search.
+	lo, hi := 1, 1
+	for {
+		ok, err := usesAll(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		lo = hi + 1
+		hi *= 2
+		if hi > 1<<22 {
+			return 0, fmt.Errorf("core: MinGridAllProcs: no gainful grid below n=%d for %d procs on %s",
+				hi, procs, arch.Name())
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := usesAll(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// MinGridClosedForm evaluates the paper's c = 0 closed forms for the
+// smallest gainful grid size on a bus (see MinGridAllProcs). async selects
+// the asynchronous-bus variant; the square form is shared by both bus
+// types (their optimal areas coincide, paper §6.2).
+func MinGridClosedForm(p Problem, bus SyncBus, procs int, async bool) float64 {
+	et := p.Flops() * bus.TflpTime
+	k := float64(p.K())
+	nf := float64(procs)
+	w := bus.wordFactor()
+	switch p.Shape {
+	case partition.Strip:
+		factor := 2 * w // sync: 4 at ω=2
+		if async {
+			factor = w // async: overlapped writes halve the strip area
+		}
+		return factor * k * bus.B * nf * nf / et
+	case partition.Square:
+		return 2 * w * k * bus.B * math.Pow(nf, 1.5) / et
+	default:
+		panic("core: invalid shape")
+	}
+}
+
+// MaxGainfulProcs returns the largest processor count N whose all-N
+// allocation is optimal for the problem (the paper's "should be solved on
+// 1 to 14 processors" numbers): the inverse of MinGridAllProcs.
+func MaxGainfulProcs(p Problem, arch Architecture) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	alloc, err := Optimize(p, unboundedCopy(arch))
+	if err != nil {
+		return 0, err
+	}
+	return alloc.Procs, nil
+}
+
+// withProcs returns a copy of the architecture limited to n processors.
+func withProcs(arch Architecture, n int) Architecture {
+	switch a := arch.(type) {
+	case Hypercube:
+		a.NProcs = n
+		return a
+	case Mesh:
+		a.NProcs = n
+		return a
+	case SyncBus:
+		a.NProcs = n
+		return a
+	case AsyncBus:
+		a.NProcs = n
+		return a
+	case Banyan:
+		a.NProcs = n
+		return a
+	default:
+		return arch
+	}
+}
+
+// unboundedCopy removes the processor limit.
+func unboundedCopy(arch Architecture) Architecture { return withProcs(arch, 0) }

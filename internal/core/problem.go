@@ -1,0 +1,112 @@
+// Package core implements the Nicol-Willard analytic performance model —
+// the paper's primary contribution. It models the per-iteration ("cycle")
+// time of a parallel point-Jacobi elliptic PDE solve as
+//
+//	t_cycle = t_comp + t_a,   t_comp = E(S)·A·T_flp
+//
+// for partitions of A grid points each on an n×n grid (P = n²/A
+// processors), with the architecture-specific transfer/synchronization
+// term t_a developed per architecture class (paper §§4-7): hypercube,
+// 2-D mesh, synchronous bus, asynchronous bus, and banyan switching
+// network. On top of the cycle-time models the package computes optimal
+// processor allocations, optimal speedups, the smallest grid that
+// gainfully uses all available processors, scaled speedups, and the
+// hardware-leverage ratios the paper reports.
+package core
+
+import (
+	"fmt"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// Problem describes one problem instance of the paper's model world: an
+// n×n grid updated with a stencil, decomposed into partitions of a given
+// shape.
+type Problem struct {
+	N       int             // grid points per side; the problem size is N²
+	Stencil stencil.Stencil // discretization stencil S
+	Shape   partition.Shape // partition geometry P
+}
+
+// NewProblem validates and builds a problem.
+func NewProblem(n int, st stencil.Stencil, shape partition.Shape) (Problem, error) {
+	p := Problem{N: n, Stencil: st, Shape: shape}
+	return p, p.Validate()
+}
+
+// MustProblem is NewProblem but panics on error; for tests and examples.
+func MustProblem(n int, st stencil.Stencil, shape partition.Shape) Problem {
+	p, err := NewProblem(n, st, shape)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate checks the problem parameters.
+func (p Problem) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("core: grid size n=%d must be positive", p.N)
+	}
+	if !p.Stencil.Valid() {
+		return fmt.Errorf("core: problem needs a valid stencil")
+	}
+	if !p.Shape.Valid() {
+		return fmt.Errorf("core: invalid partition shape %d", int(p.Shape))
+	}
+	return nil
+}
+
+// GridPoints returns n², the total number of interior grid points.
+func (p Problem) GridPoints() float64 { return float64(p.N) * float64(p.N) }
+
+// K returns k(P, S), the perimeter count for the problem's shape/stencil
+// pair (paper §3).
+func (p Problem) K() int { return p.Shape.Perimeters(p.Stencil) }
+
+// Flops returns E(S), the per-point update flop count.
+func (p Problem) Flops() float64 { return p.Stencil.Flops() }
+
+// SerialTime returns the one-processor iteration time E(S)·n²·T_flp, the
+// numerator of every speedup in the paper (one processor suffers no
+// communication cost, §4).
+func (p Problem) SerialTime(tflp float64) float64 {
+	return p.Flops() * p.GridPoints() * tflp
+}
+
+// ReadWords returns V(A): the one-way boundary communication volume, in
+// words, of a single partition of area A (paper §4: V = 2n·k for strips,
+// 4√A·k for squares — the paper writes 4√A for k=1).
+func (p Problem) ReadWords(area float64) float64 {
+	k := float64(p.K())
+	switch p.Shape {
+	case partition.Strip:
+		return 2 * float64(p.N) * k
+	case partition.Square:
+		return 4 * sqrtf(area) * k
+	default:
+		panic("core: invalid shape")
+	}
+}
+
+// MaxProcs returns the largest admissible processor count for the
+// problem's shape: n for strips (one row minimum) and n² for squares.
+func (p Problem) MaxProcs() int {
+	if p.Shape == partition.Strip {
+		return p.N
+	}
+	return p.N * p.N
+}
+
+// AreaFor returns the (real-valued) partition area when procs processors
+// are used: n²/procs.
+func (p Problem) AreaFor(procs int) float64 {
+	return p.GridPoints() / float64(procs)
+}
+
+// String renders the problem compactly, e.g. "256x256/5-point/square".
+func (p Problem) String() string {
+	return fmt.Sprintf("%dx%d/%s/%s", p.N, p.N, p.Stencil.Name(), p.Shape)
+}

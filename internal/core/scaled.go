@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"optspeed/internal/partition"
+)
+
+// GrowthOrder classifies how optimal speedup grows with the problem size
+// n² when the machine is allowed to grow with the problem (paper §8 and
+// Table I).
+type GrowthOrder int
+
+const (
+	// GrowthLinear: Θ(n²) — hypercube and mesh.
+	GrowthLinear GrowthOrder = iota
+	// GrowthNearLinear: Θ(n²/log n) — banyan switching network, squares.
+	GrowthNearLinear
+	// GrowthRootN: Θ(n/log n) — banyan with strips (area floor of one row).
+	GrowthRootN
+	// GrowthCubeRoot: Θ((n²)^{1/3}) — bus with squares.
+	GrowthCubeRoot
+	// GrowthFourthRoot: Θ((n²)^{1/4}) — bus with strips.
+	GrowthFourthRoot
+)
+
+// String renders the asymptotic order.
+func (g GrowthOrder) String() string {
+	switch g {
+	case GrowthLinear:
+		return "Θ(n²)"
+	case GrowthNearLinear:
+		return "Θ(n²/log n)"
+	case GrowthRootN:
+		return "Θ(n/log n)"
+	case GrowthCubeRoot:
+		return "Θ((n²)^{1/3})"
+	case GrowthFourthRoot:
+		return "Θ((n²)^{1/4})"
+	default:
+		return fmt.Sprintf("GrowthOrder(%d)", int(g))
+	}
+}
+
+// SpeedupGrowth returns the paper's asymptotic optimal-speedup order for
+// an architecture/shape pair (paper §8 summary and Table I).
+func SpeedupGrowth(arch Architecture, shape partition.Shape) GrowthOrder {
+	switch arch.(type) {
+	case Hypercube, Mesh:
+		return GrowthLinear
+	case Banyan:
+		if shape == partition.Strip {
+			return GrowthRootN
+		}
+		return GrowthNearLinear
+	case SyncBus, AsyncBus:
+		if shape == partition.Strip {
+			return GrowthFourthRoot
+		}
+		return GrowthCubeRoot
+	default:
+		return GrowthLinear
+	}
+}
+
+// ScaledPoint is one sample of a scaled-speedup experiment: the machine
+// grows with the problem, holding F grid points per processor where the
+// shape permits.
+type ScaledPoint struct {
+	N         int     // grid side
+	Procs     float64 // processors employed
+	CycleTime float64 // per-iteration time
+	Speedup   float64 // E·n²·T / CycleTime
+}
+
+// ScaledSpeedupSeries grows the problem across the given grid sizes with
+// (for squares) F points per processor, letting the machine grow too
+// (paper §4 for hypercubes, §7 for banyans). Strips cannot hold F below
+// one row (the area floor is n), so their per-processor load grows with n
+// — exactly the effect that degrades strip scaling in the paper.
+//
+// For bus architectures the machine cannot usefully grow; the series
+// instead reports the unbounded-processor optimum at each n, exhibiting
+// the (n²)^{1/3} / (n²)^{1/4} laws.
+func ScaledSpeedupSeries(p Problem, arch Architecture, pointsPerProc float64, ns []int) ([]ScaledPoint, error) {
+	if pointsPerProc < 1 {
+		return nil, fmt.Errorf("core: ScaledSpeedupSeries: F=%g must be ≥ 1", pointsPerProc)
+	}
+	out := make([]ScaledPoint, 0, len(ns))
+	for _, n := range ns {
+		q := p
+		q.N = n
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		unb := unboundedCopy(arch)
+		var area float64
+		switch arch.(type) {
+		case SyncBus, AsyncBus:
+			alloc, err := Optimize(q, unb)
+			if err != nil {
+				return nil, err
+			}
+			area = q.AreaFor(alloc.Procs)
+		default:
+			area = pointsPerProc
+			if min := float64(q.Shape.MinArea(n)); area < min {
+				area = min
+			}
+		}
+		t := unb.CycleTime(q, area)
+		out = append(out, ScaledPoint{
+			N:         n,
+			Procs:     q.GridPoints() / area,
+			CycleTime: t,
+			Speedup:   q.SerialTime(arch.Tflp()) / t,
+		})
+	}
+	return out, nil
+}
+
+// FitGrowthExponent estimates the exponent γ in speedup ∝ (n²)^γ from the
+// first and last points of a scaled series; tests compare it with the
+// paper's asymptotic orders (1 for hypercube, 1/3 bus squares, 1/4 bus
+// strips; banyan fits just below 1 due to the log factor).
+func FitGrowthExponent(series []ScaledPoint) (float64, error) {
+	if len(series) < 2 {
+		return 0, fmt.Errorf("core: FitGrowthExponent needs ≥ 2 points, got %d", len(series))
+	}
+	a, b := series[0], series[len(series)-1]
+	if a.Speedup <= 0 || b.Speedup <= 0 || a.N <= 0 || b.N <= 0 || a.N == b.N {
+		return 0, fmt.Errorf("core: FitGrowthExponent: degenerate series")
+	}
+	num := log(b.Speedup / a.Speedup)
+	den := log(float64(b.N*b.N) / float64(a.N*a.N))
+	return num / den, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Param identifies a machine parameter for sensitivity analysis.
+type Param int
+
+const (
+	// ParamTflp is the floating-point operation time.
+	ParamTflp Param = iota
+	// ParamBusCycle is the bus word time b.
+	ParamBusCycle
+	// ParamBusOverhead is the per-word overhead c.
+	ParamBusOverhead
+	// ParamAlpha is the per-packet link cost.
+	ParamAlpha
+	// ParamBeta is the message startup cost.
+	ParamBeta
+	// ParamSwitch is the banyan switch stage time w.
+	ParamSwitch
+)
+
+// String names the parameter.
+func (p Param) String() string {
+	switch p {
+	case ParamTflp:
+		return "T_flp"
+	case ParamBusCycle:
+		return "b"
+	case ParamBusOverhead:
+		return "c"
+	case ParamAlpha:
+		return "alpha"
+	case ParamBeta:
+		return "beta"
+	case ParamSwitch:
+		return "w"
+	default:
+		return fmt.Sprintf("Param(%d)", int(p))
+	}
+}
+
+// scale returns a copy of the architecture with the parameter multiplied
+// by factor, or false if the parameter does not apply.
+func scale(arch Architecture, p Param, factor float64) (Architecture, bool) {
+	switch a := arch.(type) {
+	case SyncBus:
+		switch p {
+		case ParamTflp:
+			a.TflpTime *= factor
+		case ParamBusCycle:
+			a.B *= factor
+		case ParamBusOverhead:
+			a.C *= factor
+		default:
+			return nil, false
+		}
+		return a, true
+	case AsyncBus:
+		switch p {
+		case ParamTflp:
+			a.TflpTime *= factor
+		case ParamBusCycle:
+			a.B *= factor
+		case ParamBusOverhead:
+			a.C *= factor
+		default:
+			return nil, false
+		}
+		return a, true
+	case Hypercube:
+		switch p {
+		case ParamTflp:
+			a.TflpTime *= factor
+		case ParamAlpha:
+			a.Alpha *= factor
+		case ParamBeta:
+			a.Beta *= factor
+		default:
+			return nil, false
+		}
+		return a, true
+	case Mesh:
+		switch p {
+		case ParamTflp:
+			a.TflpTime *= factor
+		case ParamAlpha:
+			a.Alpha *= factor
+		case ParamBeta:
+			a.Beta *= factor
+		default:
+			return nil, false
+		}
+		return a, true
+	case Banyan:
+		switch p {
+		case ParamTflp:
+			a.TflpTime *= factor
+		case ParamSwitch:
+			a.W *= factor
+		default:
+			return nil, false
+		}
+		return a, true
+	default:
+		return nil, false
+	}
+}
+
+// Elasticity returns the elasticity of the re-optimized cycle time with
+// respect to a machine parameter: d log t* / d log θ, estimated by a
+// central difference with ±1% perturbations. It generalizes the paper's
+// §6.1 leverage numbers: at the c = 0 bus optimum the squares elasticity
+// is exactly 2/3 for b and 1/3 for T_flp (so halving b yields 2^{-2/3} =
+// 63%), and strips give 1/2 for both.
+func Elasticity(p Problem, arch Architecture, param Param) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	// The optimized cycle times are power laws in every parameter, so
+	// the central log-difference is exact for any step size under
+	// continuous re-optimization; a generous step lets the *integer*
+	// processor count re-adjust too. (With a tiny step the async bus's
+	// max() kink pins P and inflates the bus-cycle elasticity toward 1.)
+	const h = 0.10
+	up, ok := scale(arch, param, 1+h)
+	if !ok {
+		return 0, fmt.Errorf("core: parameter %s not applicable to %s", param, arch.Name())
+	}
+	down, _ := scale(arch, param, 1-h)
+	// The machine's own processor bound is preserved: elasticity of a
+	// 256-node hypercube is a different question from elasticity of an
+	// unbounded one (pass NProcs = 0 for the paper's §6.1 regime).
+	tUp, err := Optimize(p, up)
+	if err != nil {
+		return 0, err
+	}
+	tDown, err := Optimize(p, down)
+	if err != nil {
+		return 0, err
+	}
+	if tUp.CycleTime <= 0 || tDown.CycleTime <= 0 {
+		return 0, fmt.Errorf("core: degenerate cycle times in elasticity")
+	}
+	return math.Log(tUp.CycleTime/tDown.CycleTime) / math.Log((1+h)/(1-h)), nil
+}
+
+// ElasticityRow pairs a parameter with its cycle-time elasticity.
+type ElasticityRow struct {
+	Param      Param
+	Elasticity float64
+}
+
+// ElasticityTable computes the elasticity of every applicable parameter.
+// The rows sum to 1 for scale-invariant models (doubling every time
+// constant doubles the optimized cycle time), a property the tests
+// verify for the c = 0 buses.
+func ElasticityTable(p Problem, arch Architecture) ([]ElasticityRow, error) {
+	params := []Param{ParamTflp, ParamBusCycle, ParamBusOverhead, ParamAlpha, ParamBeta, ParamSwitch}
+	var out []ElasticityRow
+	for _, param := range params {
+		if _, ok := scale(arch, param, 1); !ok {
+			continue
+		}
+		e, err := Elasticity(p, arch, param)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ElasticityRow{Param: param, Elasticity: e})
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiSpectralRadius returns the spectral radius of the point-Jacobi
+// iteration matrix for the 5-point Laplacian on an n×n grid with
+// Dirichlet boundaries: ρ = cos(π/(n+1)). Each sweep multiplies the
+// error by ≈ ρ, so convergence needs Θ(n²) iterations — the reason the
+// paper's per-iteration analysis composes into whole-solve statements
+// without changing any optimum (the iteration count is independent of
+// the processor count).
+func JacobiSpectralRadius(n int) float64 {
+	return math.Cos(math.Pi / float64(n+1))
+}
+
+// JacobiIterations estimates the sweeps needed to reduce the error by
+// the factor eps (0 < eps < 1): ⌈ln(eps)/ln(ρ)⌉. For small h this is
+// ≈ 2·ln(1/eps)·(n+1)²/π².
+func JacobiIterations(n int, eps float64) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: grid size n=%d must be positive", n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("core: error reduction eps=%g must be in (0, 1)", eps)
+	}
+	rho := JacobiSpectralRadius(n)
+	return int(math.Ceil(math.Log(eps) / math.Log(rho))), nil
+}
+
+// SolveTime is the whole-solve cost composition: iterations × cycle
+// time, optionally with amortized convergence checking.
+type SolveTime struct {
+	Iterations int     // predicted Jacobi sweeps
+	CycleTime  float64 // per-iteration time at the chosen allocation
+	Total      float64 // Iterations × CycleTime (with check, if any)
+	Procs      int     // processors used
+	Speedup    float64 // serial total / parallel total
+}
+
+// TimeToSolution composes the model: predicted Jacobi iteration count
+// for an error reduction eps times the optimized cycle time on the
+// architecture (with optional convergence checking). Because the
+// iteration count does not depend on P, the optimal allocation for a
+// whole solve is the optimal per-iteration allocation — the paper's
+// per-iteration focus loses nothing.
+func TimeToSolution(p Problem, arch Architecture, eps float64, cc *ConvergenceCheck) (SolveTime, error) {
+	iters, err := JacobiIterations(p.N, eps)
+	if err != nil {
+		return SolveTime{}, err
+	}
+	var alloc Allocation
+	if cc != nil {
+		alloc, err = OptimizeWithCheck(p, arch, *cc)
+	} else {
+		alloc, err = Optimize(p, arch)
+	}
+	if err != nil {
+		return SolveTime{}, err
+	}
+	serialCycle := p.SerialTime(arch.Tflp())
+	if cc != nil {
+		// The serial baseline checks too (computation only — one
+		// processor disseminates nothing).
+		serialCycle += cc.ComputeFraction * serialCycle / float64(cc.Period)
+	}
+	total := float64(iters) * alloc.CycleTime
+	return SolveTime{
+		Iterations: iters,
+		CycleTime:  alloc.CycleTime,
+		Total:      total,
+		Procs:      alloc.Procs,
+		Speedup:    float64(iters) * serialCycle / total,
+	}, nil
+}

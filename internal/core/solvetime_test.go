@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+func TestJacobiSpectralRadius(t *testing.T) {
+	if rho := JacobiSpectralRadius(1); math.Abs(rho-math.Cos(math.Pi/2)) > 1e-15 {
+		t.Errorf("rho(1) = %g", rho)
+	}
+	// ρ increases toward 1 with n.
+	prev := 0.0
+	for _, n := range []int{4, 16, 64, 256} {
+		rho := JacobiSpectralRadius(n)
+		if rho <= prev || rho >= 1 {
+			t.Errorf("rho(%d) = %g not in (prev, 1)", n, rho)
+		}
+		prev = rho
+	}
+}
+
+func TestJacobiIterationsScaling(t *testing.T) {
+	// Iterations grow like n²: quadrupling when n doubles.
+	i16, err := JacobiIterations(16, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i32, err := JacobiIterations(32, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(i32) / float64(i16)
+	if ratio < 3.2 || ratio > 4.5 {
+		t.Errorf("iteration ratio %g, want ≈ 4 (n² scaling)", ratio)
+	}
+	// Small-h closed form: ≈ 2·ln(1/eps)·(n+1)²/π².
+	n := 128
+	got, err := JacobiIterations(n, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Log(1e6) * float64((n+1)*(n+1)) / (math.Pi * math.Pi)
+	if math.Abs(float64(got)-want)/want > 0.02 {
+		t.Errorf("iterations %d, closed form %g", got, want)
+	}
+}
+
+func TestJacobiIterationsValidation(t *testing.T) {
+	if _, err := JacobiIterations(0, 0.5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := JacobiIterations(8, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := JacobiIterations(8, 1); err == nil {
+		t.Error("eps=1 accepted")
+	}
+}
+
+// TestTimeToSolution: total = iterations × optimized cycle; the optimal
+// processor count equals the per-iteration optimum (iterations are
+// P-independent).
+func TestTimeToSolution(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(0)
+	st, err := TimeToSolution(p, bus, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := MustOptimize(p, bus)
+	if st.Procs != alloc.Procs {
+		t.Errorf("whole-solve optimum %d != per-iteration optimum %d", st.Procs, alloc.Procs)
+	}
+	if math.Abs(st.Total-float64(st.Iterations)*alloc.CycleTime) > 1e-12*st.Total {
+		t.Errorf("total %g != iters × cycle", st.Total)
+	}
+	if math.Abs(st.Speedup-alloc.Speedup) > 1e-9 {
+		t.Errorf("whole-solve speedup %g != per-iteration speedup %g", st.Speedup, alloc.Speedup)
+	}
+}
+
+// TestTimeToSolutionWithCheck: checking raises the total and (on the
+// bus) the serial baseline gets only the compute part of the check.
+func TestTimeToSolutionWithCheck(t *testing.T) {
+	p := MustProblem(256, stencil.FivePoint, partition.Square)
+	bus := DefaultSyncBus(0)
+	plain, err := TimeToSolution(p, bus, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := DefaultConvergenceCheck
+	checked, err := TimeToSolution(p, bus, 1e-6, &cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked.Total <= plain.Total {
+		t.Errorf("checked total %g not above plain %g", checked.Total, plain.Total)
+	}
+	if checked.Speedup <= 0 || checked.Speedup > float64(checked.Procs) {
+		t.Errorf("checked speedup %g out of range", checked.Speedup)
+	}
+}
+
+func TestTimeToSolutionErrors(t *testing.T) {
+	p := MustProblem(64, stencil.FivePoint, partition.Strip)
+	if _, err := TimeToSolution(p, DefaultSyncBus(0), 2, nil); err == nil {
+		t.Error("eps=2 accepted")
+	}
+	if _, err := TimeToSolution(Problem{}, DefaultSyncBus(0), 0.5, nil); err == nil {
+		t.Error("bad problem accepted")
+	}
+}

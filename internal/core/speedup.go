@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"optspeed/internal/partition"
+)
+
+// Speedup returns the speedup of using the given processor count:
+// E·n²·T_flp divided by the cycle time at P processors.
+func Speedup(p Problem, arch Architecture, procs int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	if procs < 1 || procs > p.MaxProcs() {
+		return 0, fmt.Errorf("core: Speedup: procs=%d out of range [1, %d]", procs, p.MaxProcs())
+	}
+	return p.SerialTime(arch.Tflp()) / arch.CycleTime(p, p.AreaFor(procs)), nil
+}
+
+// OptimalSpeedup returns the speedup of the optimal allocation.
+func OptimalSpeedup(p Problem, arch Architecture) (float64, error) {
+	a, err := Optimize(p, arch)
+	if err != nil {
+		return 0, err
+	}
+	return a.Speedup, nil
+}
+
+// AllProcsSpeedup returns the speedup when the grid is spread across
+// exactly N processors of a synchronous bus (paper equation (5) for
+// strips, and the §6.1 square analogue):
+//
+//	S = N / (1 + (comm at N)·N / (E·n²·T))
+//
+// evaluated exactly via the cycle-time model.
+func AllProcsSpeedup(p Problem, arch Architecture, n int) (float64, error) {
+	return Speedup(p, arch, n)
+}
+
+// --- Closed-form optimal speedups with unbounded processors (paper §6) ---
+
+// SyncBusOptimalStripSpeedup evaluates the paper's strip-partition optimal
+// speedup on a synchronous bus with unbounded processors:
+//
+//	S* = E·n²·T / (2·sqrt(E·T·2ω·k·b·n³) + 2ω·n·k·c)
+//
+// which for ω=2, c=0 is E·n²·T/(4·n^{3/2}·sqrt(E·T·k·b)) ∝ (n²)^{1/4}
+// (paper: "a rather disheartening figure").
+func SyncBusOptimalStripSpeedup(p Problem, bus SyncBus) float64 {
+	q := p
+	q.Shape = partition.Strip
+	aStar := bus.OptimalStripArea(q)
+	return q.SerialTime(bus.TflpTime) / bus.CycleTime(q, clampArea(q, aStar))
+}
+
+// SyncBusOptimalSquareSpeedup evaluates the square-partition optimal
+// speedup on a synchronous bus with unbounded processors; for c=0 it is
+//
+//	S* = E·n²·T / (3·(E·T)^{1/3}·(4·k·b·n²)^{2/3}) ∝ (n²)^{1/3}.
+func SyncBusOptimalSquareSpeedup(p Problem, bus SyncBus) float64 {
+	q := p
+	q.Shape = partition.Square
+	side := bus.OptimalSquareSide(q)
+	return q.SerialTime(bus.TflpTime) / bus.CycleTime(q, clampArea(q, side*side))
+}
+
+// AsyncBusOptimalStripSpeedup evaluates the strip optimal speedup on an
+// asynchronous bus (c=0: a factor √2 over the synchronous bus, paper §6.2).
+func AsyncBusOptimalStripSpeedup(p Problem, bus AsyncBus) float64 {
+	q := p
+	q.Shape = partition.Strip
+	aStar := bus.OptimalStripArea(q)
+	return q.SerialTime(bus.TflpTime) / bus.CycleTime(q, clampArea(q, aStar))
+}
+
+// AsyncBusOptimalSquareSpeedup evaluates the square optimal speedup on an
+// asynchronous bus (c=0: 150% of the synchronous speedup, paper §6.2).
+func AsyncBusOptimalSquareSpeedup(p Problem, bus AsyncBus) float64 {
+	q := p
+	q.Shape = partition.Square
+	side := bus.OptimalSquareSide(q)
+	return q.SerialTime(bus.TflpTime) / bus.CycleTime(q, clampArea(q, side*side))
+}
+
+// clampArea keeps a continuous optimum inside the feasible area range
+// [shape minimum, n²].
+func clampArea(p Problem, area float64) float64 {
+	if min := float64(p.Shape.MinArea(p.N)); area < min {
+		return min
+	}
+	if max := p.GridPoints(); area > max {
+		return max
+	}
+	return area
+}
+
+// SpeedupCurve samples Speedup for procs = 1..maxP.
+func SpeedupCurve(p Problem, arch Architecture, maxP int) []float64 {
+	curve := CycleCurve(p, arch, maxP)
+	serial := p.SerialTime(arch.Tflp())
+	out := make([]float64, len(curve))
+	for i, t := range curve {
+		out[i] = serial / t
+	}
+	return out
+}

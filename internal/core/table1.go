@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+func log(x float64) float64 { return math.Log(x) }
+
+// TableIRow is one row of the paper's Table I: the closed-form optimal
+// speedup of an architecture for square partitions, with one point per
+// processor where appropriate (hypercube, banyan), evaluated at a given
+// grid size.
+type TableIRow struct {
+	Arch    string  // architecture name
+	Formula string  // the paper's closed-form expression
+	Speedup float64 // value at the evaluated n
+	Order   GrowthOrder
+}
+
+// TableI evaluates the paper's Table I ("Summary of Optimal Speedups")
+// at grid size n for the given machines. Squares are assumed, one point
+// per processor for the distributed machines, c = 0 for the buses, as in
+// the paper.
+func TableI(n int, st stencil.Stencil, hc Hypercube, sb SyncBus, ab AsyncBus, by Banyan) []TableIRow {
+	p := Problem{N: n, Stencil: st, Shape: partition.Square}
+	e := p.Flops()
+	nf := float64(n)
+	n2 := nf * nf
+	k := float64(p.K())
+
+	// Hypercube, F = 1 point/processor: C = E·T + 8(⌈k/packet⌉α + β).
+	hcPackets := math.Ceil(k / hc.PacketWords)
+	hcDen := e*hc.TflpTime + 8*(hcPackets*hc.Alpha+hc.Beta)
+	// Synchronous bus, unbounded processors, c = 0:
+	// S = E·n²·T / (3·(E·T)^{1/3}·(4·k·b·n²)^{2/3}).
+	sbC0 := sb
+	sbC0.C = 0
+	sbDen := 3 * math.Cbrt(e*sb.TflpTime) * math.Pow(2*sbC0.wordFactor()*k*sb.B*n2, 2.0/3)
+	// Asynchronous bus: denominator 2/3 of the synchronous one.
+	abDen := 2 * math.Cbrt(e*ab.TflpTime) * math.Pow(4*k*ab.B*n2, 2.0/3)
+	// Banyan, F = 1: S = E·n²·T / (16·w·k·log₂(n) + E·T).
+	byDen := 16*by.W*k*math.Log2(nf) + e*by.TflpTime
+
+	return []TableIRow{
+		{
+			Arch:    "hypercube",
+			Formula: "E(S)·n²·T_flp / (E(S)·T_flp + 8(β + ⌈k/packet⌉·α))",
+			Speedup: e * n2 * hc.TflpTime / hcDen,
+			Order:   GrowthLinear,
+		},
+		{
+			Arch:    "sync-bus",
+			Formula: "E(S)·n²·T_flp / (3·(E(S)·T_flp)^{1/3}·(4·k·b·n²)^{2/3})",
+			Speedup: e * n2 * sb.TflpTime / sbDen,
+			Order:   GrowthCubeRoot,
+		},
+		{
+			Arch:    "async-bus",
+			Formula: "E(S)·n²·T_flp / (2·(E(S)·T_flp)^{1/3}·(4·k·b·n²)^{2/3})",
+			Speedup: e * n2 * ab.TflpTime / abDen,
+			Order:   GrowthCubeRoot,
+		},
+		{
+			Arch:    "banyan",
+			Formula: "E(S)·n²·T_flp / (16·w·k·log₂(n) + E(S)·T_flp)",
+			Speedup: e * n2 * by.TflpTime / byDen,
+			Order:   GrowthNearLinear,
+		},
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/core"
+	"optspeed/internal/modassign"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// BaselineRow contrasts the §2 module-assignment model (extremal optima
+// only) with the paper's bus model (interior optima possible) at
+// matched communication-to-computation ratios.
+type BaselineRow struct {
+	CommRatio        float64 // communication cost scale, relative to compute
+	ModAssignProcs   int     // processors used by the Indurkhya-style optimum
+	ModAssignExtreme bool    // always true (the theorem)
+	BusProcs         int     // processors used by the paper's bus optimum
+	BusInterior      bool    // true when strictly between 1 and all
+}
+
+// Baseline sweeps the communication scale and optimizes both models:
+// modassign with M = 256 modules on 16 processors, and the paper's
+// 256² square bus problem with the bus cycle time scaled by the same
+// factor. The module-assignment optimum snaps between "one processor"
+// and "all 16"; the bus optimum walks through interior values — the
+// §2 contrast that motivates the paper.
+func Baseline(ratios []float64) ([]BaselineRow, error) {
+	var out []BaselineRow
+	for _, r := range ratios {
+		prog := modassign.Program{
+			Modules:    256,
+			ModuleTime: 1,
+			CommCost:   r / 256, // scale so comm matters near r ≈ 1
+		}
+		ma, err := modassign.Optimal(prog, 16)
+		if err != nil {
+			return nil, err
+		}
+		maProcs := 0
+		for _, n := range ma.Counts {
+			if n > 0 {
+				maProcs++
+			}
+		}
+
+		bus := core.DefaultSyncBus(1024)
+		bus.B *= r
+		p := core.Problem{N: 256, Stencil: stencil.FivePoint, Shape: partition.Square}
+		alloc, err := core.Optimize(p, bus)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BaselineRow{
+			CommRatio:        r,
+			ModAssignProcs:   maProcs,
+			ModAssignExtreme: ma.Extremal,
+			BusProcs:         alloc.Procs,
+			BusInterior:      alloc.Interior,
+		})
+	}
+	return out, nil
+}
+
+// RenderBaseline writes the contrast table.
+func RenderBaseline(w io.Writer, rows []BaselineRow) error {
+	t := tab.New("§2 baseline — extremal module assignment vs the paper's interior bus optima",
+		"comm scale", "modassign P*", "extremal?", "bus P*", "interior?")
+	for _, r := range rows {
+		t.AddRow(r.CommRatio, r.ModAssignProcs, fmt.Sprint(r.ModAssignExtreme),
+			r.BusProcs, fmt.Sprint(r.BusInterior))
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// ConvCheckRow is one point of the convergence-checking study (paper §4
+// and reference [13]): the overhead of checking at a given period, and
+// the allocation it induces.
+type ConvCheckRow struct {
+	Arch         string
+	Period       int
+	OverheadFrac float64 // fraction of the cycle spent checking
+	OptimalProcs int     // optimum under the checked cycle model
+}
+
+// ConvCheck sweeps check periods on a hypercube and a bus: every
+// iteration (the naive baseline the paper calls "extremely high" on
+// hypercubes), then increasingly scheduled checks, reproducing the
+// Saltz-Naik-Nicol conclusion that scheduling makes the cost
+// insignificant.
+func ConvCheck(n int, periods []int) ([]ConvCheckRow, error) {
+	p := core.Problem{N: n, Stencil: stencil.FivePoint, Shape: partition.Square}
+	machines := []core.Architecture{
+		core.DefaultHypercube(0),
+		core.DefaultSyncBus(0),
+	}
+	var out []ConvCheckRow
+	for _, m := range machines {
+		base, err := core.Optimize(p, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, period := range periods {
+			cc := core.ConvergenceCheck{ComputeFraction: 0.5, Period: period}
+			frac, err := core.CheckOverheadFraction(p, m, cc, base.Procs)
+			if err != nil {
+				return nil, err
+			}
+			alloc, err := core.OptimizeWithCheck(p, m, cc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ConvCheckRow{
+				Arch:         m.Name(),
+				Period:       period,
+				OverheadFrac: frac,
+				OptimalProcs: alloc.Procs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderConvCheck writes the convergence-check study.
+func RenderConvCheck(w io.Writer, rows []ConvCheckRow, n int) error {
+	t := tab.New(
+		fmt.Sprintf("Convergence checking (§4 / ref [13]) — overhead and induced optimum, n=%d squares", n),
+		"architecture", "check period", "overhead frac", "P* with check")
+	for _, r := range rows {
+		t.AddRow(r.Arch, r.Period, r.OverheadFrac, r.OptimalProcs)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ElasticityResult is the parameter-sensitivity study generalizing the
+// paper's §6.1 leverage numbers.
+type ElasticityResult struct {
+	Arch  string
+	Shape string
+	Rows  []core.ElasticityRow
+}
+
+// Elasticities computes d log t*/d log θ for every applicable parameter
+// of the calibrated machines.
+func Elasticities(n int) ([]ElasticityResult, error) {
+	machines := []core.Architecture{
+		core.DefaultSyncBus(0),
+		core.DefaultAsyncBus(0),
+		core.DefaultHypercube(256),
+		core.DefaultBanyan(256),
+	}
+	var out []ElasticityResult
+	for _, m := range machines {
+		for _, sh := range partition.Shapes() {
+			p := core.Problem{N: n, Stencil: stencil.FivePoint, Shape: sh}
+			rows, err := core.ElasticityTable(p, m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ElasticityResult{Arch: m.Name(), Shape: sh.String(), Rows: rows})
+		}
+	}
+	return out, nil
+}
+
+// RenderElasticities writes the sensitivity tables.
+func RenderElasticities(w io.Writer, results []ElasticityResult, n int) error {
+	t := tab.New(
+		fmt.Sprintf("Parameter elasticities d log t*/d log θ at n=%d (leverage, generalized)", n),
+		"architecture", "shape", "parameter", "elasticity")
+	for _, res := range results {
+		for _, r := range res.Rows {
+			t.AddRow(res.Arch, res.Shape, r.Param.String(), r.Elasticity)
+		}
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// Diagrams regenerates the paper's illustrative figures 1-5 in ASCII:
+// the stencils (Figs. 1 and 3) and the three decomposition styles
+// (Figs. 2, 4, 5). They carry no data, but "every figure" means every
+// figure.
+func Diagrams(w io.Writer) error {
+	fmt.Fprintln(w, "## Fig. 1 — 5-point and 9-point stencils (o = center, * = neighbor)")
+	fmt.Fprintf(w, "\n5-point:\n%s\n9-point:\n%s\n", stencil.FivePoint.Render(), stencil.NinePoint.Render())
+
+	fmt.Fprintln(w, "## Fig. 3 — stencils requiring more than one perimeter (k = 2)")
+	fmt.Fprintf(w, "\n9-point star:\n%s\n13-point star:\n%s\n", stencil.NineStar.Render(), stencil.ThirteenPoint.Render())
+
+	const n = 16
+	fmt.Fprintln(w, "## Fig. 2 — square partitions on the grid (16x16, 4x4 blocks)")
+	blocks, err := partition.DecomposeBlocks(n, 4, 4)
+	if err != nil {
+		return err
+	}
+	art, err := partition.RenderBlocks(n, blocks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s\n", art)
+
+	fmt.Fprintln(w, "## Fig. 4 — strip partitioning (16 rows over 5 strips; first strip gets the extra row)")
+	bands, err := partition.DecomposeStrips(n, 5)
+	if err != nil {
+		return err
+	}
+	art, err = partition.RenderBands(n, bands)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s\n", art)
+
+	fmt.Fprintln(w, "## Fig. 5 — rectangular partition of the domain (3 strips x 2 column groups)")
+	blocks, err = partition.DecomposeBlocks(n, 3, 8)
+	if err != nil {
+		return err
+	}
+	art, err = partition.RenderBlocks(n, blocks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s\n", art)
+	return nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"optspeed/internal/grid"
+	"optspeed/internal/solver"
+	"optspeed/internal/tab"
+)
+
+// EmpiricalRow is one point of experiment V2: measured wall-clock time
+// per iteration of the real goroutine Jacobi solver.
+type EmpiricalRow struct {
+	N             int
+	Workers       int
+	Decomposition string
+	SecondsPerIt  float64
+	Speedup       float64 // vs the measured 1-worker time at the same n
+	BarrierFrac   float64 // fraction of worker time waiting at the barrier
+}
+
+// Empirical measures the goroutine solver across worker counts and both
+// decompositions: the paper's promised empirical verification, at
+// laptop scale. iterations should be large enough to dominate setup
+// (≥ 20 for n ≥ 256).
+func Empirical(ns []int, workerCounts []int, iterations int) ([]EmpiricalRow, error) {
+	var out []EmpiricalRow
+	for _, n := range ns {
+		k := grid.Laplace5(n)
+		base := 0.0
+		for _, d := range []solver.Decomposition{solver.Strips, solver.Blocks} {
+			for _, w := range workerCounts {
+				u := grid.MustNew(n)
+				u.SetConstantBoundary(1)
+				start := time.Now()
+				res, err := solver.Solve(u, k, nil, solver.Config{
+					Workers:       w,
+					Decomposition: d,
+					MaxIterations: iterations,
+					Profile:       true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				perIt := time.Since(start).Seconds() / float64(res.Iterations)
+				if w == 1 && d == solver.Strips {
+					base = perIt
+				}
+				speedup := 0.0
+				if base > 0 {
+					speedup = base / perIt
+				}
+				barrierFrac := 0.0
+				if tot := res.ComputeSeconds + res.BarrierSeconds; tot > 0 {
+					barrierFrac = res.BarrierSeconds / tot
+				}
+				out = append(out, EmpiricalRow{
+					N:             n,
+					Workers:       res.Workers,
+					Decomposition: d.String(),
+					SecondsPerIt:  perIt,
+					Speedup:       speedup,
+					BarrierFrac:   barrierFrac,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderEmpirical writes the measured table.
+func RenderEmpirical(w io.Writer, rows []EmpiricalRow) error {
+	t := tab.New("V2 — goroutine Jacobi solver, measured seconds/iteration",
+		"n", "workers", "decomposition", "s/iter", "speedup vs 1 worker", "barrier frac")
+	for _, r := range rows {
+		t.AddRow(r.N, r.Workers, r.Decomposition, r.SecondsPerIt, r.Speedup, r.BarrierFrac)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// Fig7Row is one point of paper Fig. 7: the smallest problem size
+// (log₂ n²) that gainfully uses all N processors, per bus/shape curve.
+type Fig7Row struct {
+	Procs int
+	// Log2MinN2 per curve: (a) synchronous strips, (b) asynchronous
+	// strips, (c) synchronous squares (async squares coincide with (c)).
+	SyncStrip   float64
+	AsyncStrip  float64
+	SyncSquare  float64
+	NSyncStrip  int // underlying n values from the exact search
+	NAsyncStrip int
+	NSyncSquare int
+}
+
+// Fig7Result is one panel (stencil) of Fig. 7.
+type Fig7Result struct {
+	Stencil string
+	Rows    []Fig7Row
+}
+
+// Fig7 reproduces paper Fig. 7 for the given stencil over processor
+// counts 2..maxProcs (the paper plots 1..24), using the calibrated
+// default machine. The minimal grid sizes come from the exact
+// integer-threshold search, not the closed form.
+func Fig7(st stencil.Stencil, maxProcs int) (Fig7Result, error) {
+	sync := core.DefaultSyncBus(0)
+	async := core.DefaultAsyncBus(0)
+	res := Fig7Result{Stencil: st.Name()}
+	for procs := 2; procs <= maxProcs; procs++ {
+		pStrip := core.Problem{N: 16, Stencil: st, Shape: partition.Strip}
+		pSquare := core.Problem{N: 16, Stencil: st, Shape: partition.Square}
+		nSyncStrip, err := core.MinGridAllProcs(pStrip, sync, procs)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		nAsyncStrip, err := core.MinGridAllProcs(pStrip, async, procs)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		nSyncSquare, err := core.MinGridAllProcs(pSquare, sync, procs)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		log2n2 := func(n int) float64 { return 2 * math.Log2(float64(n)) }
+		res.Rows = append(res.Rows, Fig7Row{
+			Procs:       procs,
+			SyncStrip:   log2n2(nSyncStrip),
+			AsyncStrip:  log2n2(nAsyncStrip),
+			SyncSquare:  log2n2(nSyncSquare),
+			NSyncStrip:  nSyncStrip,
+			NAsyncStrip: nAsyncStrip,
+			NSyncSquare: nSyncSquare,
+		})
+	}
+	return res, nil
+}
+
+// Fig7Anchor returns the paper's §6.1 anchor numbers: the largest
+// processor count gainfully used by a 256² grid with square partitions
+// (paper: 14 for 5-point, 22 for 9-point).
+func Fig7Anchor(st stencil.Stencil) (int, error) {
+	p := core.Problem{N: 256, Stencil: st, Shape: partition.Square}
+	return core.MaxGainfulProcs(p, core.DefaultSyncBus(0))
+}
+
+// RenderFig7 writes one Fig. 7 panel.
+func RenderFig7(w io.Writer, res Fig7Result) error {
+	t := tab.New(
+		fmt.Sprintf("Fig. 7 — log2 of minimal gainful problem size, %s stencil", res.Stencil),
+		"N procs", "(a) sync strip", "(b) async strip", "(c) sync square",
+		"n(a)", "n(b)", "n(c)")
+	for _, r := range res.Rows {
+		t.AddRow(r.Procs, r.SyncStrip, r.AsyncStrip, r.SyncSquare,
+			r.NSyncStrip, r.NAsyncStrip, r.NSyncSquare)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// Fig8Row is one abscissa of paper Fig. 8: optimal speedup and the
+// processor count achieving it, with processors unbounded, on a
+// synchronous bus.
+type Fig8Row struct {
+	Log2N2         float64
+	N              int
+	ProcsSquares   int
+	ProcsStrips    int
+	SpeedupSquares float64
+	SpeedupStrips  float64
+}
+
+// Fig8Result is one panel (stencil) of Fig. 8.
+type Fig8Result struct {
+	Stencil string
+	Rows    []Fig8Row
+}
+
+// Fig8 reproduces paper Fig. 8 for a stencil: curves (a) processors
+// (squares), (b) processors (strips), (c) speedup (squares), (d) speedup
+// (strips), over log₂(n²) ∈ [12, 20] (the paper's axis), with the
+// calibrated default machine and unbounded processors.
+func Fig8(st stencil.Stencil) (Fig8Result, error) {
+	bus := core.DefaultSyncBus(0)
+	res := Fig8Result{Stencil: st.Name()}
+	for log2n2 := 12; log2n2 <= 20; log2n2 += 2 {
+		n := 1 << (log2n2 / 2)
+		pSq := core.Problem{N: n, Stencil: st, Shape: partition.Square}
+		pStrip := core.Problem{N: n, Stencil: st, Shape: partition.Strip}
+		aSq, err := core.Optimize(pSq, bus)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		aStrip, err := core.Optimize(pStrip, bus)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			Log2N2:         2 * math.Log2(float64(n)),
+			N:              n,
+			ProcsSquares:   aSq.Procs,
+			ProcsStrips:    aStrip.Procs,
+			SpeedupSquares: aSq.Speedup,
+			SpeedupStrips:  aStrip.Speedup,
+		})
+	}
+	return res, nil
+}
+
+// RenderFig8 writes one Fig. 8 panel.
+func RenderFig8(w io.Writer, res Fig8Result) error {
+	t := tab.New(
+		fmt.Sprintf("Fig. 8 — optimal speedup and processors, sync bus, %s stencil", res.Stencil),
+		"log2(n^2)", "n", "(a) P* squares", "(b) P* strips", "(c) S* squares", "(d) S* strips")
+	for _, r := range res.Rows {
+		t.AddRow(r.Log2N2, r.N, r.ProcsSquares, r.ProcsStrips, r.SpeedupSquares, r.SpeedupStrips)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// InTextResult reproduces the paper's §6.1/§6.2 worked numbers and
+// ratios (experiments X1-X4).
+type InTextResult struct {
+	// X1 — 16-processor bus speedups with E·T_flp = b, k = 1, c = 0.
+	StripSpeedup256, StripSpeedup1024       float64 // read+write convention
+	SquareSpeedup256, SquareSpeedup1024     float64
+	ROStripSpeedup256, ROStripSpeedup1024   float64 // reads-only convention
+	ROSquareSpeedup256, ROSquareSpeedup1024 float64
+
+	// X2 — leverage ratios (optimized cycle-time after / before).
+	SquareBusLeverage   float64 // paper: 0.63
+	SquareFlopsLeverage float64 // paper: 0.79
+	StripBusLeverage    float64 // paper: 1/√2
+	StripFlopsLeverage  float64 // paper: 1/√2
+
+	// X3 — c/b interior-optimum condition.
+	FlexInteriorAt30 bool // paper: false (c/b = 1000 ≫ 30)
+
+	// X4 — async/sync ratios.
+	StripAsyncRatio     float64 // paper: √2
+	SquareAsyncRatio    float64 // paper: 1.5
+	SquareFullAsyncGain float64 // paper: additional 2^{1/3} ≈ 1.26
+	CommTwiceComp       float64 // paper: comm = 2× comp at the square optimum
+}
+
+// InText computes every §6 worked number on the exact model.
+func InText() (InTextResult, error) {
+	var res InTextResult
+
+	// X1: the paper's example machine.
+	bus := core.PaperExampleBus(core.DefaultTflp, stencil.FivePoint.Flops(), 16)
+	ro := bus
+	ro.ReadsOnly = true
+	speed := func(n int, sh partition.Shape, b core.SyncBus) (float64, error) {
+		return core.Speedup(core.Problem{N: n, Stencil: stencil.FivePoint, Shape: sh}, b, 16)
+	}
+	var err error
+	if res.StripSpeedup256, err = speed(256, partition.Strip, bus); err != nil {
+		return res, err
+	}
+	if res.StripSpeedup1024, err = speed(1024, partition.Strip, bus); err != nil {
+		return res, err
+	}
+	if res.SquareSpeedup256, err = speed(256, partition.Square, bus); err != nil {
+		return res, err
+	}
+	if res.SquareSpeedup1024, err = speed(1024, partition.Square, bus); err != nil {
+		return res, err
+	}
+	if res.ROStripSpeedup256, err = speed(256, partition.Strip, ro); err != nil {
+		return res, err
+	}
+	if res.ROStripSpeedup1024, err = speed(1024, partition.Strip, ro); err != nil {
+		return res, err
+	}
+	if res.ROSquareSpeedup256, err = speed(256, partition.Square, ro); err != nil {
+		return res, err
+	}
+	if res.ROSquareSpeedup1024, err = speed(1024, partition.Square, ro); err != nil {
+		return res, err
+	}
+
+	// X2: leverage on the calibrated machine at n = 1024.
+	dbus := core.DefaultSyncBus(0)
+	lev := func(sh partition.Shape, kind core.LeverageKind) (float64, error) {
+		r, err := core.Leverage(core.Problem{N: 1024, Stencil: stencil.FivePoint, Shape: sh}, dbus, kind)
+		if err != nil {
+			return 0, err
+		}
+		return r.Ratio, nil
+	}
+	if res.SquareBusLeverage, err = lev(partition.Square, core.LeverageBus); err != nil {
+		return res, err
+	}
+	if res.SquareFlopsLeverage, err = lev(partition.Square, core.LeverageFlops); err != nil {
+		return res, err
+	}
+	if res.StripBusLeverage, err = lev(partition.Strip, core.LeverageBus); err != nil {
+		return res, err
+	}
+	if res.StripFlopsLeverage, err = lev(partition.Strip, core.LeverageFlops); err != nil {
+		return res, err
+	}
+
+	// X3.
+	res.FlexInteriorAt30 = core.FlexBus(30).InteriorOptimumPossible(30)
+
+	// X4: optimal-speedup ratios at n = 1024.
+	pStrip := core.Problem{N: 1024, Stencil: stencil.FivePoint, Shape: partition.Strip}
+	pSq := core.Problem{N: 1024, Stencil: stencil.FivePoint, Shape: partition.Square}
+	async := core.DefaultAsyncBus(0)
+	full := async
+	full.Overlap = core.OverlapReadsAndWrites
+	res.StripAsyncRatio = core.AsyncBusOptimalStripSpeedup(pStrip, async) /
+		core.SyncBusOptimalStripSpeedup(pStrip, dbus)
+	res.SquareAsyncRatio = core.AsyncBusOptimalSquareSpeedup(pSq, async) /
+		core.SyncBusOptimalSquareSpeedup(pSq, dbus)
+	res.SquareFullAsyncGain = core.AsyncBusOptimalSquareSpeedup(pSq, full) /
+		core.AsyncBusOptimalSquareSpeedup(pSq, async)
+
+	side := dbus.OptimalSquareSide(pSq)
+	comp := pSq.Flops() * side * side * dbus.TflpTime
+	res.CommTwiceComp = dbus.CommTime(pSq, side*side) / comp
+	return res, nil
+}
+
+// RenderInText writes the worked-example table with paper references.
+func RenderInText(w io.Writer, r InTextResult) error {
+	t := tab.New("In-text numbers (§6.1/§6.2)", "quantity", "model", "paper", "note")
+	t.AddRow("strip speedup n=256 (rw)", r.StripSpeedup256, "–", "ω=2 convention")
+	t.AddRow("strip speedup n=1024 (rw)", r.StripSpeedup1024, "–", "ω=2 convention")
+	t.AddRow("square speedup n=256 (rw)", r.SquareSpeedup256, "–", "ω=2 convention")
+	t.AddRow("square speedup n=1024 (rw)", r.SquareSpeedup1024, "–", "ω=2 convention")
+	t.AddRow("strip speedup n=256 (ro)", r.ROStripSpeedup256, "16/(1+512/256)=5.33", "paper's printed formula")
+	t.AddRow("strip speedup n=1024 (ro)", r.ROStripSpeedup1024, "16/(1+512/1024)=10.67", "paper prints 10.6")
+	t.AddRow("square speedup n=256 (ro)", r.ROSquareSpeedup256, "10.6*", "*paper implies V=2sk; see DESIGN.md §5")
+	t.AddRow("square speedup n=1024 (ro)", r.ROSquareSpeedup1024, "14.2*", "*paper implies V=2sk")
+	t.AddRow("2x bus leverage, squares", r.SquareBusLeverage, 0.63, "2^{-2/3}")
+	t.AddRow("2x flops leverage, squares", r.SquareFlopsLeverage, 0.79, "2^{-1/3}")
+	t.AddRow("2x bus leverage, strips", r.StripBusLeverage, 1/math.Sqrt2, "1/√2")
+	t.AddRow("2x flops leverage, strips", r.StripFlopsLeverage, 1/math.Sqrt2, "1/√2")
+	t.AddRow("FLEX/32 interior optimum at P=30", fmt.Sprint(r.FlexInteriorAt30), "false", "c/b=1000 > P")
+	t.AddRow("async/sync speedup, strips", r.StripAsyncRatio, math.Sqrt2, "√2")
+	t.AddRow("async/sync speedup, squares", r.SquareAsyncRatio, 1.5, "150%")
+	t.AddRow("full-async extra gain, squares", r.SquareFullAsyncGain, math.Cbrt(2), "≈1.26")
+	t.AddRow("comm/comp at square optimum", r.CommTwiceComp, 2.0, "comm twice comp")
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// IsoeffRow is one isoefficiency curve: the smallest grid sustaining the
+// target efficiency at each processor count, and the fitted work
+// exponent σ in W(P) ∝ P^σ.
+type IsoeffRow struct {
+	Arch       string
+	Shape      string
+	ProcCounts []int
+	Grids      []int
+	Sigma      float64
+}
+
+// Isoefficiency computes the isoefficiency curves of the calibrated
+// machines at the given efficiency target — the modern generalization of
+// the paper's Fig. 7 question.
+func Isoefficiency(target float64, procCounts []int) ([]IsoeffRow, error) {
+	cases := []struct {
+		arch core.Architecture
+		sh   partition.Shape
+	}{
+		{core.DefaultHypercube(0), partition.Square},
+		{core.DefaultBanyan(0), partition.Square},
+		{core.DefaultSyncBus(0), partition.Square},
+		{core.DefaultSyncBus(0), partition.Strip},
+		{core.DefaultAsyncBus(0), partition.Square},
+	}
+	var out []IsoeffRow
+	for _, tc := range cases {
+		p := core.Problem{N: 64, Stencil: stencil.FivePoint, Shape: tc.sh}
+		grids, err := core.IsoefficiencyCurve(p, tc.arch, procCounts, target)
+		if err != nil {
+			return nil, err
+		}
+		sigma, err := core.IsoefficiencyWorkExponent(procCounts, grids)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IsoeffRow{
+			Arch:       tc.arch.Name(),
+			Shape:      tc.sh.String(),
+			ProcCounts: procCounts,
+			Grids:      grids,
+			Sigma:      sigma,
+		})
+	}
+	return out, nil
+}
+
+// RenderIsoefficiency writes the isoefficiency table.
+func RenderIsoefficiency(w io.Writer, rows []IsoeffRow, target float64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	headers := []string{"architecture", "shape"}
+	for _, pc := range rows[0].ProcCounts {
+		headers = append(headers, fmt.Sprintf("n@P=%d", pc))
+	}
+	headers = append(headers, "W∝P^σ")
+	t := tab.New(
+		fmt.Sprintf("Isoefficiency — smallest grid sustaining efficiency ≥ %.0f%% (Fig. 7 generalized)", 100*target),
+		headers...)
+	for _, r := range rows {
+		cells := []interface{}{r.Arch, r.Shape}
+		for _, g := range r.Grids {
+			cells = append(cells, g)
+		}
+		cells = append(cells, r.Sigma)
+		t.AddRow(cells...)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// ScalingRow is one architecture's scaled-speedup series (experiments
+// X5/X6 and the paper's §8 summary): the machine grows with the problem.
+type ScalingRow struct {
+	Arch     string
+	Shape    string
+	Order    core.GrowthOrder
+	Ns       []int
+	Speedups []float64
+	Exponent float64 // fitted γ in S ∝ (n²)^γ
+}
+
+// Scaling computes the scaled-speedup behavior of every architecture
+// class over the given grid sizes at the given points-per-processor
+// (squares; strips take their forced minimum).
+func Scaling(st stencil.Stencil, ns []int, pointsPerProc float64) ([]ScalingRow, error) {
+	cases := []struct {
+		arch core.Architecture
+		sh   partition.Shape
+	}{
+		{core.DefaultHypercube(0), partition.Square},
+		{core.DefaultMesh(0), partition.Square},
+		{core.DefaultBanyan(0), partition.Square},
+		{core.DefaultBanyan(0), partition.Strip},
+		{core.DefaultSyncBus(0), partition.Square},
+		{core.DefaultSyncBus(0), partition.Strip},
+		{core.DefaultAsyncBus(0), partition.Square},
+		{core.DefaultAsyncBus(0), partition.Strip},
+	}
+	var out []ScalingRow
+	for _, tc := range cases {
+		p := core.Problem{N: ns[0], Stencil: st, Shape: tc.sh}
+		series, err := core.ScaledSpeedupSeries(p, tc.arch, pointsPerProc, ns)
+		if err != nil {
+			return nil, err
+		}
+		gamma, err := core.FitGrowthExponent(series)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{
+			Arch:     tc.arch.Name(),
+			Shape:    tc.sh.String(),
+			Order:    core.SpeedupGrowth(tc.arch, tc.sh),
+			Ns:       ns,
+			Exponent: gamma,
+		}
+		for _, pt := range series {
+			row.Speedups = append(row.Speedups, pt.Speedup)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderScaling writes the scaled-speedup table.
+func RenderScaling(w io.Writer, rows []ScalingRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	headers := []string{"architecture", "shape", "paper order", "fit γ"}
+	for _, n := range rows[0].Ns {
+		headers = append(headers, fmt.Sprintf("S(n=%d)", n))
+	}
+	t := tab.New("Scaled speedup — machine grows with the problem (§8 summary)", headers...)
+	for _, r := range rows {
+		cells := []interface{}{r.Arch, r.Shape, r.Order.String(), r.Exponent}
+		for _, s := range r.Speedups {
+			cells = append(cells, s)
+		}
+		t.AddRow(cells...)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/core"
+	"optspeed/internal/stencil"
+	"optspeed/internal/tab"
+)
+
+// Table1Result evaluates the paper's Table I at a set of grid sizes.
+type Table1Result struct {
+	Stencil string
+	Ns      []int
+	Rows    []core.TableIRow     // formulas and orders (n-independent)
+	Values  map[string][]float64 // arch → speedup at each n
+}
+
+// Table1 evaluates Table I ("Summary of Optimal Speedups") on the
+// calibrated default machines over the given grid sizes.
+func Table1(st stencil.Stencil, ns []int) Table1Result {
+	res := Table1Result{Stencil: st.Name(), Ns: ns, Values: map[string][]float64{}}
+	for i, n := range ns {
+		rows := core.TableI(n, st,
+			core.DefaultHypercube(0), core.DefaultSyncBus(0),
+			core.DefaultAsyncBus(0), core.DefaultBanyan(0))
+		if i == 0 {
+			res.Rows = rows
+		}
+		for _, r := range rows {
+			res.Values[r.Arch] = append(res.Values[r.Arch], r.Speedup)
+		}
+	}
+	return res
+}
+
+// RenderTable1 writes the formula table and the numeric sweep.
+func RenderTable1(w io.Writer, res Table1Result) error {
+	t := tab.New(
+		fmt.Sprintf("Table I — optimal speedups (square partitions, %s stencil)", res.Stencil),
+		"architecture", "optimal speedup", "growth")
+	for _, r := range res.Rows {
+		t.AddRow(r.Arch, r.Formula, r.Order.String())
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	headers := []string{"architecture"}
+	for _, n := range res.Ns {
+		headers = append(headers, fmt.Sprintf("n=%d", n))
+	}
+	tv := tab.New("Table I evaluated on the calibrated machine", headers...)
+	for _, r := range res.Rows {
+		cells := []interface{}{r.Arch}
+		for _, v := range res.Values[r.Arch] {
+			cells = append(cells, v)
+		}
+		tv.AddRow(cells...)
+	}
+	if err := tv.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

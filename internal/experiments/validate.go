@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"optspeed/internal/simarch"
+	"optspeed/internal/tab"
+)
+
+// ValidationResult is experiment V1: discrete-event simulations of every
+// architecture compared against the analytic cycle-time model.
+type ValidationResult struct {
+	N         int
+	Rows      []simarch.Validation
+	MaxRelErr float64
+}
+
+// Validate runs the full V1 sweep on an n×n problem.
+func Validate(n int) (ValidationResult, error) {
+	rows, maxRel, err := simarch.ValidateAll(n)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	return ValidationResult{N: n, Rows: rows, MaxRelErr: maxRel}, nil
+}
+
+// RenderValidation writes the model-vs-simulation table.
+func RenderValidation(w io.Writer, res ValidationResult) error {
+	t := tab.New(
+		fmt.Sprintf("V1 — DES simulation vs analytic model, %dx%d grid", res.N, res.N),
+		"architecture", "shape", "P", "simulated (s)", "model (s)", "rel err")
+	for _, v := range res.Rows {
+		t.AddRow(v.Arch, v.Shape, v.Procs, v.Simulated, v.Predicted, v.RelErr)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "max relative error: %.4g\n\n", res.MaxRelErr)
+	return err
+}

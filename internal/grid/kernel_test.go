@@ -1,0 +1,233 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/stencil"
+)
+
+func TestNewKernelValidation(t *testing.T) {
+	if _, err := NewKernel(stencil.Stencil{}, nil, 0); err == nil {
+		t.Error("invalid stencil accepted")
+	}
+	if _, err := NewKernel(stencil.FivePoint, []float64{1, 2}, 0); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	k, err := NewKernel(stencil.FivePoint, []float64{0.25, 0.25, 0.25, 0.25}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Weights) != 4 || k.RHSCoeff != 0.1 {
+		t.Error("kernel fields wrong")
+	}
+}
+
+func TestBuiltinKernelWeightsSum(t *testing.T) {
+	cases := []struct {
+		name string
+		k    Kernel
+		sum  float64
+	}{
+		{"Laplace5", Laplace5(31), 1},
+		{"Laplace9", Laplace9(31), 1},
+		{"Star9", Star9(31), 1},
+		{"Averaging13", Averaging(stencil.ThirteenPoint), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s float64
+			for _, w := range tc.k.Weights {
+				s += w
+			}
+			if math.Abs(s-tc.sum) > 1e-12 {
+				t.Errorf("weights sum to %.15f, want %g", s, tc.sum)
+			}
+		})
+	}
+}
+
+// TestSweepConstantInvariance: with weights summing to 1 and zero RHS, a
+// constant field is a fixed point of the Jacobi sweep (mean-value
+// property).
+func TestSweepConstantInvariance(t *testing.T) {
+	for _, k := range []Kernel{Laplace5(8), Laplace9(8), Star9(8), Averaging(stencil.ThirteenPoint)} {
+		src := MustNew(8)
+		src.Fill(3)
+		src.SetConstantBoundary(3)
+		dst := MustNew(8)
+		if err := Sweep(dst, src, k, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if math.Abs(dst.At(i, j)-3) > 1e-12 {
+					t.Fatalf("%s: constant not invariant at (%d,%d): %g",
+						k.Stencil.Name(), i, j, dst.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestJacobiConvergesLaplace: iterating the 5-point kernel on the Laplace
+// equation with boundary 1 must converge to the constant 1 (the unique
+// harmonic function with constant boundary).
+func TestJacobiConvergesLaplace(t *testing.T) {
+	n := 16
+	k := Laplace5(n)
+	u, v := MustNew(n), MustNew(n)
+	u.SetConstantBoundary(1)
+	v.SetConstantBoundary(1)
+	for it := 0; it < 4000; it++ {
+		if err := Sweep(v, u, k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Swap(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(u.At(i, j)-1) > 1e-6 {
+				t.Fatalf("not converged at (%d,%d): %g", i, j, u.At(i, j))
+			}
+		}
+	}
+}
+
+// TestPoissonManufactured solves −∇²u = f with f chosen so that
+// u(x,y) = sin(πx)·sin(πy) is the exact solution; the discrete solution
+// must match to discretization accuracy.
+func TestPoissonManufactured(t *testing.T) {
+	n := 24
+	h := 1 / float64(n+1)
+	k := Laplace5(n)
+	f := MustNew(n)
+	f.FillFunc(func(i, j int) float64 {
+		x := float64(i+1) * h
+		y := float64(j+1) * h
+		return 2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+	})
+	u, v := MustNew(n), MustNew(n)
+	for it := 0; it < 8000; it++ {
+		if err := Sweep(v, u, k, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Swap(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := float64(i+1) * h
+			y := float64(j+1) * h
+			exact := math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			if e := math.Abs(u.At(i, j) - exact); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	// Second-order scheme: error O(h²) ≈ (π·h)²/c; allow generous slack.
+	if maxErr > 5*h*h*math.Pi*math.Pi {
+		t.Errorf("max error %g too large for h=%g", maxErr, h)
+	}
+}
+
+// TestSweepRegionEquivalence: sweeping the grid as four disjoint regions
+// gives bit-identical results to one full sweep (the property that makes
+// partitioned Jacobi exact).
+func TestSweepRegionEquivalence(t *testing.T) {
+	n := 17 // odd, so regions are uneven
+	for _, k := range []Kernel{Laplace5(n), Laplace9(n), Star9(n)} {
+		src := MustNew(n)
+		src.FillFunc(func(i, j int) float64 { return math.Sin(float64(3*i + j)) })
+		src.SetBoundary(func(i, j int) float64 { return float64(i - j) })
+		want, got := MustNew(n), MustNew(n)
+		if err := Sweep(want, src, k, nil); err != nil {
+			t.Fatal(err)
+		}
+		mid := n / 2
+		regions := [][4]int{
+			{0, mid, 0, mid}, {0, mid, mid, n}, {mid, n, 0, mid}, {mid, n, mid, n},
+		}
+		for _, r := range regions {
+			if err := SweepRegion(got, src, k, nil, r[0], r[1], r[2], r[3]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := want.MaxAbsDiff(got); d != 0 {
+			t.Errorf("%s: region sweep differs by %g", k.Stencil.Name(), d)
+		}
+	}
+}
+
+func TestSweepRegionErrors(t *testing.T) {
+	src, dst := MustNew(8), MustNew(8)
+	k := Laplace5(8)
+	if err := SweepRegion(dst, src, k, nil, -1, 8, 0, 8); err == nil {
+		t.Error("negative r0 accepted")
+	}
+	if err := SweepRegion(dst, src, k, nil, 0, 9, 0, 8); err == nil {
+		t.Error("r1 > n accepted")
+	}
+	if err := SweepRegion(dst, src, k, nil, 4, 2, 0, 8); err == nil {
+		t.Error("r0 > r1 accepted")
+	}
+	other := MustNew(9)
+	if err := Sweep(other, src, k, nil); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+	thin, _ := NewHalo(8, 1)
+	thinDst, _ := NewHalo(8, 1)
+	if err := Sweep(thinDst, thin, Star9(8), nil); err == nil {
+		t.Error("stencil radius exceeding halo accepted")
+	}
+}
+
+// TestSORConvergesFasterThanJacobi: on the same Laplace problem, SOR with
+// ω = 1.5 reaches a tighter state than Jacobi in the same sweep count.
+func TestSORConvergesFasterThanJacobi(t *testing.T) {
+	n := 16
+	k := Laplace5(n)
+	iters := 150
+
+	jac, tmp := MustNew(n), MustNew(n)
+	jac.SetConstantBoundary(1)
+	tmp.SetConstantBoundary(1)
+	for it := 0; it < iters; it++ {
+		if err := Sweep(tmp, jac, k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := jac.Swap(tmp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sor := MustNew(n)
+	sor.SetConstantBoundary(1)
+	for it := 0; it < iters; it++ {
+		if err := SweepSOR(sor, k, nil, 1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var jacErr, sorErr float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			jacErr = math.Max(jacErr, math.Abs(jac.At(i, j)-1))
+			sorErr = math.Max(sorErr, math.Abs(sor.At(i, j)-1))
+		}
+	}
+	if sorErr >= jacErr {
+		t.Errorf("SOR error %g not better than Jacobi %g", sorErr, jacErr)
+	}
+}
+
+func TestSORHaloCheck(t *testing.T) {
+	g, _ := NewHalo(8, 1)
+	if err := SweepSOR(g, Star9(8), nil, 1.0); err == nil {
+		t.Error("SOR with stencil radius exceeding halo accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResidualZeroAtFixedPoint(t *testing.T) {
+	// The constant field is the exact solution of the homogeneous
+	// problem with matching boundary: residual must be 0.
+	g := MustNew(12)
+	g.Fill(2)
+	g.SetConstantBoundary(2)
+	maxN, l2, err := Residual(g, Laplace5(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxN != 0 || l2 != 0 {
+		t.Errorf("residual (%g, %g) at fixed point", maxN, l2)
+	}
+}
+
+func TestResidualPositiveOffSolution(t *testing.T) {
+	g := MustNew(12)
+	g.SetConstantBoundary(1) // interior zero: far from harmonic
+	maxN, l2, err := Residual(g, Laplace5(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxN <= 0 || l2 <= 0 {
+		t.Errorf("residual (%g, %g) should be positive", maxN, l2)
+	}
+	if l2 < maxN {
+		t.Errorf("L2 %g below max %g", l2, maxN)
+	}
+}
+
+func TestErrorAgainst(t *testing.T) {
+	g := MustNew(4)
+	g.FillFunc(func(i, j int) float64 { return float64(i + j) })
+	maxN, l2 := ErrorAgainst(g, func(i, j int) float64 { return float64(i + j) })
+	if maxN != 0 || l2 != 0 {
+		t.Errorf("exact field has error (%g, %g)", maxN, l2)
+	}
+	maxN, l2 = ErrorAgainst(g, func(i, j int) float64 { return float64(i+j) + 1 })
+	if maxN != 1 {
+		t.Errorf("max error %g, want 1", maxN)
+	}
+	if math.Abs(l2-4) > 1e-12 { // sqrt(16 points × 1²)
+		t.Errorf("L2 error %g, want 4", l2)
+	}
+}
+
+func TestInteriorSum(t *testing.T) {
+	g := MustNew(3)
+	g.Fill(2)
+	g.SetConstantBoundary(100) // must not count
+	if s := g.InteriorSum(); s != 18 {
+		t.Errorf("InteriorSum = %g", s)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	g := MustNew(4)
+	if err := g.CheckFinite(); err != nil {
+		t.Error(err)
+	}
+	g.Set(1, 2, math.NaN())
+	if err := g.CheckFinite(); err == nil {
+		t.Error("NaN not detected")
+	}
+	g.Set(1, 2, math.Inf(1))
+	if err := g.CheckFinite(); err == nil {
+		t.Error("Inf not detected")
+	}
+}

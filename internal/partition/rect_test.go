@@ -1,0 +1,230 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{H: 4, W: 8}
+	if r.Area() != 32 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if r.Perimeter() != 24 {
+		t.Errorf("Perimeter = %d", r.Perimeter())
+	}
+	if r.AspectRatio() != 2 {
+		t.Errorf("AspectRatio = %g", r.AspectRatio())
+	}
+	if (Rect{H: 8, W: 4}).AspectRatio() != 2 {
+		t.Error("AspectRatio not symmetric")
+	}
+	if (Rect{}).AspectRatio() != 0 {
+		t.Error("degenerate AspectRatio != 0")
+	}
+	if r.String() != "4x8" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(12)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(12) = %v, want %v", got, want)
+		}
+	}
+	if Divisors(0) != nil {
+		t.Error("Divisors(0) != nil")
+	}
+	if got := Divisors(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Divisors(1) = %v", got)
+	}
+}
+
+// Property: every divisor divides n, the list is sorted and complete.
+func TestDivisorsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := 1 + rng.Intn(2000)
+		ds := Divisors(n)
+		if !sort.IntsAreSorted(ds) {
+			return false
+		}
+		set := map[int]bool{}
+		for _, d := range ds {
+			if d < 1 || n%d != 0 || set[d] {
+				return false
+			}
+			set[d] = true
+		}
+		for d := 1; d <= n; d++ {
+			if n%d == 0 && !set[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripHeights(t *testing.T) {
+	hs := StripHeights(8)
+	// q=1→8; q=2→4; q=3→⌊8/3⌋=2,⌈⌉=3; q=4→2; q=5..7→1,2; q=8→1.
+	want := []int{1, 2, 3, 4, 8}
+	if len(hs) != len(want) {
+		t.Fatalf("StripHeights(8) = %v, want %v", hs, want)
+	}
+	for i := range want {
+		if hs[i] != want[i] {
+			t.Fatalf("StripHeights(8) = %v, want %v", hs, want)
+		}
+	}
+	if StripHeights(0) != nil {
+		t.Error("StripHeights(0) != nil")
+	}
+}
+
+// Property: every reported height is realized by some strip decomposition
+// and heights are sorted unique.
+func TestStripHeightsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := 1 + rng.Intn(300)
+		hs := StripHeights(n)
+		if !sort.IntsAreSorted(hs) {
+			return false
+		}
+		for i := 1; i < len(hs); i++ {
+			if hs[i] == hs[i-1] {
+				return false
+			}
+		}
+		realized := map[int]bool{}
+		for q := 1; q <= n; q++ {
+			bands, err := DecomposeStrips(n, q)
+			if err != nil {
+				return false
+			}
+			for _, b := range bands {
+				realized[b.Rows] = true
+			}
+		}
+		if len(realized) != len(hs) {
+			return false
+		}
+		for _, h := range hs {
+			if !realized[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLegalRectanglesSortedAndLegal(t *testing.T) {
+	n := 64
+	rects := LegalRectangles(n)
+	if len(rects) == 0 {
+		t.Fatal("no legal rectangles")
+	}
+	if want := n * len(Divisors(n)); len(rects) != want {
+		t.Fatalf("got %d rects, want %d", len(rects), want)
+	}
+	prevArea := 0
+	for _, r := range rects {
+		if r.H < 1 || r.H > n {
+			t.Fatalf("rect %v height out of range", r)
+		}
+		if n%r.W != 0 {
+			t.Fatalf("rect %v width does not divide n", r)
+		}
+		if r.Area() < prevArea {
+			t.Fatal("rects not sorted by area")
+		}
+		prevArea = r.Area()
+	}
+}
+
+func TestDecomposeBlocks(t *testing.T) {
+	blocks, err := DecomposeBlocks(8, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(blocks))
+	}
+	area := 0
+	for i, b := range blocks {
+		if b.Index != i {
+			t.Errorf("block %d has index %d", i, b.Index)
+		}
+		area += b.Area()
+	}
+	if area != 64 {
+		t.Errorf("blocks cover %d points, want 64", area)
+	}
+}
+
+func TestDecomposeBlocksErrors(t *testing.T) {
+	if _, err := DecomposeBlocks(8, 2, 3); err == nil {
+		t.Error("width not dividing n accepted")
+	}
+	if _, err := DecomposeBlocks(8, 0, 4); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := DecomposeBlocks(8, 2, 0); err == nil {
+		t.Error("w=0 accepted")
+	}
+}
+
+// Property: blocks tile the grid exactly — every cell covered once.
+func TestDecomposeBlocksProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		n := 2 + rng.Intn(60)
+		divs := Divisors(n)
+		w := divs[rng.Intn(len(divs))]
+		q := 1 + rng.Intn(n)
+		blocks, err := DecomposeBlocks(n, q, w)
+		if err != nil {
+			return false
+		}
+		covered := make([][]int, n)
+		for i := range covered {
+			covered[i] = make([]int, n)
+		}
+		for _, b := range blocks {
+			for i := b.Row0; i < b.Row0+b.Rows; i++ {
+				for j := b.Col0; j < b.Col0+b.Cols; j++ {
+					if i < 0 || i >= n || j < 0 || j >= n {
+						return false
+					}
+					covered[i][j]++
+				}
+			}
+		}
+		for i := range covered {
+			for j := range covered[i] {
+				if covered[i][j] != 1 {
+					return false
+				}
+			}
+		}
+		return len(blocks) == q*(n/w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// cellGlyph cycles through distinct printable glyphs for partition ids.
+func cellGlyph(id int) byte {
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return glyphs[id%len(glyphs)]
+}
+
+// RenderBands draws a strip decomposition as an n×n character grid, one
+// glyph per partition (paper Fig. 4). Intended for small n; callers
+// downsample larger grids.
+func RenderBands(n int, bands []Band) (string, error) {
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for _, b := range bands {
+		for r := b.Row0; r < b.Row0+b.Rows; r++ {
+			if r < 0 || r >= n {
+				return "", fmt.Errorf("partition: band %d covers row %d outside [0,%d)", b.Index, r, n)
+			}
+			owner[r] = b.Index
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if owner[i] < 0 {
+			return "", fmt.Errorf("partition: row %d uncovered", i)
+		}
+		g := cellGlyph(owner[i])
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte(g)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// RenderBlocks draws a grid-of-blocks decomposition as an n×n character
+// grid, one glyph per block (paper Figs. 2 and 5).
+func RenderBlocks(n int, blocks []Block) (string, error) {
+	owner := make([][]int, n)
+	for i := range owner {
+		owner[i] = make([]int, n)
+		for j := range owner[i] {
+			owner[i][j] = -1
+		}
+	}
+	for _, b := range blocks {
+		for i := b.Row0; i < b.Row0+b.Rows; i++ {
+			for j := b.Col0; j < b.Col0+b.Cols; j++ {
+				if i < 0 || i >= n || j < 0 || j >= n {
+					return "", fmt.Errorf("partition: block %d covers (%d,%d) outside grid", b.Index, i, j)
+				}
+				owner[i][j] = b.Index
+			}
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if owner[i][j] < 0 {
+				return "", fmt.Errorf("partition: cell (%d,%d) uncovered", i, j)
+			}
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte(cellGlyph(owner[i][j]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBands(t *testing.T) {
+	bands, err := DecomposeStrips(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := RenderBands(4, bands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "0 0 0 0\n0 0 0 0\n1 1 1 1\n1 1 1 1\n"
+	if art != want {
+		t.Errorf("RenderBands =\n%swant\n%s", art, want)
+	}
+}
+
+func TestRenderBandsErrors(t *testing.T) {
+	if _, err := RenderBands(4, []Band{{Index: 0, Row0: 0, Rows: 2}}); err == nil {
+		t.Error("uncovered rows accepted")
+	}
+	if _, err := RenderBands(2, []Band{{Index: 0, Row0: 0, Rows: 5}}); err == nil {
+		t.Error("out-of-range band accepted")
+	}
+}
+
+func TestRenderBlocks(t *testing.T) {
+	blocks, err := DecomposeBlocks(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := RenderBlocks(4, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d:\n%s", len(lines), art)
+	}
+	if lines[0] != "0 0 1 1" || lines[3] != "2 2 3 3" {
+		t.Errorf("unexpected art:\n%s", art)
+	}
+}
+
+func TestRenderBlocksErrors(t *testing.T) {
+	if _, err := RenderBlocks(4, nil); err == nil {
+		t.Error("empty cover accepted")
+	}
+	if _, err := RenderBlocks(2, []Block{{Rows: 9, Cols: 9}}); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+}
+
+func TestCellGlyphCycles(t *testing.T) {
+	if cellGlyph(0) != '0' || cellGlyph(10) != 'a' {
+		t.Error("glyph mapping")
+	}
+	// Wraps without panicking for large ids.
+	_ = cellGlyph(1000)
+}

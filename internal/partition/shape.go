@@ -1,0 +1,100 @@
+// Package partition implements the domain decompositions studied by the
+// Nicol-Willard model: strip partitions and (nearly) square rectangular
+// partitions of an n×n grid, together with the geometric quantities the
+// performance model consumes — perimeter counts k(P,S), boundary word
+// volumes, and the "working rectangle" approximation of square partitions
+// with its area/perimeter error analysis (paper §3, Figs. 2, 4, 5, 6).
+package partition
+
+import (
+	"fmt"
+
+	"optspeed/internal/stencil"
+)
+
+// Shape identifies the partition geometry.
+type Shape int
+
+const (
+	// Strip partitions are bands of contiguous full rows (paper Fig. 4).
+	Strip Shape = iota
+	// Square partitions are near-square rectangles arranged in a grid
+	// over the domain (paper Figs. 2 and 5).
+	Square
+)
+
+// Shapes returns both partition shapes in paper order.
+func Shapes() []Shape { return []Shape{Strip, Square} }
+
+// String returns "strip" or "square".
+func (s Shape) String() string {
+	switch s {
+	case Strip:
+		return "strip"
+	case Square:
+		return "square"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a defined shape.
+func (s Shape) Valid() bool { return s == Strip || s == Square }
+
+// Perimeters returns k(P, S): the number of partition perimeters that must
+// be communicated per iteration when shape s is used with stencil st
+// (paper §3). A strip only has row-boundaries, so its count is the
+// stencil's row radius; a square partition is bounded in both directions,
+// so its count is the Chebyshev radius.
+//
+// For the paper's stencils this gives the table in §3:
+//
+//	k(strip, 5-point)  = 1    k(square, 5-point)  = 1
+//	k(strip, 9-point)  = 1    k(square, 9-point)  = 1
+//	k(strip, 9-star)   = 2    k(square, 9-star)   = 2
+//	k(strip, 13-point) = 2    k(square, 13-point) = 2
+func (s Shape) Perimeters(st stencil.Stencil) int {
+	switch s {
+	case Strip:
+		return st.RowRadius()
+	case Square:
+		return st.ChebyshevRadius()
+	default:
+		panic(fmt.Sprintf("partition: Perimeters on invalid shape %d", int(s)))
+	}
+}
+
+// BoundaryWords returns the per-iteration one-way communication volume, in
+// words (grid-point values), of a single partition of the given shape: the
+// number of words a partition must read from its neighbors (equal, under
+// the paper's symmetric-exchange assumption, to the number it writes).
+//
+// For a strip of an n-wide domain, k perimeters of n points lie on each of
+// the two cut sides: 2·n·k words. For a square with side s, k perimeters of
+// s points lie on each of the four sides: 4·s·k words. (Corner words needed
+// by diagonal stencils are ignored, as in the paper's footnote in §6.1.)
+func (s Shape) BoundaryWords(st stencil.Stencil, n, side int) int {
+	k := s.Perimeters(st)
+	switch s {
+	case Strip:
+		return 2 * n * k
+	case Square:
+		return 4 * side * k
+	default:
+		panic(fmt.Sprintf("partition: BoundaryWords on invalid shape %d", int(s)))
+	}
+}
+
+// MinArea returns the smallest admissible partition area for shape s on an
+// n×n grid: a strip is at least one full row (n points), a square at least
+// a single point.
+func (s Shape) MinArea(n int) int {
+	switch s {
+	case Strip:
+		return n
+	case Square:
+		return 1
+	default:
+		panic(fmt.Sprintf("partition: MinArea on invalid shape %d", int(s)))
+	}
+}

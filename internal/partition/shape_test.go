@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"testing"
+
+	"optspeed/internal/stencil"
+)
+
+// TestPerimeterTable pins the paper's §3 table of k(P, S) values.
+func TestPerimeterTable(t *testing.T) {
+	cases := []struct {
+		st    stencil.Stencil
+		strip int
+		sq    int
+	}{
+		{stencil.FivePoint, 1, 1},
+		{stencil.NinePoint, 1, 1},
+		{stencil.NineStar, 2, 2},
+		{stencil.ThirteenPoint, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.st.Name(), func(t *testing.T) {
+			if got := Strip.Perimeters(tc.st); got != tc.strip {
+				t.Errorf("k(strip, %s) = %d, want %d", tc.st.Name(), got, tc.strip)
+			}
+			if got := Square.Perimeters(tc.st); got != tc.sq {
+				t.Errorf("k(square, %s) = %d, want %d", tc.st.Name(), got, tc.sq)
+			}
+		})
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Strip.String() != "strip" || Square.String() != "square" {
+		t.Errorf("String(): %q, %q", Strip.String(), Square.String())
+	}
+	if got := Shape(42).String(); got != "Shape(42)" {
+		t.Errorf("invalid shape String() = %q", got)
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if !Strip.Valid() || !Square.Valid() {
+		t.Error("builtin shapes not valid")
+	}
+	if Shape(9).Valid() {
+		t.Error("Shape(9) is valid")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	got := Shapes()
+	if len(got) != 2 || got[0] != Strip || got[1] != Square {
+		t.Errorf("Shapes() = %v", got)
+	}
+}
+
+// TestBoundaryWords checks the communication volumes of §4:
+// V = 2n·k for strips, 4s·k for squares.
+func TestBoundaryWords(t *testing.T) {
+	n := 64
+	if got := Strip.BoundaryWords(stencil.FivePoint, n, 0); got != 2*n {
+		t.Errorf("strip 5-point volume = %d, want %d", got, 2*n)
+	}
+	if got := Strip.BoundaryWords(stencil.NineStar, n, 0); got != 4*n {
+		t.Errorf("strip 9-star volume = %d, want %d", got, 4*n)
+	}
+	if got := Square.BoundaryWords(stencil.FivePoint, n, 8); got != 32 {
+		t.Errorf("square 5-point volume (s=8) = %d, want 32", got)
+	}
+	if got := Square.BoundaryWords(stencil.ThirteenPoint, n, 8); got != 64 {
+		t.Errorf("square 13-point volume (s=8) = %d, want 64", got)
+	}
+}
+
+func TestMinArea(t *testing.T) {
+	if got := Strip.MinArea(128); got != 128 {
+		t.Errorf("Strip.MinArea(128) = %d", got)
+	}
+	if got := Square.MinArea(128); got != 1 {
+		t.Errorf("Square.MinArea(128) = %d", got)
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Perimeters":    func() { Shape(3).Perimeters(stencil.FivePoint) },
+		"BoundaryWords": func() { Shape(3).BoundaryWords(stencil.FivePoint, 8, 8) },
+		"MinArea":       func() { Shape(3).MinArea(8) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on invalid shape did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package partition
+
+import "fmt"
+
+// Band is one strip partition: a contiguous band of full rows of the grid.
+// Rows are numbered 0..n-1; the band covers rows [Row0, Row0+Rows).
+type Band struct {
+	Index int // partition index, 0..P-1, top to bottom
+	Row0  int // first row covered
+	Rows  int // number of rows covered
+}
+
+// Area returns the number of grid points in the band on an n-wide grid.
+func (b Band) Area(n int) int { return b.Rows * n }
+
+// DecomposeStrips cuts an n×n grid into p horizontal strips using the
+// paper's rule (§3): writing n = k·p + r with 0 ≤ r < p, the first r
+// partitions receive k+1 contiguous rows and the remaining p−r receive k
+// rows. Every strip has the same number of communicating boundaries as in
+// the equal-work case (paper Fig. 4).
+//
+// It returns an error unless 1 ≤ p ≤ n.
+func DecomposeStrips(n, p int) ([]Band, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("partition: grid size n=%d must be positive", n)
+	}
+	if p < 1 || p > n {
+		return nil, fmt.Errorf("partition: strip count p=%d out of range [1, %d]", p, n)
+	}
+	k, r := n/p, n%p
+	bands := make([]Band, p)
+	row := 0
+	for i := range bands {
+		rows := k
+		if i < r {
+			rows++
+		}
+		bands[i] = Band{Index: i, Row0: row, Rows: rows}
+		row += rows
+	}
+	return bands, nil
+}
+
+// StripImbalance returns the ratio of the largest strip area to the ideal
+// n²/p for the paper's decomposition rule: 1 when p divides n, otherwise
+// slightly above 1. It quantifies the load imbalance the model ignores by
+// treating partitions as equal.
+func StripImbalance(n, p int) float64 {
+	k, r := n/p, n%p
+	maxRows := k
+	if r > 0 {
+		maxRows = k + 1
+	}
+	ideal := float64(n) / float64(p)
+	return float64(maxRows) / ideal
+}
+
+// NeighborCount returns the number of strips band i exchanges boundaries
+// with, for a decomposition into p strips with constant (Dirichlet)
+// physical boundary values: interior strips have 2 neighbors, the first and
+// last have 1, and a single strip has none.
+func NeighborCount(i, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	if i == 0 || i == p-1 {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeStripsExact(t *testing.T) {
+	bands, err := DecomposeStrips(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 4 {
+		t.Fatalf("got %d bands, want 4", len(bands))
+	}
+	for i, b := range bands {
+		if b.Rows != 3 {
+			t.Errorf("band %d has %d rows, want 3", i, b.Rows)
+		}
+	}
+}
+
+// TestDecomposeStripsPaperRule checks the §3 rule: with n = k·p + r, the
+// first r partitions receive k+1 rows, the rest k rows.
+func TestDecomposeStripsPaperRule(t *testing.T) {
+	bands, err := DecomposeStrips(10, 4) // 10 = 2·4 + 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []int{3, 3, 2, 2}
+	for i, b := range bands {
+		if b.Rows != wantRows[i] {
+			t.Errorf("band %d: rows=%d, want %d", i, b.Rows, wantRows[i])
+		}
+	}
+}
+
+func TestDecomposeStripsErrors(t *testing.T) {
+	if _, err := DecomposeStrips(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := DecomposeStrips(8, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := DecomposeStrips(8, 9); err == nil {
+		t.Error("p>n accepted")
+	}
+}
+
+// Property: strips exactly tile the rows — contiguous, disjoint, covering,
+// with row counts differing by at most one.
+func TestDecomposeStripsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 1 + rng.Intn(500)
+		p := 1 + rng.Intn(n)
+		bands, err := DecomposeStrips(n, p)
+		if err != nil || len(bands) != p {
+			return false
+		}
+		row := 0
+		minRows, maxRows := n+1, 0
+		for i, b := range bands {
+			if b.Index != i || b.Row0 != row || b.Rows < 1 {
+				return false
+			}
+			row += b.Rows
+			if b.Rows < minRows {
+				minRows = b.Rows
+			}
+			if b.Rows > maxRows {
+				maxRows = b.Rows
+			}
+			if b.Area(n) != b.Rows*n {
+				return false
+			}
+		}
+		return row == n && maxRows-minRows <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripImbalance(t *testing.T) {
+	if got := StripImbalance(12, 4); got != 1 {
+		t.Errorf("imbalance(12,4) = %g, want 1", got)
+	}
+	got := StripImbalance(10, 4) // max rows 3 vs ideal 2.5
+	if want := 3.0 / 2.5; got != want {
+		t.Errorf("imbalance(10,4) = %g, want %g", got, want)
+	}
+}
+
+func TestNeighborCount(t *testing.T) {
+	if NeighborCount(0, 1) != 0 {
+		t.Error("single strip has neighbors")
+	}
+	if NeighborCount(0, 4) != 1 || NeighborCount(3, 4) != 1 {
+		t.Error("edge strips should have 1 neighbor")
+	}
+	if NeighborCount(1, 4) != 2 || NeighborCount(2, 4) != 2 {
+		t.Error("interior strips should have 2 neighbors")
+	}
+}

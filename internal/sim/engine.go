@@ -1,0 +1,115 @@
+// Package sim is a small discrete-event simulation kernel used to build
+// the architecture simulators in internal/simarch. It provides a
+// simulated clock, an event heap, and FCFS resources, enough to model
+// buses, links, and switching networks at word/message granularity.
+//
+// The simulators exist to *validate* the paper's analytic cycle-time
+// models: the bus contention law c + b·P, the hypercube's contention-free
+// nearest-neighbor exchanges, and the banyan's conflict-free module
+// assignment are emergent properties of these simulations, not inputs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  int64 // FIFO tiebreak for simultaneous events
+	call func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and event queue. The zero value is ready to
+// use at time zero.
+type Simulator struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	ran    int64
+}
+
+// New returns a simulator at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// EventsRun returns the number of events executed so far.
+func (s *Simulator) EventsRun() int64 { return s.ran }
+
+// At schedules f to run at absolute time t (not before the current time).
+func (s *Simulator) At(t Time, f func()) error {
+	if t < s.now {
+		return fmt.Errorf("sim: schedule at %g before now %g", t, s.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("sim: schedule at non-finite time %g", t)
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, call: f})
+	return nil
+}
+
+// After schedules f to run delay seconds from now.
+func (s *Simulator) After(delay Time, f func()) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %g", delay)
+	}
+	return s.At(s.now+delay, f)
+}
+
+// Run executes events in time order until the queue drains, returning
+// the final simulated time.
+func (s *Simulator) Run() Time {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.ran++
+		e.call()
+	}
+	return s.now
+}
+
+// RunUntil executes events with at ≤ deadline; remaining events stay
+// queued and the clock advances to min(deadline, last event time).
+func (s *Simulator) RunUntil(deadline Time) Time {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.ran++
+		e.call()
+	}
+	if s.now < deadline && len(s.events) == 0 {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRun(t *testing.T) {
+	s := New()
+	var order []int
+	if err := s.At(3, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	end := s.Run()
+	if end != 3 {
+		t.Errorf("end time %g", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order %v", order)
+	}
+	if s.EventsRun() != 3 {
+		t.Errorf("EventsRun = %d", s.EventsRun())
+	}
+}
+
+func TestFIFOTiebreak(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.At(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := New()
+	var times []Time
+	if err := s.After(1, func() {
+		times = append(times, s.Now())
+		if err := s.After(2, func() { times = append(times, s.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times %v", times)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	s := New()
+	if err := s.At(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if err := s.At(0.5, func() {}); err == nil {
+		t.Error("past scheduling accepted")
+	}
+	if err := s.After(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := s.At(math.NaN(), func() {}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if err := s.At(math.Inf(1), func() {}); err == nil {
+		t.Error("Inf time accepted")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		if err := s.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Errorf("fired %v", fired)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run fired %v", fired)
+	}
+	// RunUntil past the last event advances the clock to the deadline.
+	s2 := New()
+	if got := s2.RunUntil(7); got != 7 {
+		t.Errorf("empty RunUntil = %g", got)
+	}
+}
+
+// Property: events always execute in nondecreasing time order.
+func TestTimeOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func() bool {
+		s := New()
+		var seen []Time
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 100
+			if err := s.At(at, func() { seen = append(seen, s.Now()) }); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		return len(seen) == n && sort.Float64sAreSorted(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

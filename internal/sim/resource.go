@@ -1,0 +1,86 @@
+package sim
+
+import "fmt"
+
+// Resource is a single-server FCFS queue on a Simulator: requests are
+// served one at a time, each occupying the server for its service time.
+// It models a bus (serve one word at a time) or a link (serve one packet
+// at a time).
+type Resource struct {
+	sim  *Simulator
+	name string
+
+	busy     bool
+	queue    []request
+	busyTime Time // total time the server was occupied
+	served   int64
+	lastFree Time
+}
+
+type request struct {
+	service Time
+	done    func(start, end Time)
+}
+
+// NewResource creates an FCFS resource attached to the simulator.
+func NewResource(s *Simulator, name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Request enqueues a job with the given service time; done (optional) is
+// invoked with the service start and end times when the job completes.
+func (r *Resource) Request(service Time, done func(start, end Time)) error {
+	if service < 0 {
+		return fmt.Errorf("sim: resource %s: negative service time %g", r.name, service)
+	}
+	r.queue = append(r.queue, request{service: service, done: done})
+	if !r.busy {
+		r.dispatch()
+	}
+	return nil
+}
+
+func (r *Resource) dispatch() {
+	if len(r.queue) == 0 {
+		r.busy = false
+		r.lastFree = r.sim.Now()
+		return
+	}
+	req := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	start := r.sim.Now()
+	end := start + req.service
+	r.busyTime += req.service
+	r.served++
+	// Completion event: notify, then serve the next queued job.
+	if err := r.sim.At(end, func() {
+		if req.done != nil {
+			req.done(start, end)
+		}
+		r.dispatch()
+	}); err != nil {
+		// Unreachable: end ≥ now by construction.
+		panic(err)
+	}
+}
+
+// Utilization returns busyTime / elapsed, using the simulator clock.
+func (r *Resource) Utilization() float64 {
+	if r.sim.Now() == 0 {
+		return 0
+	}
+	return r.busyTime / r.sim.Now()
+}
+
+// Served returns the number of completed jobs.
+func (r *Resource) Served() int64 { return r.served }
+
+// QueueLen returns the number of waiting (unstarted) jobs.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Busy reports whether the server is occupied.
+func (r *Resource) Busy() bool { return r.busy }

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResourceFCFS(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		if err := r.Request(2, func(start, end Time) { ends = append(ends, end) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	want := []Time{2, 4, 6}
+	if len(ends) != 3 {
+		t.Fatalf("ends %v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Errorf("job %d end %g, want %g", i, ends[i], want[i])
+		}
+	}
+	if r.Served() != 3 {
+		t.Errorf("Served = %d", r.Served())
+	}
+	if r.Busy() {
+		t.Error("resource busy after drain")
+	}
+	if r.QueueLen() != 0 {
+		t.Errorf("queue %d", r.QueueLen())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	if err := r.Request(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A gap: second job arrives at t=3.
+	if err := s.At(3, func() {
+		if err := r.Request(1, nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// Busy 2 units over 4 total.
+	if u := r.Utilization(); math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization %g, want 0.5", u)
+	}
+	if r.Name() != "bus" {
+		t.Errorf("name %q", r.Name())
+	}
+}
+
+func TestResourceLateArrivalQueues(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	var secondStart Time
+	if err := r.Request(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(1, func() {
+		if err := r.Request(1, func(start, end Time) { secondStart = start }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if secondStart != 5 {
+		t.Errorf("second job started at %g, want 5 (after first completes)", secondStart)
+	}
+}
+
+func TestResourceNegativeService(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	if err := r.Request(-1, nil); err == nil {
+		t.Error("negative service accepted")
+	}
+}
+
+func TestResourceZeroUtilizationAtTimeZero(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	if r.Utilization() != 0 {
+		t.Error("nonzero utilization at t=0")
+	}
+}

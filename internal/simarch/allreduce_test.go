@@ -1,0 +1,60 @@
+package simarch
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/core"
+)
+
+// TestAllReduceMatchesDissemination: the simulated recursive-doubling
+// all-reduce reproduces core.DisseminationTime's hypercube formula
+// log₂(P)·2(α+β) exactly.
+func TestAllReduceMatchesDissemination(t *testing.T) {
+	hc := core.DefaultHypercube(0)
+	for procs := 2; procs <= 1024; procs *= 2 {
+		sim, err := SimulateAllReduce(procs, hc.Alpha, hc.Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := core.DisseminationTime(hc, procs)
+		if math.Abs(sim-model) > 1e-15 {
+			t.Errorf("P=%d: simulated %g, model %g", procs, sim, model)
+		}
+	}
+}
+
+func TestAllReduceEdgeCases(t *testing.T) {
+	if got, err := SimulateAllReduce(1, 1e-5, 1e-4); err != nil || got != 0 {
+		t.Errorf("P=1: %g, %v", got, err)
+	}
+	if _, err := SimulateAllReduce(3, 1e-5, 1e-4); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := SimulateAllReduce(0, 1e-5, 1e-4); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := SimulateAllReduce(4, -1, 1e-4); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+// TestAllReduceGrowsLogarithmically: doubling P adds one fixed round.
+func TestAllReduceGrowsLogarithmically(t *testing.T) {
+	const alpha, beta = 1e-5, 5e-4
+	prev, err := SimulateAllReduce(2, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := 2 * (alpha + beta)
+	for procs := 4; procs <= 256; procs *= 2 {
+		cur, err := SimulateAllReduce(procs, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs((cur-prev)-round) > 1e-15 {
+			t.Errorf("P=%d: increment %g, want one round %g", procs, cur-prev, round)
+		}
+		prev = cur
+	}
+}

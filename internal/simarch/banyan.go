@@ -1,0 +1,182 @@
+package simarch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"optspeed/internal/core"
+)
+
+// Assignment selects the processor → memory-module mapping for the
+// banyan simulation.
+type Assignment int
+
+const (
+	// OwnModule is the paper's §7 assignment: all boundary values a
+	// partition reads live in its own dedicated module, so the read
+	// permutation is the identity — conflict-free in a banyan.
+	OwnModule Assignment = iota
+	// ShiftModule routes every processor to the module of its
+	// right/left logical neighbor (a uniform cyclic shift) — the write
+	// pattern for a strip decomposition; uniform shifts are also
+	// conflict-free in omega networks, which is why the paper can
+	// "schedule the times at which processors write to memory to
+	// further avoid contention".
+	ShiftModule
+	// RandomModule scrambles modules (seeded): the baseline showing
+	// what happens when the assignment discipline is ignored.
+	RandomModule
+)
+
+// String names the assignment.
+func (a Assignment) String() string {
+	switch a {
+	case OwnModule:
+		return "own-module"
+	case ShiftModule:
+		return "shift"
+	case RandomModule:
+		return "random"
+	default:
+		return fmt.Sprintf("Assignment(%d)", int(a))
+	}
+}
+
+// BanyanResult reports one simulated banyan read phase.
+type BanyanResult struct {
+	CycleTime   float64 // compute + read phase
+	ReadTime    float64 // serialized reads through the network
+	ComputeTime float64
+	Stages      int // log₂(N) switch stages traversed
+	Conflicts   int // switch-output conflicts across all concurrent waves
+	Passes      int // conflict-resolution passes needed (1 = conflict-free)
+}
+
+// RoutePermutation routes one request per input through a log₂(N)-stage
+// omega network (perfect shuffle + 2×2 exchange per stage) toward
+// dest[i], counting switch-output conflicts. It returns the number of
+// conflicts and the number of sequential passes needed to deliver every
+// request when conflicting requests are retried in later passes.
+func RoutePermutation(n int, dest []int) (conflicts, passes int, err error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, 0, fmt.Errorf("simarch: omega network size %d must be a power of two ≥ 2", n)
+	}
+	if len(dest) != n {
+		return 0, 0, fmt.Errorf("simarch: need %d destinations, got %d", n, len(dest))
+	}
+	for _, d := range dest {
+		if d < 0 || d >= n {
+			return 0, 0, fmt.Errorf("simarch: destination %d out of range", d)
+		}
+	}
+	stagesN := bits.Len(uint(n)) - 1
+	pending := make([]int, n) // pending[i] = destination of request entering at i, -1 = done
+	copy(pending, dest)
+	remaining := n
+	for passes = 0; remaining > 0; passes++ {
+		if passes > n {
+			return 0, 0, fmt.Errorf("simarch: routing did not converge")
+		}
+		// pos[i] = current wire of request i (or -1 if done/blocked).
+		type req struct{ id, dst int }
+		var wave []req
+		for i, d := range pending {
+			if d >= 0 {
+				wave = append(wave, req{i, d})
+			}
+		}
+		// Route stage by stage: omega stage s = perfect shuffle, then
+		// exchange selected by destination bit (stagesN-1-s).
+		// Conflicting requests block and retry in the next pass.
+		blocked := make(map[int]bool)
+		cur := make(map[int]int) // request id → current wire
+		for _, r := range wave {
+			cur[r.id] = r.id
+		}
+		for s := 0; s < stagesN; s++ {
+			taken := make(map[int]int) // output wire → request id
+			for _, r := range wave {
+				if blocked[r.id] {
+					continue
+				}
+				w := cur[r.id]
+				// Perfect shuffle: rotate left.
+				w = ((w << 1) | (w >> (stagesN - 1))) & (n - 1)
+				// Exchange: set low bit to the destination's bit.
+				bit := (pending[r.id] >> (stagesN - 1 - s)) & 1
+				w = (w &^ 1) | bit
+				if owner, ok := taken[w]; ok && owner != r.id {
+					// Switch-output conflict: the later request blocks.
+					conflicts++
+					blocked[r.id] = true
+					continue
+				}
+				taken[w] = r.id
+				cur[r.id] = w
+			}
+		}
+		for _, r := range wave {
+			if !blocked[r.id] {
+				pending[r.id] = -1
+				remaining--
+			}
+		}
+	}
+	return conflicts, passes, nil
+}
+
+// SimulateBanyan executes one iteration of the paper's §7 switching
+// network model: every processor reads its V boundary words from its
+// assigned memory module through the 2×2-switch network (2·w·log₂(N) per
+// word, words pipelined serially per processor), then computes while
+// writes drain asynchronously (assumption 4). Conflicting assignments
+// multiply the read phase by the number of conflict-resolution passes.
+func SimulateBanyan(p core.Problem, by core.Banyan, procs int, asg Assignment, seed int64) (BanyanResult, error) {
+	if err := p.Validate(); err != nil {
+		return BanyanResult{}, err
+	}
+	if err := by.Validate(); err != nil {
+		return BanyanResult{}, err
+	}
+	if procs < 2 || procs&(procs-1) != 0 {
+		return BanyanResult{}, fmt.Errorf("simarch: banyan procs=%d must be a power of two ≥ 2", procs)
+	}
+	area := p.AreaFor(procs)
+	compute := p.Flops() * area * by.TflpTime
+	words := int(math.Round(p.ReadWords(area)))
+
+	dest := make([]int, procs)
+	switch asg {
+	case OwnModule:
+		for i := range dest {
+			dest[i] = i
+		}
+	case ShiftModule:
+		for i := range dest {
+			dest[i] = (i + 1) % procs
+		}
+	case RandomModule:
+		rng := rand.New(rand.NewSource(seed))
+		copy(dest, rng.Perm(procs))
+	default:
+		return BanyanResult{}, fmt.Errorf("simarch: unknown assignment %d", int(asg))
+	}
+
+	conflicts, passes, err := RoutePermutation(procs, dest)
+	if err != nil {
+		return BanyanResult{}, err
+	}
+	stagesN := bits.Len(uint(procs)) - 1
+	perWord := 2 * by.W * float64(stagesN)
+	read := float64(words) * perWord * float64(passes)
+	return BanyanResult{
+		CycleTime:   read + compute,
+		ReadTime:    read,
+		ComputeTime: compute,
+		Stages:      stagesN,
+		Conflicts:   conflicts,
+		Passes:      passes,
+	}, nil
+}

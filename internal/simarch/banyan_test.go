@@ -1,0 +1,212 @@
+package simarch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+)
+
+// TestIdentityConflictFree: the paper's own-module assignment (§7) routes
+// without a single switch conflict, at every power-of-two size.
+func TestIdentityConflictFree(t *testing.T) {
+	for n := 2; n <= 1024; n *= 2 {
+		dest := make([]int, n)
+		for i := range dest {
+			dest[i] = i
+		}
+		conflicts, passes, err := RoutePermutation(n, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conflicts != 0 || passes != 1 {
+			t.Errorf("n=%d identity: %d conflicts, %d passes", n, conflicts, passes)
+		}
+	}
+}
+
+// TestShiftConflictFree: uniform cyclic shifts route conflict-free
+// through an omega network — the property that lets the paper schedule
+// neighbor writes without contention.
+func TestShiftConflictFree(t *testing.T) {
+	for n := 2; n <= 512; n *= 2 {
+		for _, shift := range []int{1, n - 1, n / 2} {
+			dest := make([]int, n)
+			for i := range dest {
+				dest[i] = (i + shift) % n
+			}
+			conflicts, passes, err := RoutePermutation(n, dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if conflicts != 0 || passes != 1 {
+				t.Errorf("n=%d shift=%d: %d conflicts, %d passes", n, shift, conflicts, passes)
+			}
+		}
+	}
+}
+
+// TestRandomPermutationConflicts: a scrambled assignment generally does
+// conflict — the contrast that justifies the paper's assignment
+// discipline.
+func TestRandomPermutationConflicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 256
+	sawConflict := false
+	for trial := 0; trial < 10; trial++ {
+		dest := rng.Perm(n)
+		conflicts, passes, err := RoutePermutation(n, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conflicts > 0 {
+			sawConflict = true
+			if passes < 2 {
+				t.Errorf("conflicts=%d but passes=%d", conflicts, passes)
+			}
+		}
+	}
+	if !sawConflict {
+		t.Error("no random permutation conflicted in 10 trials at n=256")
+	}
+}
+
+// Property: routing always delivers everything (passes ≥ 1, terminates)
+// for arbitrary destination assignments (not just permutations).
+func TestRoutingAlwaysDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	f := func() bool {
+		n := 2 << rng.Intn(7)
+		dest := make([]int, n)
+		for i := range dest {
+			dest[i] = rng.Intn(n) // may collide: many-to-one traffic
+		}
+		_, passes, err := RoutePermutation(n, dest)
+		return err == nil && passes >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoutePermutationValidation(t *testing.T) {
+	if _, _, err := RoutePermutation(3, []int{0, 1, 2}); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, _, err := RoutePermutation(4, []int{0, 1}); err == nil {
+		t.Error("wrong destination count accepted")
+	}
+	if _, _, err := RoutePermutation(4, []int{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, _, err := RoutePermutation(1, []int{0}); err == nil {
+		t.Error("size 1 accepted")
+	}
+}
+
+// TestBanyanMatchesModel: the own-module simulation reproduces the
+// analytic 2·w·log₂(N)-per-word read phase exactly.
+func TestBanyanMatchesModel(t *testing.T) {
+	by := core.DefaultBanyan(0)
+	for _, sh := range partition.Shapes() {
+		p := prob(128, sh)
+		counts := []int{2, 4, 16, 64}
+		if sh == partition.Square {
+			counts = []int{4, 16, 64} // integral partition sides
+		}
+		for _, procs := range counts {
+			res, err := SimulateBanyan(p, by, procs, OwnModule, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sized := by
+			sized.NProcs = procs
+			model := sized.CycleTime(p, p.AreaFor(procs))
+			if rel := math.Abs(res.CycleTime-model) / model; rel > 1e-9 {
+				t.Errorf("%s P=%d: sim %.6g vs model %.6g", sh, procs, res.CycleTime, model)
+			}
+			if res.Conflicts != 0 || res.Passes != 1 {
+				t.Errorf("%s P=%d: own-module conflicts=%d passes=%d",
+					sh, procs, res.Conflicts, res.Passes)
+			}
+		}
+	}
+}
+
+// TestBanyanRandomSlower: a random module assignment needs extra passes
+// and a longer read phase.
+func TestBanyanRandomSlower(t *testing.T) {
+	by := core.DefaultBanyan(0)
+	p := prob(256, partition.Square)
+	own, err := SimulateBanyan(p, by, 256, OwnModule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := SimulateBanyan(p, by, 256, RandomModule, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.Passes <= own.Passes {
+		t.Errorf("random passes %d not above own-module %d", rnd.Passes, own.Passes)
+	}
+	if rnd.ReadTime <= own.ReadTime {
+		t.Errorf("random read %.6g not above own-module %.6g", rnd.ReadTime, own.ReadTime)
+	}
+}
+
+// TestBanyanShiftAssignment: the neighbor-write pattern also routes in
+// one pass.
+func TestBanyanShiftAssignment(t *testing.T) {
+	by := core.DefaultBanyan(0)
+	p := prob(128, partition.Strip)
+	res, err := SimulateBanyan(p, by, 64, ShiftModule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts != 0 || res.Passes != 1 {
+		t.Errorf("shift assignment: conflicts=%d passes=%d", res.Conflicts, res.Passes)
+	}
+}
+
+func TestBanyanValidation(t *testing.T) {
+	by := core.DefaultBanyan(0)
+	p := prob(64, partition.Strip)
+	if _, err := SimulateBanyan(p, by, 3, OwnModule, 1); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := SimulateBanyan(p, by, 1, OwnModule, 1); err == nil {
+		t.Error("P=1 accepted (network needs ≥ 2)")
+	}
+	if _, err := SimulateBanyan(p, core.Banyan{}, 4, OwnModule, 1); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	if _, err := SimulateBanyan(p, by, 4, Assignment(9), 1); err == nil {
+		t.Error("unknown assignment accepted")
+	}
+	if OwnModule.String() != "own-module" || ShiftModule.String() != "shift" ||
+		RandomModule.String() != "random" || Assignment(9).String() == "" {
+		t.Error("assignment strings")
+	}
+}
+
+// TestValidateAll: the headline V1 experiment — every architecture
+// simulation within 5% of its analytic prediction (most are exact).
+func TestValidateAll(t *testing.T) {
+	results, maxRel, err := ValidateAll(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no validations")
+	}
+	if maxRel > 0.05 {
+		for _, v := range results {
+			if v.RelErr > 0.05 {
+				t.Errorf("%s/%s P=%d: rel err %.4f", v.Arch, v.Shape, v.Procs, v.RelErr)
+			}
+		}
+	}
+}

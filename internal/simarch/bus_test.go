@@ -1,0 +1,217 @@
+package simarch
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+func prob(n int, sh partition.Shape) core.Problem {
+	return core.MustProblem(n, stencil.FivePoint, sh)
+}
+
+// TestSyncBusMatchesModel: the bulk-transfer simulation reproduces the
+// analytic t_cycle = E·A·T + 2V(c + bP) exactly — the contention term
+// emerges from FCFS serialization (experiment V1).
+func TestSyncBusMatchesModel(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := prob(128, sh)
+		// Perfect-square counts keep square partition sides (and hence
+		// word counts) integral so the comparison is exact.
+		counts := []int{1, 2, 4, 16, 64}
+		if sh == partition.Square {
+			counts = []int{1, 4, 16, 64}
+		}
+		for _, c := range []float64{0, core.DefaultBusCycle, 1000 * core.DefaultBusCycle} {
+			bus := core.SyncBus{TflpTime: core.DefaultTflp, B: core.DefaultBusCycle, C: c}
+			for _, procs := range counts {
+				res, err := SimulateSyncBus(p, bus, procs, BulkTransfers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				model := bus.CycleTime(p, p.AreaFor(procs))
+				if rel := math.Abs(res.CycleTime-model) / model; rel > 1e-9 {
+					t.Errorf("%s c=%g P=%d: sim %.6g vs model %.6g (rel %.2e)",
+						sh, c, procs, res.CycleTime, model, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestSyncBusReadsOnlyVariant: the reads-only convention halves the
+// transfer phases.
+func TestSyncBusReadsOnlyVariant(t *testing.T) {
+	p := prob(128, partition.Strip)
+	bus := core.DefaultSyncBus(0)
+	ro := bus
+	ro.ReadsOnly = true
+	full, err := SimulateSyncBus(p, bus, 8, BulkTransfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := SimulateSyncBus(p, ro, 8, BulkTransfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.WritePhase != 0 {
+		t.Errorf("reads-only write phase %g", half.WritePhase)
+	}
+	wantCycle := full.CycleTime - full.WritePhase
+	if math.Abs(half.CycleTime-wantCycle) > 1e-12 {
+		t.Errorf("reads-only cycle %g, want %g", half.CycleTime, wantCycle)
+	}
+}
+
+// TestWordInterleavedNoSlowerPerWord: the finer word-interleaved
+// discipline is never slower than the paper's bulk model (the paper's
+// c + bP is the pessimistic envelope; per-word delay is max(c+b, bP)).
+func TestWordInterleavedNoSlowerPerWord(t *testing.T) {
+	p := prob(64, partition.Strip)
+	for _, cOverB := range []float64{0, 0.5, 2, 100} {
+		bus := core.SyncBus{
+			TflpTime: core.DefaultTflp,
+			B:        core.DefaultBusCycle,
+			C:        cOverB * core.DefaultBusCycle,
+		}
+		for _, procs := range []int{2, 4, 16} {
+			bulk, err := SimulateSyncBus(p, bus, procs, BulkTransfers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			word, err := SimulateSyncBus(p, bus, procs, WordInterleaved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if word.ReadPhase > bulk.ReadPhase*(1+1e-9) {
+				t.Errorf("c/b=%g P=%d: word-interleaved read %.6g > bulk %.6g",
+					cOverB, procs, word.ReadPhase, bulk.ReadPhase)
+			}
+		}
+	}
+}
+
+// TestWordInterleavedSaturation: with c = 0 the bus saturates and the
+// word-interleaved read phase approaches V·b·P (same as bulk).
+func TestWordInterleavedSaturation(t *testing.T) {
+	p := prob(64, partition.Strip)
+	bus := core.DefaultSyncBus(0) // c = 0
+	procs := 8
+	res, err := SimulateSyncBus(p, bus, procs, WordInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.ReadWords(p.AreaFor(procs))
+	want := v * bus.B * float64(procs)
+	if math.Abs(res.ReadPhase-want)/want > 0.02 {
+		t.Errorf("saturated read phase %.6g, want ≈ %.6g", res.ReadPhase, want)
+	}
+}
+
+// TestAsyncBusMatchesModel: the posted-write simulation tracks equation
+// (7) within a small tolerance (the V·E·T tail of the last posted word
+// is the only modeling gap).
+func TestAsyncBusMatchesModel(t *testing.T) {
+	for _, sh := range partition.Shapes() {
+		p := prob(128, sh)
+		counts := []int{1, 2, 4, 16, 64}
+		if sh == partition.Square {
+			counts = []int{1, 4, 16, 64}
+		}
+		bus := core.DefaultAsyncBus(0)
+		for _, procs := range counts {
+			res, err := SimulateAsyncBus(p, bus, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := bus.CycleTime(p, p.AreaFor(procs))
+			if rel := math.Abs(res.CycleTime-model) / model; rel > 0.05 {
+				t.Errorf("%s P=%d: sim %.6g vs model %.6g (rel %.2e)",
+					sh, procs, res.CycleTime, model, rel)
+			}
+		}
+	}
+}
+
+// TestAsyncFasterThanSync: simulated async cycle ≤ simulated sync cycle.
+func TestAsyncFasterThanSync(t *testing.T) {
+	p := prob(128, partition.Square)
+	sbus := core.DefaultSyncBus(0)
+	abus := core.DefaultAsyncBus(0)
+	for _, procs := range []int{4, 16, 64} {
+		sres, err := SimulateSyncBus(p, sbus, procs, BulkTransfers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ares, err := SimulateAsyncBus(p, abus, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ares.CycleTime > sres.CycleTime*(1+1e-9) {
+			t.Errorf("P=%d: async %.6g > sync %.6g", procs, ares.CycleTime, sres.CycleTime)
+		}
+	}
+}
+
+// TestBusSingleProcessor: no communication at P=1.
+func TestBusSingleProcessor(t *testing.T) {
+	p := prob(64, partition.Strip)
+	res, err := SimulateSyncBus(p, core.DefaultSyncBus(0), 1, BulkTransfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadPhase != 0 || res.WritePhase != 0 || res.WordsMoved != 0 {
+		t.Errorf("P=1 moved data: %+v", res)
+	}
+	ares, err := SimulateAsyncBus(p, core.DefaultAsyncBus(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.CycleTime != res.CycleTime {
+		t.Errorf("P=1 async %g != sync %g", ares.CycleTime, res.CycleTime)
+	}
+}
+
+// TestBusValidation: bad inputs rejected.
+func TestBusValidation(t *testing.T) {
+	p := prob(64, partition.Strip)
+	if _, err := SimulateSyncBus(p, core.DefaultSyncBus(0), 0, BulkTransfers); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := SimulateSyncBus(p, core.DefaultSyncBus(0), 65, BulkTransfers); err == nil {
+		t.Error("P>n accepted for strips")
+	}
+	if _, err := SimulateSyncBus(p, core.SyncBus{}, 2, BulkTransfers); err == nil {
+		t.Error("invalid bus accepted")
+	}
+	if _, err := SimulateSyncBus(p, core.DefaultSyncBus(0), 2, BusDiscipline(9)); err == nil {
+		t.Error("bad discipline accepted")
+	}
+	if _, err := SimulateAsyncBus(p, core.AsyncBus{}, 2); err == nil {
+		t.Error("invalid async bus accepted")
+	}
+	if _, err := SimulateAsyncBus(p, core.DefaultAsyncBus(0), 0); err == nil {
+		t.Error("async P=0 accepted")
+	}
+	if BusDiscipline(9).String() == "" || BulkTransfers.String() != "bulk" {
+		t.Error("discipline strings")
+	}
+	if WordInterleaved.String() != "word-interleaved" {
+		t.Error("word-interleaved string")
+	}
+}
+
+// TestBusUtilizationBounded: utilization lies in (0, 1].
+func TestBusUtilizationBounded(t *testing.T) {
+	p := prob(128, partition.Strip)
+	res, err := SimulateSyncBus(p, core.DefaultSyncBus(0), 16, BulkTransfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BusUtilization <= 0 || res.BusUtilization > 1 {
+		t.Errorf("utilization %g", res.BusUtilization)
+	}
+}

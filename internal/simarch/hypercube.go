@@ -1,0 +1,218 @@
+package simarch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/sim"
+)
+
+// GrayCode returns the i-th binary-reflected Gray code. Consecutive
+// values differ in exactly one bit, which is what makes chains of
+// logically adjacent partitions map to physically adjacent hypercube
+// nodes (paper §4).
+func GrayCode(i int) int { return i ^ (i >> 1) }
+
+// HammingDistance counts differing bits — the hop count between two
+// hypercube nodes.
+func HammingDistance(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// Mapping assigns partitions to hypercube nodes.
+type Mapping int
+
+const (
+	// GrayMapping embeds the partition chain (strips) or grid (squares)
+	// with binary-reflected Gray codes so logical neighbors are physical
+	// neighbors: every exchange is one hop and contention-free.
+	GrayMapping Mapping = iota
+	// NaiveMapping assigns partition i to node i (binary order):
+	// logical neighbors can be many hops apart, and store-and-forward
+	// routing contends for links.
+	NaiveMapping
+	// RandomMapping scatters partitions over nodes (seeded); the
+	// worst-case baseline for the embedding ablation.
+	RandomMapping
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	switch m {
+	case GrayMapping:
+		return "gray"
+	case NaiveMapping:
+		return "naive"
+	case RandomMapping:
+		return "random"
+	default:
+		return fmt.Sprintf("Mapping(%d)", int(m))
+	}
+}
+
+// CubeResult reports one simulated hypercube exchange phase.
+type CubeResult struct {
+	CycleTime   float64 // compute + slowest node's exchange
+	CommTime    float64 // slowest node's exchange time
+	ComputeTime float64
+	MaxHops     int     // longest route taken by any message
+	AvgHops     float64 // mean route length
+	Messages    int     // messages exchanged
+}
+
+// SimulateHypercube executes one iteration on a 2^d-node hypercube with
+// the given partition-to-node mapping. Strips form a chain of P
+// partitions, squares a √P×√P grid (P must be a power of four for the
+// square case to embed; strips need a power of two). Each neighbor
+// exchange is a store-and-forward message of k·(boundary) words costing
+// ⌈words/packet⌉·α + β per hop; nodes have one port (transfers at a node
+// serialize) and links are half duplex (a link serializes both
+// directions), matching the paper's footnote 2.
+func SimulateHypercube(p core.Problem, hc core.Hypercube, procs int, m Mapping, seed int64) (CubeResult, error) {
+	if err := p.Validate(); err != nil {
+		return CubeResult{}, err
+	}
+	if err := hc.Validate(); err != nil {
+		return CubeResult{}, err
+	}
+	if procs < 1 {
+		return CubeResult{}, fmt.Errorf("simarch: procs=%d must be positive", procs)
+	}
+	if procs&(procs-1) != 0 {
+		return CubeResult{}, fmt.Errorf("simarch: hypercube procs=%d must be a power of two", procs)
+	}
+	area := p.AreaFor(procs)
+	compute := p.Flops() * area * hc.TflpTime
+	if procs == 1 {
+		return CubeResult{CycleTime: compute, ComputeTime: compute}, nil
+	}
+
+	// Build the logical neighbor lists and per-message word counts.
+	type msg struct{ src, dst, words int }
+	var msgs []msg
+	k := p.K()
+	switch p.Shape {
+	case partition.Strip:
+		words := k * p.N
+		for i := 0; i < procs; i++ {
+			if i+1 < procs {
+				msgs = append(msgs, msg{i, i + 1, words}, msg{i + 1, i, words})
+			}
+		}
+	case partition.Square:
+		side := int(math.Round(math.Sqrt(float64(procs))))
+		if side*side != procs {
+			return CubeResult{}, fmt.Errorf("simarch: square partitions need procs=%d to be a perfect square", procs)
+		}
+		words := k * int(math.Round(math.Sqrt(area)))
+		id := func(r, c int) int { return r*side + c }
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if c+1 < side {
+					msgs = append(msgs, msg{id(r, c), id(r, c+1), words}, msg{id(r, c+1), id(r, c), words})
+				}
+				if r+1 < side {
+					msgs = append(msgs, msg{id(r, c), id(r+1, c), words}, msg{id(r+1, c), id(r, c), words})
+				}
+			}
+		}
+	default:
+		return CubeResult{}, fmt.Errorf("simarch: invalid shape")
+	}
+
+	// Partition → node placement.
+	place := make([]int, procs)
+	switch m {
+	case GrayMapping:
+		if p.Shape == partition.Strip {
+			for i := range place {
+				place[i] = GrayCode(i)
+			}
+		} else {
+			side := int(math.Round(math.Sqrt(float64(procs))))
+			dim := bits.Len(uint(side - 1)) // bits per axis
+			for r := 0; r < side; r++ {
+				for c := 0; c < side; c++ {
+					place[r*side+c] = GrayCode(r)<<dim | GrayCode(c)
+				}
+			}
+		}
+	case NaiveMapping:
+		for i := range place {
+			place[i] = i
+		}
+	case RandomMapping:
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(procs)
+		copy(place, perm)
+	default:
+		return CubeResult{}, fmt.Errorf("simarch: unknown mapping %d", int(m))
+	}
+
+	// Simulate store-and-forward, dimension-ordered (e-cube) routing.
+	// The contention point the paper models is the node port: one port
+	// active at a time, half-duplex (footnote 2). A hop therefore
+	// occupies the sender's port for the message cost (transmission)
+	// and then the receiver's port for the message cost (reception).
+	// Under the Gray embedding every message is one hop, and an
+	// interior node's port carries its sends plus its receives — 4
+	// serialized transfers for strips, 8 for squares — reproducing the
+	// analytic t_a exactly.
+	s := sim.New()
+	ports := make([]*sim.Resource, 1<<bits.Len(uint(procs-1)))
+	for i := range ports {
+		ports[i] = sim.NewResource(s, fmt.Sprintf("port-%d", i))
+	}
+
+	var commEnd float64
+	var totalHops, maxHops int
+	perMsgCost := func(words int) float64 {
+		return math.Ceil(float64(words)/hc.PacketWords)*hc.Alpha + hc.Beta
+	}
+	// route advances one message hop by hop.
+	var route func(cur, dst, words int, hops int)
+	route = func(cur, dst, words, hops int) {
+		if cur == dst {
+			totalHops += hops
+			if hops > maxHops {
+				maxHops = hops
+			}
+			if now := s.Now(); now > commEnd {
+				commEnd = now
+			}
+			return
+		}
+		diff := cur ^ dst
+		bit := diff & -diff // lowest differing dimension (e-cube routing)
+		next := cur ^ bit
+		cost := perMsgCost(words)
+		if err := ports[cur].Request(cost, func(_, _ sim.Time) {
+			if err := ports[next].Request(cost, func(_, _ sim.Time) {
+				route(next, dst, words, hops+1)
+			}); err != nil {
+				panic(err)
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+	for _, mm := range msgs {
+		route(place[mm.src], place[mm.dst], mm.words, 0)
+	}
+	s.Run()
+
+	avg := 0.0
+	if len(msgs) > 0 {
+		avg = float64(totalHops) / float64(len(msgs))
+	}
+	return CubeResult{
+		CycleTime:   compute + commEnd,
+		CommTime:    commEnd,
+		ComputeTime: compute,
+		MaxHops:     maxHops,
+		AvgHops:     avg,
+		Messages:    len(msgs),
+	}, nil
+}

@@ -1,0 +1,209 @@
+package simarch
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+)
+
+func TestGrayCode(t *testing.T) {
+	want := []int{0, 1, 3, 2, 6, 7, 5, 4}
+	for i, w := range want {
+		if g := GrayCode(i); g != w {
+			t.Errorf("GrayCode(%d) = %d, want %d", i, g, w)
+		}
+	}
+	// Consecutive codes differ by one bit.
+	for i := 0; i < 1000; i++ {
+		if HammingDistance(GrayCode(i), GrayCode(i+1)) != 1 {
+			t.Fatalf("gray(%d) and gray(%d) differ by more than one bit", i, i+1)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if HammingDistance(0, 0) != 0 || HammingDistance(0b1010, 0b0101) != 4 {
+		t.Error("HammingDistance wrong")
+	}
+}
+
+// TestGrayAdjacency: under the Gray embedding every message travels
+// exactly one hop — the paper's "no contention for communication
+// resources between non-logically adjacent partitions".
+func TestGrayAdjacency(t *testing.T) {
+	hc := core.DefaultHypercube(0)
+	pStrip := prob(128, partition.Strip)
+	res, err := SimulateHypercube(pStrip, hc, 32, GrayMapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHops != 1 {
+		t.Errorf("strip gray MaxHops = %d, want 1", res.MaxHops)
+	}
+	pSq := prob(128, partition.Square)
+	res, err = SimulateHypercube(pSq, hc, 16, GrayMapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHops != 1 {
+		t.Errorf("square gray MaxHops = %d, want 1", res.MaxHops)
+	}
+}
+
+// TestGrayMatchesModel: the Gray-embedded simulation reproduces the
+// analytic hypercube cycle time (4 transfers for strips, 8 for squares,
+// each ⌈V/packet⌉α + β).
+func TestGrayMatchesModel(t *testing.T) {
+	hc := core.DefaultHypercube(0)
+	cases := []struct {
+		sh    partition.Shape
+		procs int
+	}{
+		{partition.Strip, 8},
+		{partition.Strip, 32},
+		{partition.Square, 16},
+		{partition.Square, 64},
+	}
+	for _, tc := range cases {
+		p := prob(128, tc.sh)
+		res, err := SimulateHypercube(p, hc, tc.procs, GrayMapping, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := hc.CycleTime(p, p.AreaFor(tc.procs))
+		if rel := math.Abs(res.CycleTime-model) / model; rel > 1e-9 {
+			t.Errorf("%s P=%d: sim %.6g vs model %.6g", tc.sh, tc.procs, res.CycleTime, model)
+		}
+	}
+}
+
+// TestNaiveMappingSlower: binary-order placement forces multi-hop routes
+// and a longer exchange (the embedding ablation).
+func TestNaiveMappingSlower(t *testing.T) {
+	hc := core.DefaultHypercube(0)
+	p := prob(128, partition.Strip)
+	gray, err := SimulateHypercube(p, hc, 32, GrayMapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := SimulateHypercube(p, hc, 32, NaiveMapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.MaxHops <= 1 {
+		t.Errorf("naive MaxHops = %d, expected multi-hop", naive.MaxHops)
+	}
+	if naive.CommTime <= gray.CommTime {
+		t.Errorf("naive comm %.6g not slower than gray %.6g", naive.CommTime, gray.CommTime)
+	}
+	random, err := SimulateHypercube(p, hc, 32, RandomMapping, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.AvgHops <= gray.AvgHops {
+		t.Errorf("random AvgHops %.2f not above gray %.2f", random.AvgHops, gray.AvgHops)
+	}
+}
+
+// TestHypercubeSingleProc and validation errors.
+func TestHypercubeEdgeCases(t *testing.T) {
+	hc := core.DefaultHypercube(0)
+	p := prob(64, partition.Strip)
+	res, err := SimulateHypercube(p, hc, 1, GrayMapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommTime != 0 || res.Messages != 0 {
+		t.Errorf("P=1 communicated: %+v", res)
+	}
+	if _, err := SimulateHypercube(p, hc, 3, GrayMapping, 1); err == nil {
+		t.Error("non-power-of-two procs accepted")
+	}
+	if _, err := SimulateHypercube(p, hc, 0, GrayMapping, 1); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := SimulateHypercube(prob(64, partition.Square), hc, 8, GrayMapping, 1); err == nil {
+		t.Error("non-square proc count accepted for squares")
+	}
+	if _, err := SimulateHypercube(p, hc, 4, Mapping(9), 1); err == nil {
+		t.Error("unknown mapping accepted")
+	}
+	if _, err := SimulateHypercube(p, core.Hypercube{}, 4, GrayMapping, 1); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	if GrayMapping.String() != "gray" || NaiveMapping.String() != "naive" ||
+		RandomMapping.String() != "random" || Mapping(9).String() == "" {
+		t.Error("mapping strings")
+	}
+}
+
+// TestMeshMatchesHypercubeSim: the mesh simulation gives the same
+// exchange time as the Gray hypercube (both are one-hop neighbor
+// exchanges with the same port discipline).
+func TestMeshMatchesHypercubeSim(t *testing.T) {
+	p := prob(128, partition.Square)
+	hc := core.DefaultHypercube(0)
+	ms := core.DefaultMesh(0)
+	cube, err := SimulateHypercube(p, hc, 16, GrayMapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := SimulateMesh(p, ms, 16, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cube.CommTime-mesh.CommTime) > 1e-12 {
+		t.Errorf("mesh comm %.6g != cube comm %.6g", mesh.CommTime, cube.CommTime)
+	}
+}
+
+// TestMeshConvergenceHardware: without convergence hardware the global
+// reduction costs P words on the global bus; with it, nothing.
+func TestMeshConvergenceHardware(t *testing.T) {
+	p := prob(128, partition.Strip)
+	withHW := core.DefaultMesh(0)
+	withoutHW := withHW
+	withoutHW.ConvergenceHardware = false
+	const busWord = 1e-5
+	a, err := SimulateMesh(p, withHW, 16, true, busWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConvergenceTime != 0 {
+		t.Errorf("hardware convergence cost %g", a.ConvergenceTime)
+	}
+	b, err := SimulateMesh(p, withoutHW, 16, true, busWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 16 * busWord; math.Abs(b.ConvergenceTime-want) > 1e-15 {
+		t.Errorf("software convergence cost %g, want %g", b.ConvergenceTime, want)
+	}
+	if b.CycleTime <= a.CycleTime {
+		t.Error("software convergence not slower")
+	}
+}
+
+// TestMeshEdgeCases.
+func TestMeshEdgeCases(t *testing.T) {
+	ms := core.DefaultMesh(0)
+	p := prob(64, partition.Strip)
+	res, err := SimulateMesh(p, ms, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommTime != 0 {
+		t.Error("P=1 mesh communicated")
+	}
+	if _, err := SimulateMesh(p, ms, 0, false, 0); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := SimulateMesh(prob(64, partition.Square), ms, 8, false, 0); err == nil {
+		t.Error("non-square count accepted")
+	}
+	if _, err := SimulateMesh(p, core.Mesh{}, 4, false, 0); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package simarch
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/sim"
+)
+
+// MeshResult reports one simulated 2-D mesh iteration.
+type MeshResult struct {
+	CycleTime       float64
+	CommTime        float64
+	ComputeTime     float64
+	ConvergenceTime float64 // global convergence reduction (0 with hardware support)
+	Messages        int
+}
+
+// SimulateMesh executes one iteration on a 2-D nearest-neighbor mesh
+// (paper §5: Illiac IV, Finite Element Machine). Strips map to a chain of
+// rows and squares to the processor grid directly, so every exchange is
+// one hop, like the Gray-embedded hypercube. Machines of this class
+// provide a global bus with convergence-check hardware; without it, the
+// convergence reduction is modeled as a word from every processor
+// serialized on the global bus.
+func SimulateMesh(p core.Problem, m core.Mesh, procs int, checkConvergence bool, globalBusWord float64) (MeshResult, error) {
+	if err := p.Validate(); err != nil {
+		return MeshResult{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return MeshResult{}, err
+	}
+	if procs < 1 || procs > p.MaxProcs() {
+		return MeshResult{}, fmt.Errorf("simarch: procs=%d out of range [1, %d]", procs, p.MaxProcs())
+	}
+	area := p.AreaFor(procs)
+	compute := p.Flops() * area * m.TflpTime
+	if procs == 1 {
+		return MeshResult{CycleTime: compute, ComputeTime: compute}, nil
+	}
+
+	// Exchange phase: like the hypercube simulation, the port is the
+	// contention point; every logical neighbor is physically adjacent.
+	type msg struct{ src, dst, words int }
+	var msgs []msg
+	k := p.K()
+	switch p.Shape {
+	case partition.Strip:
+		words := k * p.N
+		for i := 0; i+1 < procs; i++ {
+			msgs = append(msgs, msg{i, i + 1, words}, msg{i + 1, i, words})
+		}
+	case partition.Square:
+		side := int(math.Round(math.Sqrt(float64(procs))))
+		if side*side != procs {
+			return MeshResult{}, fmt.Errorf("simarch: square partitions need procs=%d to be a perfect square", procs)
+		}
+		words := k * int(math.Round(math.Sqrt(area)))
+		id := func(r, c int) int { return r*side + c }
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if c+1 < side {
+					msgs = append(msgs, msg{id(r, c), id(r, c+1), words}, msg{id(r, c+1), id(r, c), words})
+				}
+				if r+1 < side {
+					msgs = append(msgs, msg{id(r, c), id(r+1, c), words}, msg{id(r+1, c), id(r, c), words})
+				}
+			}
+		}
+	default:
+		return MeshResult{}, fmt.Errorf("simarch: invalid shape")
+	}
+
+	s := sim.New()
+	ports := make([]*sim.Resource, procs)
+	for i := range ports {
+		ports[i] = sim.NewResource(s, fmt.Sprintf("port-%d", i))
+	}
+	var commEnd float64
+	for _, mm := range msgs {
+		cost := math.Ceil(float64(mm.words)/m.PacketWords)*m.Alpha + m.Beta
+		src, dst := mm.src, mm.dst
+		if err := ports[src].Request(cost, func(_, _ sim.Time) {
+			if err := ports[dst].Request(cost, func(_, end sim.Time) {
+				if end > commEnd {
+					commEnd = end
+				}
+			}); err != nil {
+				panic(err)
+			}
+		}); err != nil {
+			return MeshResult{}, err
+		}
+	}
+	s.Run()
+
+	var conv float64
+	if checkConvergence && !m.ConvergenceHardware {
+		// One word from each processor serialized on the global bus.
+		conv = float64(procs) * globalBusWord
+	}
+	return MeshResult{
+		CycleTime:       compute + commEnd + conv,
+		CommTime:        commEnd,
+		ComputeTime:     compute,
+		ConvergenceTime: conv,
+		Messages:        len(msgs),
+	}, nil
+}

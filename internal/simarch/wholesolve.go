@@ -1,0 +1,53 @@
+package simarch
+
+import (
+	"fmt"
+
+	"optspeed/internal/core"
+)
+
+// SolveSimResult reports a simulated whole solve: T iterations on a
+// hypercube with convergence checks (simulated all-reduces) every
+// checkPeriod iterations.
+type SolveSimResult struct {
+	Iterations int
+	Checks     int
+	IterTime   float64 // one simulated iteration (exchange + compute)
+	CheckTime  float64 // one simulated all-reduce + check computation
+	Total      float64
+}
+
+// SimulateHypercubeSolve composes the per-iteration hypercube simulation
+// with simulated recursive-doubling convergence checks: the end-to-end
+// counterpart of core.TimeToSolution + core.CycleTimeWithCheck, built
+// from the discrete-event pieces instead of formulas. checkFraction is
+// the extra compute per point of one check (paper: ≈ 0.5).
+func SimulateHypercubeSolve(p core.Problem, hc core.Hypercube, procs, iterations, checkPeriod int, checkFraction float64) (SolveSimResult, error) {
+	if iterations < 1 {
+		return SolveSimResult{}, fmt.Errorf("simarch: iterations=%d must be positive", iterations)
+	}
+	if checkPeriod < 1 {
+		return SolveSimResult{}, fmt.Errorf("simarch: check period %d must be positive", checkPeriod)
+	}
+	if checkFraction < 0 {
+		return SolveSimResult{}, fmt.Errorf("simarch: check fraction %g must be non-negative", checkFraction)
+	}
+	iter, err := SimulateHypercube(p, hc, procs, GrayMapping, 1)
+	if err != nil {
+		return SolveSimResult{}, err
+	}
+	reduce, err := SimulateAllReduce(procs, hc.Alpha, hc.Beta)
+	if err != nil {
+		return SolveSimResult{}, err
+	}
+	checkComp := checkFraction * p.Flops() * p.AreaFor(procs) * hc.TflpTime
+	checks := iterations / checkPeriod
+	checkTime := reduce + checkComp
+	return SolveSimResult{
+		Iterations: iterations,
+		Checks:     checks,
+		IterTime:   iter.CycleTime,
+		CheckTime:  checkTime,
+		Total:      float64(iterations)*iter.CycleTime + float64(checks)*checkTime,
+	}, nil
+}

@@ -1,0 +1,81 @@
+package simarch
+
+import (
+	"math"
+	"testing"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// TestWholeSolveMatchesModel: the simulated whole solve agrees with the
+// analytic composition CycleTimeWithCheck × iterations (the amortized
+// model and the explicit per-check simulation must coincide when the
+// period divides the iteration count).
+func TestWholeSolveMatchesModel(t *testing.T) {
+	p := core.MustProblem(128, stencil.FivePoint, partition.Strip)
+	hc := core.DefaultHypercube(0)
+	const (
+		procs      = 16
+		iterations = 100
+		period     = 10
+		fraction   = 0.5
+	)
+	res, err := SimulateHypercubeSolve(p, hc, procs, iterations, period, fraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := core.ConvergenceCheck{ComputeFraction: fraction, Period: period}
+	perIter, err := core.CycleTimeWithCheck(p, hc, cc, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := float64(iterations) * perIter
+	if rel := math.Abs(res.Total-model) / model; rel > 1e-9 {
+		t.Errorf("simulated whole solve %.6g vs model %.6g (rel %.2e)", res.Total, model, rel)
+	}
+	if res.Checks != iterations/period {
+		t.Errorf("checks = %d", res.Checks)
+	}
+}
+
+// TestWholeSolveCheckCostVisible: frequent checks dominate when startup
+// is expensive; scheduled checks amortize it.
+func TestWholeSolveCheckCostVisible(t *testing.T) {
+	p := core.MustProblem(128, stencil.FivePoint, partition.Strip)
+	hc := core.DefaultHypercube(0)
+	every, err := SimulateHypercubeSolve(p, hc, 64, 100, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := SimulateHypercubeSolve(p, hc, 64, 100, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Total >= every.Total {
+		t.Errorf("scheduled %.6g not below every-iteration %.6g", sched.Total, every.Total)
+	}
+	overheadEvery := every.Total - 100*every.IterTime
+	overheadSched := sched.Total - 100*sched.IterTime
+	if overheadSched >= overheadEvery/10 {
+		t.Errorf("scheduling removed too little: %.3g vs %.3g", overheadSched, overheadEvery)
+	}
+}
+
+func TestWholeSolveValidation(t *testing.T) {
+	p := core.MustProblem(64, stencil.FivePoint, partition.Strip)
+	hc := core.DefaultHypercube(0)
+	if _, err := SimulateHypercubeSolve(p, hc, 8, 0, 1, 0.5); err == nil {
+		t.Error("0 iterations accepted")
+	}
+	if _, err := SimulateHypercubeSolve(p, hc, 8, 10, 0, 0.5); err == nil {
+		t.Error("0 period accepted")
+	}
+	if _, err := SimulateHypercubeSolve(p, hc, 8, 10, 1, -1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := SimulateHypercubeSolve(p, hc, 3, 10, 1, 0.5); err == nil {
+		t.Error("non-power-of-two procs accepted")
+	}
+}

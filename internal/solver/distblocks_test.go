@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"testing"
+
+	"optspeed/internal/grid"
+)
+
+// TestDistBlocksMatchesShared: the 2-D block message-passing solver is
+// bit-identical to the shared-memory solver, including for the diagonal
+// 9-point stencil (corners propagate via the two-phase exchange).
+func TestDistBlocksMatchesShared(t *testing.T) {
+	n := 36
+	kernels := []grid.Kernel{grid.Laplace5(n), grid.Laplace9(n), grid.Star9(n)}
+	grids := [][2]int{{1, 1}, {2, 2}, {2, 3}, {3, 3}, {4, 2}}
+	for _, k := range kernels {
+		for _, wg := range grids {
+			uShared := grid.MustNew(n)
+			uShared.SetConstantBoundary(1)
+			if _, err := Solve(uShared, k, nil, Config{Workers: 1, MaxIterations: 20}); err != nil {
+				t.Fatal(err)
+			}
+			uDist := grid.MustNew(n)
+			uDist.SetConstantBoundary(1)
+			res, err := DistributedSolveBlocks(uDist, k, nil, wg[0], wg[1], 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := uShared.MaxAbsDiff(uDist); d != 0 {
+				t.Errorf("%s %dx%d workers: diff %g", k.Stencil.Name(), wg[0], wg[1], d)
+			}
+			if res.PartitionsY*res.PartitionsX != res.Workers {
+				t.Errorf("worker accounting: %+v", res)
+			}
+		}
+	}
+}
+
+// TestDistBlocksWithRHS: source terms scatter correctly.
+func TestDistBlocksWithRHS(t *testing.T) {
+	n := 30
+	uShared, k, f := testProblem(n)
+	if _, err := Solve(uShared, k, f, Config{Workers: 1, MaxIterations: 30}); err != nil {
+		t.Fatal(err)
+	}
+	uDist, _, f2 := testProblem(n)
+	if _, err := DistributedSolveBlocks(uDist, k, f2, 3, 2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if d := uShared.MaxAbsDiff(uDist); d != 0 {
+		t.Errorf("RHS block diff %g", d)
+	}
+}
+
+// TestDistBlocksWordCount: the shipped volume matches the model — each
+// internal vertical edge carries halo·(cols+2·halo) words per direction
+// per iteration, each horizontal edge halo·(rows+2·halo).
+func TestDistBlocksWordCount(t *testing.T) {
+	n := 32
+	k := grid.Laplace5(n)
+	u := grid.MustNew(n)
+	const iters = 5
+	res, err := DistributedSolveBlocks(u, k, nil, 2, 2, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halo := 1
+	// 2×2 grid of 16×16 blocks: 2 vertical edges, 2 horizontal edges,
+	// 2 directions each.
+	perIter := int64(2*2*halo*(16+2*u.Halo) + 2*2*halo*(16+2*u.Halo))
+	if want := perIter * iters; res.WordsSent != want {
+		t.Errorf("WordsSent = %d, want %d", res.WordsSent, want)
+	}
+}
+
+// TestDistBlocksSquareVolumeBeatsStrips: at equal worker counts the
+// block decomposition ships fewer words than strips — the paper's
+// perimeter argument measured on real message traffic.
+func TestDistBlocksSquareVolumeBeatsStrips(t *testing.T) {
+	n := 64
+	k := grid.Laplace5(n)
+	const workers = 16
+	const iters = 3
+	uStrips := grid.MustNew(n)
+	strips, err := DistributedSolve(uStrips, k, nil, workers, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uBlocks := grid.MustNew(n)
+	blocks, err := DistributedSolveBlocks(uBlocks, k, nil, 4, 4, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks.WordsSent >= strips.WordsSent {
+		t.Errorf("blocks shipped %d words, strips %d — expected fewer",
+			blocks.WordsSent, strips.WordsSent)
+	}
+}
+
+func TestDistBlocksValidation(t *testing.T) {
+	u := grid.MustNew(16)
+	k := grid.Laplace5(16)
+	if _, err := DistributedSolveBlocks(nil, k, nil, 2, 2, 1); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := DistributedSolveBlocks(u, k, nil, 2, 2, -1); err == nil {
+		t.Error("negative iterations accepted")
+	}
+	if _, err := DistributedSolveBlocks(u, k, nil, 0, 2, 1); err == nil {
+		t.Error("py=0 accepted")
+	}
+	thin, _ := grid.NewHalo(16, 1)
+	if _, err := DistributedSolveBlocks(thin, grid.Star9(16), nil, 2, 2, 1); err == nil {
+		t.Error("stencil radius exceeding halo accepted")
+	}
+	// Oversized worker grids clamp rather than fail.
+	res, err := DistributedSolveBlocks(u, k, nil, 100, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionsY > 16 || res.PartitionsX > 16 {
+		t.Errorf("clamping failed: %+v", res)
+	}
+}

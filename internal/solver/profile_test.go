@@ -1,0 +1,44 @@
+package solver
+
+import "testing"
+
+// TestProfileFields: profiling populates compute/barrier seconds; off by
+// default.
+func TestProfileFields(t *testing.T) {
+	u, k, f := testProblem(128)
+	res, err := Solve(u, k, f, Config{Workers: 4, MaxIterations: 20, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeSeconds <= 0 {
+		t.Errorf("ComputeSeconds = %g", res.ComputeSeconds)
+	}
+	if res.BarrierSeconds < 0 {
+		t.Errorf("BarrierSeconds = %g", res.BarrierSeconds)
+	}
+	u2, k2, f2 := testProblem(128)
+	res2, err := Solve(u2, k2, f2, Config{Workers: 4, MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ComputeSeconds != 0 || res2.BarrierSeconds != 0 {
+		t.Error("profiling fields populated without Profile")
+	}
+}
+
+// TestProfileComputeDominatesSerial: with one worker there is no
+// imbalance, so compute dominates the measured time.
+func TestProfileComputeDominatesSerial(t *testing.T) {
+	u, k, f := testProblem(256)
+	res, err := Solve(u, k, f, Config{Workers: 1, MaxIterations: 10, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.ComputeSeconds + res.BarrierSeconds
+	if total <= 0 {
+		t.Fatal("no profile data")
+	}
+	if frac := res.ComputeSeconds / total; frac < 0.5 {
+		t.Errorf("serial compute fraction %.2f, want > 0.5", frac)
+	}
+}

@@ -1,0 +1,153 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"optspeed/internal/grid"
+)
+
+// RedBlackConfig configures the parallel red-black Gauss-Seidel solver.
+type RedBlackConfig struct {
+	Workers       int     // goroutines; 0 = GOMAXPROCS
+	MaxIterations int     // hard cap; 0 = 10000
+	Tolerance     float64 // stop when global Σ(Δu)² < Tolerance; 0 = run to cap
+	Omega         float64 // relaxation factor; 0 = 1 (Gauss-Seidel)
+}
+
+// SolveRedBlack runs parallel red-black Gauss-Seidel (with optional
+// over-relaxation) on a 5-point-structured kernel: points are colored by
+// (i+j) parity; all red points update from black neighbors, a barrier,
+// then all black points update from the fresh red values. Unlike plain
+// SOR the sweep parallelizes exactly — within a color no point reads
+// another point of the same color — so the parallel result is
+// bit-identical to the serial red-black sweep for any worker count.
+//
+// Red-black ordering converges roughly twice as fast per sweep as Jacobi
+// on the model problems, which is why real codes prefer it; it is the
+// natural "extension" solver on top of the paper's Jacobi analysis (the
+// communication structure — one perimeter per color phase — is the same,
+// so the paper's model applies per half-sweep).
+//
+// The kernel must have Chebyshev radius 1 and no diagonal offsets (the
+// coloring argument requires axis neighbors only), e.g. Laplace5.
+func SolveRedBlack(u *grid.Grid, k grid.Kernel, f *grid.Grid, cfg RedBlackConfig) (Result, error) {
+	if u == nil {
+		return Result{}, fmt.Errorf("solver: nil grid")
+	}
+	if k.Stencil.ChebyshevRadius() != 1 || k.Stencil.HasDiagonal() {
+		return Result{}, fmt.Errorf("solver: red-black needs an axis-only radius-1 stencil, got %s", k.Stencil.Name())
+	}
+	if k.Stencil.ChebyshevRadius() > u.Halo {
+		return Result{}, fmt.Errorf("solver: stencil radius exceeds halo")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > u.N {
+		workers = u.N
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	omega := cfg.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	if omega <= 0 || omega >= 2 {
+		return Result{}, fmt.Errorf("solver: omega %g outside (0, 2)", omega)
+	}
+
+	regions, _, _, err := decompose(u.N, workers, Strips)
+	if err != nil {
+		return Result{}, err
+	}
+	workers = len(regions)
+
+	offs := k.Stencil.Offsets()
+	flat := make([]int, len(offs))
+	for i, o := range offs {
+		flat[i] = o.DI*u.Stride() + o.DJ
+	}
+	data := u.Data()
+	halo := u.Halo
+	stride := u.Stride()
+	idx := func(i, j int) int { return (i+halo)*stride + (j + halo) }
+
+	var (
+		wg         sync.WaitGroup
+		deltas     = make([]float64, workers)
+		iterations int
+		checks     int
+		converged  bool
+		finalDelta float64
+	)
+	sweepColor := func(w int, color int, collect bool) {
+		defer wg.Done()
+		reg := regions[w]
+		var local float64
+		for i := reg.r0; i < reg.r1; i++ {
+			// First column of this row with (i+j)%2 == color.
+			j0 := (color - i%2 + 2) % 2
+			for j := j0; j < u.N; j += 2 {
+				base := idx(i, j)
+				var acc float64
+				for t, fo := range flat {
+					acc += k.Weights[t] * data[base+fo]
+				}
+				if f != nil && k.RHSCoeff != 0 {
+					acc += k.RHSCoeff * f.At(i, j)
+				}
+				d := omega * (acc - data[base])
+				data[base] += d
+				if collect {
+					local += d * d
+				}
+			}
+		}
+		if collect {
+			deltas[w] += local
+		}
+	}
+
+	for iter := 1; iter <= maxIter; iter++ {
+		doCheck := cfg.Tolerance > 0
+		if doCheck {
+			for w := range deltas {
+				deltas[w] = 0
+			}
+		}
+		for color := 0; color < 2; color++ {
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go sweepColor(w, color, doCheck)
+			}
+			wg.Wait() // color barrier: black reads fresh red values
+		}
+		iterations = iter
+		if doCheck {
+			checks++
+			var sum float64
+			for _, d := range deltas {
+				sum += d
+			}
+			finalDelta = sum
+			if sum < cfg.Tolerance {
+				converged = true
+				break
+			}
+		}
+	}
+	return Result{
+		Iterations:  iterations,
+		Converged:   converged,
+		FinalDelta:  finalDelta,
+		Checks:      checks,
+		Workers:     workers,
+		PartitionsX: 1,
+		PartitionsY: workers,
+	}, nil
+}

@@ -1,0 +1,104 @@
+package solver
+
+import "fmt"
+
+// Schedule decides on which iterations a (relatively expensive) global
+// convergence check runs. The paper (§4) notes that convergence checking
+// can add ~50% to the update computation for small stencils and that its
+// dissemination traffic is non-local; Saltz, Naik, and Nicol [13] show
+// scheduled checks reduce the cost "to an insignificant amount". These
+// schedules reproduce the idea at the level the paper uses it.
+type Schedule interface {
+	// CheckAt reports whether iteration iter (1-based) should check.
+	CheckAt(iter int) bool
+	// Name identifies the schedule for reporting.
+	Name() string
+}
+
+// EveryIteration checks on every iteration: the maximally responsive,
+// maximally expensive baseline.
+type EveryIteration struct{}
+
+// CheckAt implements Schedule.
+func (EveryIteration) CheckAt(int) bool { return true }
+
+// Name implements Schedule.
+func (EveryIteration) Name() string { return "every-iteration" }
+
+// EveryK checks on every K-th iteration: the fixed-period schedule. It
+// overshoots convergence by up to K−1 iterations but divides the
+// checking cost by K.
+type EveryK struct{ K int }
+
+// CheckAt implements Schedule.
+func (s EveryK) CheckAt(iter int) bool {
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	return iter%k == 0
+}
+
+// Name implements Schedule.
+func (s EveryK) Name() string { return fmt.Sprintf("every-%d", s.K) }
+
+// Geometric checks at iterations ⌈Start·Ratio^j⌉: sparse early (when the
+// iterate is far from converged and checks cannot succeed), dense
+// late — the shape of the Saltz-Naik-Nicol adaptive schedules.
+type Geometric struct {
+	Start float64 // first checked iteration (≥ 1)
+	Ratio float64 // growth factor (> 1)
+
+	next float64
+}
+
+// NewGeometric builds a geometric schedule with validation.
+func NewGeometric(start, ratio float64) (*Geometric, error) {
+	if start < 1 {
+		return nil, fmt.Errorf("solver: geometric start %g must be ≥ 1", start)
+	}
+	if ratio <= 1 {
+		return nil, fmt.Errorf("solver: geometric ratio %g must be > 1", ratio)
+	}
+	return &Geometric{Start: start, Ratio: ratio, next: start}, nil
+}
+
+// CheckAt implements Schedule. It must be called with increasing iter
+// (the solver guarantees this).
+func (g *Geometric) CheckAt(iter int) bool {
+	if g.next < 1 {
+		g.next = g.Start
+		if g.next < 1 {
+			g.next = 1
+		}
+	}
+	if float64(iter) < g.next {
+		return false
+	}
+	for g.next <= float64(iter) {
+		g.next *= g.Ratio
+	}
+	return true
+}
+
+// Name implements Schedule.
+func (g *Geometric) Name() string {
+	return fmt.Sprintf("geometric(%g,%g)", g.Start, g.Ratio)
+}
+
+// CheckCost estimates the fraction of total work spent on convergence
+// checking under a schedule, given the per-iteration check/update cost
+// ratio r (the paper cites r ≈ 0.5 for 5-point stencils): it simulates
+// iters iterations and returns checks·r / (iters·(1+r·checks/iters)) —
+// i.e. the share of checking in the total.
+func CheckCost(s Schedule, iters int, r float64) float64 {
+	checks := 0
+	for i := 1; i <= iters; i++ {
+		if s.CheckAt(i) {
+			checks++
+		}
+	}
+	checkWork := float64(checks) * r
+	total := float64(iters) + checkWork
+	return checkWork / total
+}

@@ -1,0 +1,266 @@
+// Package solver is a real shared-memory parallel Jacobi solver built on
+// goroutines: the empirical counterpart to the paper's analytic model
+// (the paper's §8 lists empirical verification as future work; the repro
+// band calls for goroutine benchmarks). It decomposes the grid into
+// strips or near-square blocks, one worker goroutine per partition,
+// iterates with barrier-synchronized Jacobi sweeps, and supports the
+// convergence-check schedules whose cost the paper discusses (§4).
+//
+// Because Jacobi reads only the previous iterate, the parallel solver is
+// bit-identical to the serial one for every decomposition — a property
+// the tests assert.
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"optspeed/internal/grid"
+	"optspeed/internal/partition"
+)
+
+// Decomposition selects the partition geometry for the parallel solve.
+type Decomposition int
+
+const (
+	// Strips assigns each worker a band of contiguous rows (paper Fig. 4).
+	Strips Decomposition = iota
+	// Blocks assigns each worker a near-square rectangle from a
+	// grid-of-blocks decomposition (paper Fig. 5).
+	Blocks
+)
+
+// String names the decomposition.
+func (d Decomposition) String() string {
+	switch d {
+	case Strips:
+		return "strips"
+	case Blocks:
+		return "blocks"
+	default:
+		return fmt.Sprintf("Decomposition(%d)", int(d))
+	}
+}
+
+// Config configures a parallel solve.
+type Config struct {
+	Workers       int           // goroutines; 0 = GOMAXPROCS
+	Decomposition Decomposition // strips (default) or blocks
+	MaxIterations int           // hard iteration cap; 0 = 10000
+	Tolerance     float64       // stop when global Σ(Δu)² < Tolerance; 0 = run to MaxIterations
+	Check         Schedule      // convergence-check schedule; nil = EveryIteration
+	Profile       bool          // measure per-phase times (adds clock reads)
+}
+
+// Result reports a completed solve.
+type Result struct {
+	Iterations  int     // iterations executed
+	Converged   bool    // tolerance reached (false when run to the cap)
+	FinalDelta  float64 // last measured global Σ(Δu)²
+	Checks      int     // convergence checks performed
+	Workers     int     // workers actually used
+	PartitionsX int     // block columns (1 for strips)
+	PartitionsY int     // block rows (= workers for strips)
+	WordsSent   int64   // halo words shipped over channels (message-passing solver only)
+
+	// Profiling (populated when Config.Profile is set): total worker
+	// seconds spent sweeping versus waiting at the iteration barrier.
+	// The barrier share is the real-machine analogue of the model's
+	// synchronization overhead — it grows with worker count and with
+	// load imbalance.
+	ComputeSeconds float64
+	BarrierSeconds float64
+}
+
+// region is one worker's responsibility.
+type region struct {
+	r0, r1, c0, c1 int
+}
+
+func (r region) area() int { return (r.r1 - r.r0) * (r.c1 - r.c0) }
+
+// Solve runs barrier-synchronized parallel Jacobi: dst/src double
+// buffering, one worker per partition, a convergence check (global sum
+// of squared updates) on the schedule's iterations. u is updated in
+// place with the final iterate; f is the optional source term (may be
+// nil).
+func Solve(u *grid.Grid, k grid.Kernel, f *grid.Grid, cfg Config) (Result, error) {
+	if u == nil {
+		return Result{}, fmt.Errorf("solver: nil grid")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > u.N {
+		workers = u.N // at least one row per strip
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	sched := cfg.Check
+	if sched == nil {
+		sched = EveryIteration{}
+	}
+
+	regions, px, py, err := decompose(u.N, workers, cfg.Decomposition)
+	if err != nil {
+		return Result{}, err
+	}
+	workers = len(regions)
+
+	cur := u
+	next := u.Clone()
+
+	var (
+		wg         sync.WaitGroup
+		deltas     = make([]float64, workers)
+		sweepSecs  = make([]float64, workers)
+		iterations int
+		checks     int
+		converged  bool
+		finalDelta float64
+		sweepErr   error
+		errOnce    sync.Once
+		computeSum float64
+		barrierSum float64
+	)
+
+	for iter := 1; iter <= maxIter; iter++ {
+		doCheck := cfg.Tolerance > 0 && sched.CheckAt(iter)
+		var iterStart time.Time
+		if cfg.Profile {
+			iterStart = time.Now()
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				var t0 time.Time
+				if cfg.Profile {
+					t0 = time.Now()
+				}
+				reg := regions[w]
+				if err := grid.SweepRegion(next, cur, k, f, reg.r0, reg.r1, reg.c0, reg.c1); err != nil {
+					errOnce.Do(func() { sweepErr = err })
+					return
+				}
+				if doCheck {
+					deltas[w] = next.SumSquaredDiffRegion(cur, reg.r0, reg.r1, reg.c0, reg.c1)
+				}
+				if cfg.Profile {
+					sweepSecs[w] = time.Since(t0).Seconds()
+				}
+			}(w)
+		}
+		wg.Wait() // barrier: iteration ends before the next begins (paper §3)
+		if sweepErr != nil {
+			return Result{}, sweepErr
+		}
+		if cfg.Profile {
+			wall := time.Since(iterStart).Seconds()
+			for _, sw := range sweepSecs {
+				computeSum += sw
+				if gap := wall - sw; gap > 0 {
+					barrierSum += gap
+				}
+			}
+		}
+		iterations = iter
+		cur, next = next, cur
+		if doCheck {
+			checks++
+			var sum float64
+			for _, d := range deltas {
+				sum += d // the "dissemination" reduction (paper §4)
+			}
+			finalDelta = sum
+			if sum < cfg.Tolerance {
+				converged = true
+				break
+			}
+		}
+	}
+
+	// Ensure the caller's grid holds the final iterate.
+	if cur != u {
+		if err := u.CopyFrom(cur); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Iterations:     iterations,
+		Converged:      converged,
+		FinalDelta:     finalDelta,
+		Checks:         checks,
+		Workers:        workers,
+		PartitionsX:    px,
+		PartitionsY:    py,
+		ComputeSeconds: computeSum,
+		BarrierSeconds: barrierSum,
+	}, nil
+}
+
+// SolveSerial is the single-threaded baseline: identical numerics, no
+// goroutines, checking convergence every iteration.
+func SolveSerial(u *grid.Grid, k grid.Kernel, f *grid.Grid, maxIter int, tol float64) (Result, error) {
+	return Solve(u, k, f, Config{
+		Workers:       1,
+		MaxIterations: maxIter,
+		Tolerance:     tol,
+	})
+}
+
+// decompose builds the worker regions: strips via the paper's ±1-row
+// rule, blocks via a near-square processor grid.
+func decompose(n, workers int, d Decomposition) ([]region, int, int, error) {
+	switch d {
+	case Strips:
+		bands, err := partition.DecomposeStrips(n, workers)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		regions := make([]region, len(bands))
+		for i, b := range bands {
+			regions[i] = region{r0: b.Row0, r1: b.Row0 + b.Rows, c0: 0, c1: n}
+		}
+		return regions, 1, len(bands), nil
+	case Blocks:
+		py, px := blockGrid(workers)
+		rows, err := partition.DecomposeStrips(n, py)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		var regions []region
+		for _, b := range rows {
+			colBands, err := partition.DecomposeStrips(n, px)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			for _, cb := range colBands {
+				regions = append(regions, region{
+					r0: b.Row0, r1: b.Row0 + b.Rows,
+					c0: cb.Row0, c1: cb.Row0 + cb.Rows,
+				})
+			}
+		}
+		return regions, px, py, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("solver: unknown decomposition %d", int(d))
+	}
+}
+
+// blockGrid factors the worker count into the most square py×px grid
+// (py ≥ px, py·px = workers).
+func blockGrid(workers int) (py, px int) {
+	px = 1
+	for d := 1; d*d <= workers; d++ {
+		if workers%d == 0 {
+			px = d
+		}
+	}
+	return workers / px, px
+}

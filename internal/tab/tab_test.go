@@ -1,0 +1,84 @@
+package tab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 42)
+	tb.AddRow("gamma", "x")
+	if tb.Rows() != 3 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"## Demo", "name", "value", "alpha", "1.5", "42", "-----"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + rule + 3 rows
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteTextNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow(1)
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "##") {
+		t.Error("unexpected title")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("x,y", 2.25)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx;y,2.25\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestColumnAlignment(t *testing.T) {
+	tb := New("", "col", "v")
+	tb.AddRow("longvaluehere", 1)
+	tb.AddRow("s", 2)
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// All value columns start at the same offset.
+	idx := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "2") != idx {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestFloat32Formatting(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(float32(0.5))
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5") {
+		t.Error("float32 formatting")
+	}
+}

@@ -1,0 +1,347 @@
+package optspeed
+
+import (
+	"io"
+
+	"optspeed/internal/core"
+	"optspeed/internal/experiments"
+	"optspeed/internal/grid"
+	"optspeed/internal/partition"
+	"optspeed/internal/solver"
+	"optspeed/internal/stencil"
+)
+
+// --- Stencils (paper §3, Figs. 1 and 3) ---
+
+// Stencil is a discretization stencil; see FivePoint and friends.
+type Stencil = stencil.Stencil
+
+// Offset is a relative grid coordinate in a stencil.
+type Offset = stencil.Offset
+
+// Built-in stencils with calibrated E(S) flop counts.
+var (
+	FivePoint     = stencil.FivePoint
+	NinePoint     = stencil.NinePoint
+	NineStar      = stencil.NineStar
+	ThirteenPoint = stencil.ThirteenPoint
+)
+
+// NewStencil builds a custom stencil from neighbor offsets (center
+// excluded) and a per-point flop count E(S).
+func NewStencil(name string, offsets []Offset, flops float64) (Stencil, error) {
+	return stencil.New(name, offsets, flops)
+}
+
+// Stencils returns the paper's four stencils.
+func Stencils() []Stencil { return stencil.Builtins() }
+
+// --- Partition shapes (paper §3) ---
+
+// Shape is the partition geometry: Strip or Square.
+type Shape = partition.Shape
+
+// The two shapes the paper analyzes.
+const (
+	Strip  = partition.Strip
+	Square = partition.Square
+)
+
+// WorkingSet is the set of working rectangles approximating square
+// partitions on an n×n grid (paper §3, Fig. 6).
+type WorkingSet = partition.WorkingSet
+
+// NewWorkingSet computes the working rectangles of an n×n grid with the
+// paper's 5% square-likeness tolerance.
+func NewWorkingSet(n int) (*WorkingSet, error) { return partition.NewWorkingSet(n) }
+
+// DecomposeStrips cuts an n×n grid into p strips by the paper's rule.
+func DecomposeStrips(n, p int) ([]partition.Band, error) { return partition.DecomposeStrips(n, p) }
+
+// --- Problems and machines (paper §§3-7) ---
+
+// Problem is a grid-size/stencil/shape triple.
+type Problem = core.Problem
+
+// NewProblem validates and builds a problem; it panics on invalid
+// arguments in the Must variant.
+func NewProblem(n int, st Stencil, sh Shape) (Problem, error) { return core.NewProblem(n, st, sh) }
+
+// MustProblem is NewProblem panicking on error.
+func MustProblem(n int, st Stencil, sh Shape) Problem { return core.MustProblem(n, st, sh) }
+
+// Architecture is one of the paper's machine classes.
+type Architecture = core.Architecture
+
+// Machine types (zero NProcs = unbounded).
+type (
+	// Hypercube is the §4 message-passing hypercube (Intel iPSC class).
+	Hypercube = core.Hypercube
+	// Mesh is the §5 nearest-neighbor grid machine (Illiac IV, FEM).
+	Mesh = core.Mesh
+	// SyncBus is the §6.1 synchronous shared bus (FLEX/32 class).
+	SyncBus = core.SyncBus
+	// AsyncBus is the §6.2 bus with posted writes (and the fully
+	// overlapped variant).
+	AsyncBus = core.AsyncBus
+	// Banyan is the §7 banyan/omega switching network (BBN Butterfly,
+	// IBM RP3 class).
+	Banyan = core.Banyan
+)
+
+// Overlap modes for AsyncBus.
+const (
+	OverlapWrites         = core.OverlapWrites
+	OverlapReadsAndWrites = core.OverlapReadsAndWrites
+)
+
+// Calibrated default machines (see DESIGN.md §5 for the calibration).
+var (
+	DefaultHypercube = core.DefaultHypercube
+	DefaultMesh      = core.DefaultMesh
+	DefaultSyncBus   = core.DefaultSyncBus
+	DefaultAsyncBus  = core.DefaultAsyncBus
+	DefaultBanyan    = core.DefaultBanyan
+	FlexBus          = core.FlexBus
+)
+
+// --- The model (the paper's contribution) ---
+
+// Allocation is an optimized processor assignment.
+type Allocation = core.Allocation
+
+// Optimize minimizes the cycle time over the admissible processor range.
+func Optimize(p Problem, a Architecture) (Allocation, error) { return core.Optimize(p, a) }
+
+// OptimizeSnapped additionally snaps square partitions to realizable
+// working rectangles.
+func OptimizeSnapped(p Problem, a Architecture) (Allocation, error) {
+	return core.OptimizeSnapped(p, a)
+}
+
+// Speedup returns the speedup at a given processor count.
+func Speedup(p Problem, a Architecture, procs int) (float64, error) {
+	return core.Speedup(p, a, procs)
+}
+
+// OptimalSpeedup returns the speedup of the optimal allocation.
+func OptimalSpeedup(p Problem, a Architecture) (float64, error) { return core.OptimalSpeedup(p, a) }
+
+// MinGridAllProcs returns the smallest grid size whose optimal
+// allocation uses all N processors (paper Fig. 7).
+func MinGridAllProcs(p Problem, a Architecture, procs int) (int, error) {
+	return core.MinGridAllProcs(p, a, procs)
+}
+
+// MaxGainfulProcs returns the largest processor count the problem can
+// gainfully use (the paper's "1 to 14 processors" numbers).
+func MaxGainfulProcs(p Problem, a Architecture) (int, error) { return core.MaxGainfulProcs(p, a) }
+
+// ShapeChoice compares the two partition shapes for a problem.
+type ShapeChoice = core.ShapeChoice
+
+// BestShape optimizes under both shapes and reports the winner (§6.1:
+// squares, for realistic parameters and large problems).
+func BestShape(p Problem, a Architecture) (ShapeChoice, error) { return core.BestShape(p, a) }
+
+// GrowthOrder classifies asymptotic optimal-speedup growth (Table I).
+type GrowthOrder = core.GrowthOrder
+
+// SpeedupGrowth returns the paper's asymptotic order for an
+// architecture/shape pair.
+func SpeedupGrowth(a Architecture, sh Shape) GrowthOrder { return core.SpeedupGrowth(a, sh) }
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow = core.TableIRow
+
+// TableI evaluates the paper's Table I at grid size n.
+func TableI(n int, st Stencil, hc Hypercube, sb SyncBus, ab AsyncBus, by Banyan) []TableIRow {
+	return core.TableI(n, st, hc, sb, ab, by)
+}
+
+// Constraints narrow admissible allocations (memory per processor,
+// minimum processor count; paper §3).
+type Constraints = core.Constraints
+
+// OptimizeConstrained is Optimize under Constraints.
+func OptimizeConstrained(p Problem, a Architecture, c Constraints) (Allocation, error) {
+	return core.OptimizeConstrained(p, a, c)
+}
+
+// ConvergenceCheck models the §4 convergence-checking cost (extra
+// compute plus verdict dissemination, amortized over a check period).
+type ConvergenceCheck = core.ConvergenceCheck
+
+// DefaultConvergenceCheck is the paper's 5-point figure (≈50% extra
+// compute), checked every iteration.
+var DefaultConvergenceCheck = core.DefaultConvergenceCheck
+
+// CycleTimeWithCheck returns the per-iteration time including the
+// amortized convergence check.
+func CycleTimeWithCheck(p Problem, a Architecture, cc ConvergenceCheck, procs int) (float64, error) {
+	return core.CycleTimeWithCheck(p, a, cc, procs)
+}
+
+// OptimizeWithCheck minimizes the checked cycle time.
+func OptimizeWithCheck(p Problem, a Architecture, cc ConvergenceCheck) (Allocation, error) {
+	return core.OptimizeWithCheck(p, a, cc)
+}
+
+// Efficiency returns speedup per processor.
+func Efficiency(p Problem, a Architecture, procs int) (float64, error) {
+	return core.Efficiency(p, a, procs)
+}
+
+// IsoefficiencyGrid returns the smallest grid sustaining the target
+// efficiency on the given processor count (Fig. 7, generalized).
+func IsoefficiencyGrid(p Problem, a Architecture, procs int, target float64) (int, error) {
+	return core.IsoefficiencyGrid(p, a, procs, target)
+}
+
+// Param identifies a machine parameter for sensitivity analysis.
+type Param = core.Param
+
+// Sensitivity parameters.
+const (
+	ParamTflp        = core.ParamTflp
+	ParamBusCycle    = core.ParamBusCycle
+	ParamBusOverhead = core.ParamBusOverhead
+	ParamAlpha       = core.ParamAlpha
+	ParamBeta        = core.ParamBeta
+	ParamSwitch      = core.ParamSwitch
+)
+
+// Elasticity returns d log t*/d log θ for a machine parameter.
+func Elasticity(p Problem, a Architecture, param Param) (float64, error) {
+	return core.Elasticity(p, a, param)
+}
+
+// JacobiIterations estimates the Jacobi sweeps needed for an error
+// reduction eps on an n×n 5-point problem (Θ(n²)).
+func JacobiIterations(n int, eps float64) (int, error) { return core.JacobiIterations(n, eps) }
+
+// SolveTime composes iterations × optimized cycle time.
+type SolveTime = core.SolveTime
+
+// TimeToSolution predicts the whole-solve time and speedup.
+func TimeToSolution(p Problem, a Architecture, eps float64, cc *ConvergenceCheck) (SolveTime, error) {
+	return core.TimeToSolution(p, a, eps, cc)
+}
+
+// MachineSpec is the JSON-serializable machine description.
+type MachineSpec = core.MachineSpec
+
+// ParseMachine decodes a JSON machine spec into an Architecture.
+func ParseMachine(data []byte) (Architecture, error) { return core.ParseMachine(data) }
+
+// MarshalMachine encodes an Architecture as a JSON machine spec.
+func MarshalMachine(a Architecture) ([]byte, error) { return core.MarshalMachine(a) }
+
+// LeverageResult reports the cycle-time ratio of a hardware improvement.
+type LeverageResult = core.LeverageResult
+
+// Leverage kinds (which hardware parameter is doubled/halved).
+const (
+	LeverageBus      = core.LeverageBus
+	LeverageFlops    = core.LeverageFlops
+	LeverageOverhead = core.LeverageOverhead
+	LeverageSwitch   = core.LeverageSwitch
+	LeverageLink     = core.LeverageLink
+)
+
+// Leverage re-optimizes after a hardware improvement (paper §6.1).
+func Leverage(p Problem, a Architecture, kind core.LeverageKind) (LeverageResult, error) {
+	return core.Leverage(p, a, kind)
+}
+
+// --- The real solver (empirical validation) ---
+
+// Grid is the dense n×n computational grid.
+type Grid = grid.Grid
+
+// NewGrid allocates an n×n grid with the default ghost ring.
+func NewGrid(n int) (*Grid, error) { return grid.New(n) }
+
+// Kernel is a concrete point-update rule (weights on a stencil).
+type Kernel = grid.Kernel
+
+// Built-in kernels.
+var (
+	// Laplace5 is point Jacobi for the 5-point Laplacian.
+	Laplace5 = grid.Laplace5
+	// Laplace9 is point Jacobi for the 9-point Mehrstellen Laplacian.
+	Laplace9 = grid.Laplace9
+	// Star9 is point Jacobi for the fourth-order 9-point star.
+	Star9 = grid.Star9
+	// Averaging is a synthetic smoothing kernel for any stencil.
+	Averaging = grid.Averaging
+)
+
+// SolveConfig configures the goroutine solver.
+type SolveConfig = solver.Config
+
+// SolveResult reports a completed parallel solve.
+type SolveResult = solver.Result
+
+// Decompositions for the solver.
+const (
+	Strips = solver.Strips
+	Blocks = solver.Blocks
+)
+
+// Solve runs the barrier-synchronized parallel Jacobi solver.
+func Solve(u *Grid, k Kernel, f *Grid, cfg SolveConfig) (SolveResult, error) {
+	return solver.Solve(u, k, f, cfg)
+}
+
+// DistributedSolve runs the channel-based message-passing solver.
+func DistributedSolve(u *Grid, k Kernel, f *Grid, workers, iterations int) (SolveResult, error) {
+	return solver.DistributedSolve(u, k, f, workers, iterations)
+}
+
+// DistributedSolveBlocks runs the 2-D block message-passing solver on a
+// py×px worker grid (the paper's square decomposition as channel code).
+func DistributedSolveBlocks(u *Grid, k Kernel, f *Grid, py, px, iterations int) (SolveResult, error) {
+	return solver.DistributedSolveBlocks(u, k, f, py, px, iterations)
+}
+
+// RedBlackConfig configures the parallel red-black Gauss-Seidel solver.
+type RedBlackConfig = solver.RedBlackConfig
+
+// SolveRedBlack runs parallel red-black Gauss-Seidel (optionally
+// over-relaxed); bit-identical to the serial sweep for any worker count.
+func SolveRedBlack(u *Grid, k Kernel, f *Grid, cfg RedBlackConfig) (SolveResult, error) {
+	return solver.SolveRedBlack(u, k, f, cfg)
+}
+
+// Residual returns the max and L2 fixed-point residual norms of one
+// kernel application.
+func Residual(u *Grid, k Kernel, f *Grid) (maxNorm, l2Norm float64, err error) {
+	return grid.Residual(u, k, f)
+}
+
+// Convergence-check schedules (paper §4 and reference [13]).
+type (
+	// Schedule decides which iterations run a global convergence check.
+	Schedule = solver.Schedule
+	// EveryIteration checks every iteration.
+	EveryIteration = solver.EveryIteration
+	// EveryK checks every K-th iteration.
+	EveryK = solver.EveryK
+)
+
+// NewGeometricSchedule builds the geometric (Saltz-style) check schedule.
+func NewGeometricSchedule(start, ratio float64) (Schedule, error) {
+	return solver.NewGeometric(start, ratio)
+}
+
+// --- The reproduction harness ---
+
+// RunExperiments regenerates the paper's tables and figures to w. only
+// filters by experiment id (nil = all); see ExperimentIDs.
+func RunExperiments(w io.Writer, only map[string]bool, includeEmpirical bool) error {
+	return experiments.RunAll(w, only, includeEmpirical)
+}
+
+// ExperimentIDs lists the experiment identifiers RunExperiments accepts.
+func ExperimentIDs() []string { return experiments.IDs() }
