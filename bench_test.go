@@ -9,6 +9,7 @@ package optspeed
 // to both regenerate every result and measure the harness.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"optspeed/internal/simarch"
 	"optspeed/internal/solver"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 )
 
 // BenchmarkTableI regenerates Table I (experiment T1).
@@ -270,6 +272,55 @@ func BenchmarkWorkingSet(b *testing.B) {
 func BenchmarkRunAllQuiet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := experiments.RunAll(io.Discard, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sweep engine benchmarks ---
+
+// sweepBenchSpace is a 96-spec Cartesian space covering every machine
+// class, both shapes, and a spread of grid sizes.
+func sweepBenchSpace() sweep.Space {
+	return sweep.Space{
+		Ns:       []int{64, 128, 256, 512},
+		Stencils: []string{"5-point", "9-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{
+			{Type: "hypercube"}, {Type: "mesh"}, {Type: "sync-bus"},
+			{Type: "async-bus"}, {Type: "full-async-bus"}, {Type: "banyan"},
+		},
+	}
+}
+
+// BenchmarkSweepEngine measures cold sweep throughput: a fresh engine
+// evaluating the full 96-spec space (no cache reuse between iterations).
+func BenchmarkSweepEngine(b *testing.B) {
+	space := sweepBenchSpace()
+	b.ReportMetric(float64(space.Size()), "specs/op")
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(sweep.Options{})
+		results, err := eng.RunSpace(context.Background(), space)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != space.Size() {
+			b.Fatalf("got %d results, want %d", len(results), space.Size())
+		}
+	}
+}
+
+// BenchmarkSweepEngineWarm measures the memoized path: the same space
+// answered entirely from the LRU cache.
+func BenchmarkSweepEngineWarm(b *testing.B) {
+	space := sweepBenchSpace()
+	eng := sweep.New(sweep.Options{})
+	if _, err := eng.RunSpace(context.Background(), space); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunSpace(context.Background(), space); err != nil {
 			b.Fatal(err)
 		}
 	}

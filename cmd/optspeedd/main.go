@@ -1,0 +1,87 @@
+// Command optspeedd serves the Nicol-Willard optimal-speedup model over
+// HTTP: single queries (POST /v1/optimize), batched Cartesian sweeps
+// backed by the sharded sweep engine and its memoization cache
+// (POST /v1/sweep), and the machine catalog (GET /v1/architectures).
+// GET /v1/metrics exposes per-endpoint latency and cache statistics.
+//
+// Usage:
+//
+//	optspeedd -addr :8080 -workers 8 -cache 8192
+//
+// Example query:
+//
+//	curl -s localhost:8080/v1/optimize -d \
+//	  '{"n":512,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"optspeed/internal/service"
+	"optspeed/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "evaluation pool size, shared across all requests (0 = GOMAXPROCS)")
+		cacheSz  = flag.Int("cache", sweep.DefaultCacheSize, "result cache capacity in specs")
+		maxSweep = flag.Int("max-sweep", service.DefaultMaxSweepSpecs, "max specs per sweep request")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	engine := sweep.New(sweep.Options{Workers: *workers, CacheSize: *cacheSz})
+	srv := service.New(service.Config{Engine: engine, MaxSweepSpecs: *maxSweep})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bound slow-body and idle connections so trickling clients
+		// cannot pin goroutines and file descriptors; writes get a
+		// generous ceiling since maximum-size sweeps take a while to
+		// evaluate and serialize.
+		ReadTimeout:  time.Minute,
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("optspeedd listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "optspeedd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("optspeedd: shutting down (draining up to %s)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "optspeedd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("optspeedd: stopped")
+}

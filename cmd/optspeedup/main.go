@@ -18,8 +18,8 @@ import (
 	"os"
 
 	"optspeed/internal/core"
-	"optspeed/internal/partition"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 )
 
 func main() {
@@ -47,13 +47,8 @@ func main() {
 	if !ok {
 		fatalf("unknown stencil %q", *stName)
 	}
-	var sh partition.Shape
-	switch *shape {
-	case "strip":
-		sh = partition.Strip
-	case "square":
-		sh = partition.Square
-	default:
+	sh, err := sweep.ParseShape(*shape)
+	if err != nil {
 		fatalf("unknown shape %q", *shape)
 	}
 	p, err := core.NewProblem(*n, st, sh)

@@ -13,8 +13,11 @@
 //   - a dense grid with Jacobi/SOR kernels (internal/grid),
 //   - a real goroutine parallel solver (internal/solver),
 //   - discrete-event architecture simulators (internal/simarch),
-//   - the paper's figures/tables as runnable experiments
-//     (internal/experiments).
+//   - the sharded, memoizing parallel sweep engine (internal/sweep),
+//   - the HTTP optimization service served by cmd/optspeedd
+//     (internal/service),
+//   - the paper's figures/tables as runnable experiments, which generate
+//     their point grids through the sweep engine (internal/experiments).
 //
 // # Quick start
 //

@@ -1,0 +1,3 @@
+module optspeed
+
+go 1.22

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"optspeed/internal/partition"
+)
+
+// Canonical returns the spec with calibrated defaults filled in and the
+// architecture's irrelevant fields zeroed, so that any two specs
+// describing the same machine canonicalize to the same value. It
+// round-trips through Machine and SpecFor, keeping the normalization
+// rules in one place (and validating the spec as a side effect).
+func (s MachineSpec) Canonical() (MachineSpec, error) {
+	arch, err := s.Machine()
+	if err != nil {
+		return MachineSpec{}, err
+	}
+	return SpecFor(arch)
+}
+
+// CanonicalKey returns a deterministic string identifying the machine the
+// spec describes: equal keys mean equal machines after default filling.
+// The sweep engine uses it to memoize evaluations; it is stable across
+// processes (no addresses, no map iteration).
+func (s MachineSpec) CanonicalKey() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return c.KeyString(), nil
+}
+
+// KeyString formats the spec's fields as a deterministic key, without
+// canonicalizing them first — callers that already hold a canonical spec
+// (e.g. one produced by SpecFor) use it to avoid a second Machine
+// round-trip; everyone else wants CanonicalKey.
+func (s MachineSpec) KeyString() string {
+	return fmt.Sprintf("%s|p=%d|t=%g|b=%g|c=%g|al=%g|be=%g|pk=%g|w=%g|ro=%t|ch=%t",
+		s.Type, s.Procs, s.Tflp, s.BusCycle, s.BusOverhead,
+		s.Alpha, s.Beta, s.PacketWords, s.SwitchTime, s.ReadsOnly, s.ConvHW)
+}
+
+// MachineTypes lists the spec type strings MachineSpec.Machine accepts,
+// in the paper's presentation order.
+func MachineTypes() []string {
+	return []string{"hypercube", "mesh", "sync-bus", "async-bus", "full-async-bus", "banyan"}
+}
+
+// CatalogEntry describes one supported machine type: its calibrated
+// default spec and the paper's asymptotic optimal-speedup growth orders
+// for the two partition shapes.
+type CatalogEntry struct {
+	Type         string      `json:"type"`
+	Description  string      `json:"description"`
+	Default      MachineSpec `json:"default"`
+	GrowthSquare string      `json:"growth_square"`
+	GrowthStrip  string      `json:"growth_strip"`
+}
+
+// Catalog returns the machine catalog served by the optimization
+// service's GET /v1/architectures: one entry per supported type, with
+// the calibrated defaults made explicit.
+func Catalog() []CatalogEntry {
+	defaults := []struct {
+		arch Architecture
+		desc string
+	}{
+		{DefaultHypercube(0), "message-passing hypercube (§4, Intel iPSC class)"},
+		{DefaultMesh(0), "nearest-neighbor 2-D mesh (§5, Illiac IV / FEM class)"},
+		{DefaultSyncBus(0), "synchronous shared bus (§6.1, FLEX/32 class)"},
+		{DefaultAsyncBus(0), "asynchronous bus with posted writes (§6.2)"},
+		{AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, Overlap: OverlapReadsAndWrites},
+			"bus with fully overlapped reads and writes (§6.2)"},
+		{DefaultBanyan(0), "banyan/omega switching network (§7, Butterfly / RP3 class)"},
+	}
+	out := make([]CatalogEntry, 0, len(defaults))
+	for _, d := range defaults {
+		spec, err := SpecFor(d.arch)
+		if err != nil {
+			// All defaults above are supported types; reaching here is a
+			// programming error.
+			panic(err)
+		}
+		out = append(out, CatalogEntry{
+			Type:         spec.Type,
+			Description:  d.desc,
+			Default:      spec,
+			GrowthSquare: SpeedupGrowth(d.arch, partition.Square).String(),
+			GrowthStrip:  SpeedupGrowth(d.arch, partition.Strip).String(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+func TestCanonicalFillsDefaults(t *testing.T) {
+	c, err := MachineSpec{Type: "sync-bus"}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tflp != DefaultTflp || c.BusCycle != DefaultBusCycle {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+	if c.Alpha != 0 || c.SwitchTime != 0 {
+		t.Fatalf("irrelevant fields survive canonicalization: %+v", c)
+	}
+}
+
+func TestCanonicalKeyEquivalence(t *testing.T) {
+	implicit := MachineSpec{Type: "hypercube"}
+	explicit := MachineSpec{Type: "hypercube", Tflp: DefaultTflp, Alpha: DefaultAlpha,
+		Beta: DefaultBeta, PacketWords: DefaultPacketWords}
+	k1, err := implicit.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := explicit.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("equivalent specs key differently:\n%s\n%s", k1, k2)
+	}
+	k3, err := MachineSpec{Type: "hypercube", Procs: 64}.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("different processor caps share a key")
+	}
+	if _, err := (MachineSpec{Type: "quantum"}).CanonicalKey(); err == nil {
+		t.Fatal("unknown type keyed without error")
+	}
+}
+
+func TestCanonicalKeySeparatesOverlap(t *testing.T) {
+	k1, err := MachineSpec{Type: "async-bus"}.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := MachineSpec{Type: "full-async-bus"}.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("async-bus overlap modes share a key")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	types := MachineTypes()
+	if len(cat) != len(types) {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), len(types))
+	}
+	for i, e := range cat {
+		if e.Type != types[i] {
+			t.Fatalf("catalog[%d].Type = %q, want %q", i, e.Type, types[i])
+		}
+		if e.Default.Type != e.Type {
+			t.Fatalf("catalog[%d] default type mismatch: %+v", i, e)
+		}
+		if _, err := e.Default.Machine(); err != nil {
+			t.Fatalf("catalog[%d] default does not materialize: %v", i, err)
+		}
+		if e.GrowthSquare == "" || e.GrowthStrip == "" || e.Description == "" {
+			t.Fatalf("catalog[%d] incomplete: %+v", i, e)
+		}
+	}
+}

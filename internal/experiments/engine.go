@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+
+	"optspeed/internal/core"
+	"optspeed/internal/sweep"
+)
+
+// engine returns the package's shared sweep engine. The figure
+// reproductions generate their point grids through it, so overlapping
+// experiments (e.g. fig7 and fig8 on the same default bus) reuse each
+// other's evaluations, and the experiments exercise the same path the
+// optimization service serves.
+var engine = sync.OnceValue(func() *sweep.Engine {
+	return sweep.New(sweep.Options{})
+})
+
+// machineSpec converts a concrete architecture to its sweep spec; the
+// calibrated defaults used by every experiment all have specs, so a
+// failure is a programming error.
+func machineSpec(arch core.Architecture) core.MachineSpec {
+	spec, err := core.SpecFor(arch)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// runSweep evaluates specs on the shared engine and returns results in
+// submission order, surfacing the first per-spec error.
+func runSweep(specs []sweep.Spec) ([]sweep.Result, error) {
+	results, err := engine().Run(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	return results, nil
+}

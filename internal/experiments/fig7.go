@@ -8,6 +8,7 @@ import (
 	"optspeed/internal/core"
 	"optspeed/internal/partition"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 	"optspeed/internal/tab"
 )
 
@@ -34,29 +35,38 @@ type Fig7Result struct {
 // Fig7 reproduces paper Fig. 7 for the given stencil over processor
 // counts 2..maxProcs (the paper plots 1..24), using the calibrated
 // default machine. The minimal grid sizes come from the exact
-// integer-threshold search, not the closed form.
+// integer-threshold search, not the closed form. The (procs × curve)
+// point grid is evaluated by the shared sweep engine; each row
+// reassembles three consecutive results.
 func Fig7(st stencil.Stencil, maxProcs int) (Fig7Result, error) {
-	sync := core.DefaultSyncBus(0)
-	async := core.DefaultAsyncBus(0)
-	res := Fig7Result{Stencil: st.Name()}
+	syncSpec := machineSpec(core.DefaultSyncBus(0))
+	asyncSpec := machineSpec(core.DefaultAsyncBus(0))
+	var specs []sweep.Spec
 	for procs := 2; procs <= maxProcs; procs++ {
-		pStrip := core.Problem{N: 16, Stencil: st, Shape: partition.Strip}
-		pSquare := core.Problem{N: 16, Stencil: st, Shape: partition.Square}
-		nSyncStrip, err := core.MinGridAllProcs(pStrip, sync, procs)
-		if err != nil {
-			return Fig7Result{}, err
+		curves := []sweep.Spec{
+			{Shape: "strip", Machine: syncSpec},
+			{Shape: "strip", Machine: asyncSpec},
+			{Shape: "square", Machine: syncSpec},
 		}
-		nAsyncStrip, err := core.MinGridAllProcs(pStrip, async, procs)
-		if err != nil {
-			return Fig7Result{}, err
+		for _, c := range curves {
+			c.Op = sweep.OpMinGrid
+			c.Stencil = st.Name()
+			c.Procs = procs
+			specs = append(specs, c)
 		}
-		nSyncSquare, err := core.MinGridAllProcs(pSquare, sync, procs)
-		if err != nil {
-			return Fig7Result{}, err
-		}
-		log2n2 := func(n int) float64 { return 2 * math.Log2(float64(n)) }
+	}
+	results, err := runSweep(specs)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	res := Fig7Result{Stencil: st.Name()}
+	log2n2 := func(n int) float64 { return 2 * math.Log2(float64(n)) }
+	for i := 0; i < len(results); i += 3 {
+		nSyncStrip := results[i].Grid
+		nAsyncStrip := results[i+1].Grid
+		nSyncSquare := results[i+2].Grid
 		res.Rows = append(res.Rows, Fig7Row{
-			Procs:       procs,
+			Procs:       results[i].Spec.Procs,
 			SyncStrip:   log2n2(nSyncStrip),
 			AsyncStrip:  log2n2(nAsyncStrip),
 			SyncSquare:  log2n2(nSyncSquare),

@@ -6,8 +6,8 @@ import (
 	"math"
 
 	"optspeed/internal/core"
-	"optspeed/internal/partition"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 	"optspeed/internal/tab"
 )
 
@@ -32,22 +32,29 @@ type Fig8Result struct {
 // Fig8 reproduces paper Fig. 8 for a stencil: curves (a) processors
 // (squares), (b) processors (strips), (c) speedup (squares), (d) speedup
 // (strips), over log₂(n²) ∈ [12, 20] (the paper's axis), with the
-// calibrated default machine and unbounded processors.
+// calibrated default machine and unbounded processors. The point grid is
+// built as an explicit (square, strip) spec pair per grid size and
+// evaluated by the shared sweep engine, so the stride-2 reassembly below
+// is correct by construction.
 func Fig8(st stencil.Stencil) (Fig8Result, error) {
-	bus := core.DefaultSyncBus(0)
-	res := Fig8Result{Stencil: st.Name()}
+	bus := machineSpec(core.DefaultSyncBus(0))
+	var specs []sweep.Spec
 	for log2n2 := 12; log2n2 <= 20; log2n2 += 2 {
 		n := 1 << (log2n2 / 2)
-		pSq := core.Problem{N: n, Stencil: st, Shape: partition.Square}
-		pStrip := core.Problem{N: n, Stencil: st, Shape: partition.Strip}
-		aSq, err := core.Optimize(pSq, bus)
-		if err != nil {
-			return Fig8Result{}, err
+		for _, sh := range []string{"square", "strip"} {
+			specs = append(specs, sweep.Spec{
+				Op: sweep.OpOptimize, N: n, Stencil: st.Name(), Shape: sh, Machine: bus,
+			})
 		}
-		aStrip, err := core.Optimize(pStrip, bus)
-		if err != nil {
-			return Fig8Result{}, err
-		}
+	}
+	results, err := runSweep(specs)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res := Fig8Result{Stencil: st.Name()}
+	for i := 0; i < len(results); i += 2 {
+		aSq, aStrip := results[i].Alloc, results[i+1].Alloc
+		n := results[i].Spec.N
 		res.Rows = append(res.Rows, Fig8Row{
 			Log2N2:         2 * math.Log2(float64(n)),
 			N:              n,

@@ -7,6 +7,7 @@ import (
 	"optspeed/internal/core"
 	"optspeed/internal/partition"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 	"optspeed/internal/tab"
 )
 
@@ -23,7 +24,8 @@ type IsoeffRow struct {
 
 // Isoefficiency computes the isoefficiency curves of the calibrated
 // machines at the given efficiency target — the modern generalization of
-// the paper's Fig. 7 question.
+// the paper's Fig. 7 question. The per-(machine, shape, procs) grid
+// searches run concurrently on the shared sweep engine.
 func Isoefficiency(target float64, procCounts []int) ([]IsoeffRow, error) {
 	cases := []struct {
 		arch core.Architecture
@@ -35,12 +37,28 @@ func Isoefficiency(target float64, procCounts []int) ([]IsoeffRow, error) {
 		{core.DefaultSyncBus(0), partition.Strip},
 		{core.DefaultAsyncBus(0), partition.Square},
 	}
-	var out []IsoeffRow
+	var specs []sweep.Spec
 	for _, tc := range cases {
-		p := core.Problem{N: 64, Stencil: stencil.FivePoint, Shape: tc.sh}
-		grids, err := core.IsoefficiencyCurve(p, tc.arch, procCounts, target)
-		if err != nil {
-			return nil, err
+		for _, procs := range procCounts {
+			specs = append(specs, sweep.Spec{
+				Op:      sweep.OpIsoeffGrid,
+				Stencil: stencil.FivePoint.Name(),
+				Shape:   tc.sh.String(),
+				Machine: machineSpec(tc.arch),
+				Procs:   procs,
+				Target:  target,
+			})
+		}
+	}
+	results, err := runSweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []IsoeffRow
+	for i, tc := range cases {
+		grids := make([]int, len(procCounts))
+		for j := range procCounts {
+			grids[j] = results[i*len(procCounts)+j].Grid
 		}
 		sigma, err := core.IsoefficiencyWorkExponent(procCounts, grids)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"optspeed/internal/core"
 	"optspeed/internal/partition"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 	"optspeed/internal/tab"
 )
 
@@ -23,7 +24,9 @@ type ScalingRow struct {
 
 // Scaling computes the scaled-speedup behavior of every architecture
 // class over the given grid sizes at the given points-per-processor
-// (squares; strips take their forced minimum).
+// (squares; strips take their forced minimum). Each (machine, shape, n)
+// point is an independent sweep-engine evaluation; the series are
+// reassembled from the deterministic result order.
 func Scaling(st stencil.Stencil, ns []int, pointsPerProc float64) ([]ScalingRow, error) {
 	cases := []struct {
 		arch core.Architecture
@@ -38,12 +41,28 @@ func Scaling(st stencil.Stencil, ns []int, pointsPerProc float64) ([]ScalingRow,
 		{core.DefaultAsyncBus(0), partition.Square},
 		{core.DefaultAsyncBus(0), partition.Strip},
 	}
-	var out []ScalingRow
+	var specs []sweep.Spec
 	for _, tc := range cases {
-		p := core.Problem{N: ns[0], Stencil: st, Shape: tc.sh}
-		series, err := core.ScaledSpeedupSeries(p, tc.arch, pointsPerProc, ns)
-		if err != nil {
-			return nil, err
+		for _, n := range ns {
+			specs = append(specs, sweep.Spec{
+				Op:            sweep.OpScaled,
+				N:             n,
+				Stencil:       st.Name(),
+				Shape:         tc.sh.String(),
+				Machine:       machineSpec(tc.arch),
+				PointsPerProc: pointsPerProc,
+			})
+		}
+	}
+	results, err := runSweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingRow
+	for i, tc := range cases {
+		series := make([]core.ScaledPoint, len(ns))
+		for j := range ns {
+			series[j] = results[i*len(ns)+j].Scaled
 		}
 		gamma, err := core.FitGrowthExponent(series)
 		if err != nil {

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// endpointMetrics accumulates latency for one endpoint.
+type endpointMetrics struct {
+	count     uint64
+	errors    uint64 // responses with status >= 400, excluding 499
+	cancelled uint64 // requests aborted by the client (status 499)
+	total     time.Duration
+	max       time.Duration
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's metrics.
+type EndpointSnapshot struct {
+	Count     uint64  `json:"count"`
+	Errors    uint64  `json:"errors"`
+	Cancelled uint64  `json:"cancelled"`
+	AvgMillis float64 `json:"avg_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+// metricsRegistry tracks per-endpoint latency. Registration happens at
+// mux construction; observation on every request.
+type metricsRegistry struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *metricsRegistry) observe(name string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoints[name]
+	if ep == nil {
+		ep = &endpointMetrics{}
+		m.endpoints[name] = ep
+	}
+	ep.count++
+	switch {
+	case status == statusClientClosedRequest:
+		ep.cancelled++
+	case status >= 400:
+		ep.errors++
+	}
+	ep.total += d
+	if d > ep.max {
+		ep.max = d
+	}
+}
+
+func (m *metricsRegistry) snapshot() map[string]EndpointSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(m.endpoints))
+	for name, ep := range m.endpoints {
+		s := EndpointSnapshot{
+			Count:     ep.count,
+			Errors:    ep.errors,
+			Cancelled: ep.cancelled,
+			MaxMillis: float64(ep.max) / float64(time.Millisecond),
+		}
+		if ep.count > 0 {
+			s.AvgMillis = float64(ep.total) / float64(ep.count) / float64(time.Millisecond)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency recording under name.
+func (m *metricsRegistry) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, req)
+		m.observe(name, rec.status, time.Since(start))
+	}
+}

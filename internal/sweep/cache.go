@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// ErrWaitCancelled reports that a caller coalesced onto another
+// goroutine's in-flight computation and its context was cancelled before
+// that computation finished. The underlying computation continues and
+// will still fill the cache for future requests.
+var ErrWaitCancelled = errors.New("sweep: cancelled while waiting for an in-flight result")
+
+// maxCacheShards bounds the shard count; small caches use fewer shards
+// so the configured capacity stays exact.
+const maxCacheShards = 16
+
+// cache is a sharded, bounded LRU memoization table with in-flight
+// coalescing: keys hash to one of up to maxCacheShards independent
+// shards, so concurrent lookups from the worker pool contend only
+// per-shard. Within a shard, the first goroutine to request a key
+// computes it while later requesters for the same key block on the
+// entry instead of recomputing (the request-coalescing behavior the
+// HTTP service relies on when identical sweeps arrive concurrently).
+// Failed computations are not retained, so a transient error never
+// poisons the cache.
+type cache struct {
+	shards []*cacheShard
+}
+
+// cacheShard is one independently locked LRU.
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *centry
+	idx map[string]*list.Element
+}
+
+// centry is one cache slot. done is closed once out is populated;
+// waiters hold the pointer, so eviction never races a fill.
+type centry struct {
+	key  string
+	done chan struct{}
+	out  outcome
+}
+
+func newCache(capacity int) *cache {
+	n := maxCacheShards
+	if capacity < n {
+		n = capacity
+	}
+	if n < 1 {
+		n = 1
+	}
+	c := &cache{shards: make([]*cacheShard, n)}
+	// Hashing spreads keys only approximately evenly, so each shard
+	// carries 1/8 slack over its fair share: a sweep of exactly the
+	// configured capacity stays resident even with the statistical
+	// imbalance of a binomial split (the slack covers many standard
+	// deviations at any realistic capacity). Total capacity may
+	// therefore slightly exceed the configured value.
+	per := (capacity + n - 1) / n
+	if n > 1 {
+		per += per / 8
+	}
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{cap: per, ll: list.New(), idx: make(map[string]*list.Element)}
+	}
+	return c
+}
+
+// shardFor picks the key's shard with inline FNV-1a (no allocation on
+// the per-spec hot path).
+func (c *cache) shardFor(key string) *cacheShard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// getOrCompute returns the outcome for key, computing it with fn on a
+// miss. The bool reports whether the value came from the cache — either
+// an already-complete entry (a hit) or an in-flight computation by
+// another goroutine (coalesced); both avoid recomputation. A waiter
+// whose cancel channel closes before the in-flight computation finishes
+// gets ErrWaitCancelled instead of blocking past its context; fn itself
+// must not block on cancel (it is pure model evaluation).
+func (c *cache) getOrCompute(cancel <-chan struct{}, key string, fn func() outcome) (outcome, bool) {
+	return c.shardFor(key).getOrCompute(cancel, key, fn)
+}
+
+func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key string, fn func() outcome) (outcome, bool) {
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*centry)
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			// A failed computation is never "served from the cache":
+			// waiters that coalesced onto it get the error without the
+			// hit flag (the entry itself is removed below).
+			return e.out, e.out.err == nil
+		case <-cancel:
+			return outcome{err: ErrWaitCancelled}, false
+		}
+	}
+	e := &centry{key: key, done: make(chan struct{})}
+	el := s.ll.PushFront(e)
+	s.idx[key] = el
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.idx, oldest.Value.(*centry).key)
+	}
+	s.mu.Unlock()
+
+	e.out = fn()
+	close(e.done)
+	if e.out.err != nil {
+		s.mu.Lock()
+		// The element may already have been evicted; only remove it if
+		// the index still maps the key to this entry.
+		if cur, ok := s.idx[key]; ok && cur.Value.(*centry) == e {
+			s.ll.Remove(cur)
+			delete(s.idx, key)
+		}
+		s.mu.Unlock()
+	}
+	return e.out, false
+}
+
+// len returns the number of resident entries across all shards.
+func (c *cache) len() int {
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

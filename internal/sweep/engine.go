@@ -1,0 +1,262 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures an Engine. Zero values take defaults.
+type Options struct {
+	// Workers is the evaluation pool size; default GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU capacity in specs; default DefaultCacheSize.
+	CacheSize int
+}
+
+// DefaultCacheSize is the LRU capacity used when Options.CacheSize is 0.
+// It matches the service's default per-request sweep limit, so a single
+// maximum-size sweep fits in cache and an identical repeat is answered
+// entirely from it (entries are a few hundred bytes each; the full cache
+// is tens of MB).
+const DefaultCacheSize = 65536
+
+// Engine evaluates spec lists and spaces on a worker pool with
+// canonical-key memoization. It is safe for concurrent use; the cache is
+// shared across calls, so repeated or overlapping sweeps coalesce, and
+// the worker cap is engine-wide: concurrent Run/Stream/Evaluate callers
+// share one evaluation semaphore, so a service exposing a shared engine
+// never runs more than Workers model evaluations at once.
+type Engine struct {
+	workers int
+	sem     chan struct{} // bounds concurrent model evaluations engine-wide
+	cache   *cache
+
+	evals     atomic.Uint64
+	hits      atomic.Uint64
+	errors    atomic.Uint64
+	keyErrors atomic.Uint64
+}
+
+// Stats is a snapshot of an engine's counters.
+type Stats struct {
+	// Evaluations counts actual model computations (cache misses).
+	Evaluations uint64 `json:"evaluations"`
+	// CacheHits counts specs answered from the cache, including
+	// coalesced waits on in-flight duplicates.
+	CacheHits uint64 `json:"cache_hits"`
+	// Errors counts evaluations that returned an error (including
+	// invalid specs that never reached the model).
+	Errors uint64 `json:"errors"`
+	// CacheLen is the current number of resident cache entries.
+	CacheLen int `json:"cache_len"`
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	cap := opts.CacheSize
+	if cap <= 0 {
+		cap = DefaultCacheSize
+	}
+	return &Engine{workers: w, sem: make(chan struct{}, w), cache: newCache(cap)}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Evaluations: e.evals.Load(),
+		CacheHits:   e.hits.Load(),
+		Errors:      e.errors.Load() + e.keyErrors.Load(),
+		CacheLen:    e.cache.len(),
+	}
+}
+
+// ErrEvaluationPanic marks outcomes recovered from a panicking model
+// evaluation — a server-side defect, not a caller fault; the service
+// maps it to a 500 without leaking the panic text.
+var ErrEvaluationPanic = errors.New("sweep: evaluation panicked")
+
+// recoverOutcome converts a panic inside fn into an error outcome: the
+// engine runs model code on its own worker goroutines, outside any
+// net/http per-request recover, so a panicking evaluation must become a
+// per-spec error rather than a process crash (and must still close the
+// cache entry it holds).
+func recoverOutcome(fn func() outcome) (o outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = outcome{err: fmt.Errorf("%w: %v", ErrEvaluationPanic, r)}
+		}
+	}()
+	return fn()
+}
+
+// eval answers one spec through the cache, updating counters. cancel
+// releases a coalesced wait on another goroutine's in-flight
+// computation; the computation itself is never interrupted. An
+// ErrWaitCancelled outcome is only returned when THIS caller's cancel
+// fired: if another caller abandoned the in-flight entry (its context
+// died while it was parked on the semaphore), the poisoned outcome is
+// retried rather than handed to a live caller as if it had cancelled.
+func (e *Engine) eval(cancel <-chan struct{}, s Spec) (outcome, bool) {
+	r, err := s.resolve()
+	if err != nil {
+		// Unresolvable specs (bad stencil/shape/machine) fail fast and
+		// are never cached: the resolution error is the evaluation error.
+		e.keyErrors.Add(1)
+		return outcome{err: err}, false
+	}
+	for {
+		var computed bool
+		out, hit := e.cache.getOrCompute(cancel, r.key, func() outcome {
+			// The engine-wide semaphore is taken around the computation
+			// only — coalesced waiters cost nothing — so the Workers cap
+			// holds across every concurrent Run/Stream/Evaluate caller.
+			// Waiters for a slot stay cancellable; the in-flight entry
+			// this closure holds is removed by the cache's error path.
+			select {
+			case e.sem <- struct{}{}:
+			case <-cancel:
+				return outcome{err: ErrWaitCancelled}
+			}
+			defer func() { <-e.sem }()
+			computed = true
+			o := recoverOutcome(func() outcome { return evaluate(s, r) })
+			if o.err != nil {
+				e.errors.Add(1)
+			}
+			return o
+		})
+		if computed {
+			e.evals.Add(1)
+		}
+		if errors.Is(out.err, ErrWaitCancelled) {
+			select {
+			case <-cancel:
+				return out, false
+			default:
+				// Another caller's cancellation closed the entry we
+				// coalesced on; the errored entry is gone from the
+				// cache, so retrying makes us the computer.
+				continue
+			}
+		}
+		if hit {
+			e.hits.Add(1)
+		}
+		return out, hit
+	}
+}
+
+// Evaluate answers a single spec, consulting and filling the cache.
+func (e *Engine) Evaluate(ctx context.Context, s Spec) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	out, hit := e.eval(ctx.Done(), s)
+	return result(0, s, out, hit), out.err
+}
+
+func result(i int, s Spec, out outcome, hit bool) Result {
+	return Result{
+		Index:    i,
+		Spec:     s,
+		CacheHit: hit,
+		Alloc:    out.alloc,
+		Value:    out.value,
+		Grid:     out.grid,
+		Scaled:   out.scaled,
+		Err:      out.err,
+	}
+}
+
+// Stream evaluates the specs on the worker pool and streams results as
+// they complete (arrival order is nondeterministic; Result.Index ties
+// each result to its spec). The channel is closed when all specs are
+// done or the context is cancelled; on cancellation remaining specs are
+// skipped, not errored.
+func (e *Engine) Stream(ctx context.Context, specs []Spec) <-chan Result {
+	out := make(chan Result, e.workers)
+	var wg sync.WaitGroup
+	// Work distribution: a shared atomic cursor hands each worker the
+	// next unclaimed index. Experiment spec lists are periodic (curve A,
+	// curve B, ... repeating), so a static stride-W partition would pin
+	// each curve to a fixed worker subset whenever the period divides W;
+	// the dynamic cursor load-balances regardless. Result ordering is
+	// unaffected — it comes from Result.Index, not claim order.
+	var cursor atomic.Int64
+	workers := e.workers
+	if len(specs) < workers {
+		workers = len(specs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(specs) || ctx.Err() != nil {
+					return
+				}
+				o, hit := e.eval(ctx.Done(), specs[i])
+				if o.err == ErrWaitCancelled {
+					// The context died while this worker was parked on
+					// another goroutine's in-flight computation; the
+					// sweep is over.
+					return
+				}
+				select {
+				case out <- result(i, specs[i], o, hit):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run evaluates the specs and returns results ordered by Index (the
+// submission order), making sweeps deterministic end to end. Per-spec
+// model errors are reported in Result.Err, not as the returned error; a
+// non-nil error means the context was cancelled, and the results then
+// hold only the completed entries (unevaluated ones keep their
+// submitted Spec and an Err of ctx.Err()).
+func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	done := make([]bool, len(specs))
+	for r := range e.Stream(ctx, specs) {
+		results[r.Index] = r
+		done[r.Index] = true
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !done[i] {
+				results[i] = Result{Index: i, Spec: specs[i], Err: err}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// RunSpace expands a Cartesian space and runs it. A space whose axis
+// product overflows (Size() saturated) cannot be materialized and is
+// rejected up front.
+func (e *Engine) RunSpace(ctx context.Context, sp Space) ([]Result, error) {
+	if sp.Size() == math.MaxInt {
+		return nil, fmt.Errorf("sweep: space axis product overflows; refusing to expand")
+	}
+	return e.Run(ctx, sp.Expand())
+}

@@ -1,0 +1,576 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+func syncBusSpec() core.MachineSpec { return core.MachineSpec{Type: "sync-bus"} }
+
+func testSpace() Space {
+	return Space{
+		Ns:       []int{64, 128, 256, 512},
+		Stencils: []string{"5-point", "9-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{
+			{Type: "sync-bus"}, {Type: "hypercube"}, {Type: "banyan"},
+		},
+	}
+}
+
+func TestSpaceExpandSize(t *testing.T) {
+	sp := testSpace()
+	specs := sp.Expand()
+	if len(specs) != sp.Size() || len(specs) != 4*2*2*3 {
+		t.Fatalf("expanded %d specs, Size()=%d, want 48", len(specs), sp.Size())
+	}
+	// Deterministic order: the first axis to vary is procs, then
+	// machines, then shapes.
+	if specs[0].Machine.Type != "sync-bus" || specs[1].Machine.Type != "hypercube" {
+		t.Fatalf("unexpected expansion order: %+v %+v", specs[0], specs[1])
+	}
+}
+
+func TestSpaceSizeOverflowSaturates(t *testing.T) {
+	axis := make([]int, 1<<13)
+	names := make([]string, 1<<13)
+	machines := make([]core.MachineSpec, 1<<13)
+	sp := Space{Ns: axis, Stencils: names, Shapes: names, Machines: machines, Procs: axis}
+	// (2^13)^5 = 2^65 overflows int64; Size must saturate, not wrap.
+	if got := sp.Size(); got != math.MaxInt {
+		t.Fatalf("overflowing space Size() = %d, want MaxInt", got)
+	}
+	if got := (Space{}).Size(); got != 0 {
+		t.Fatalf("empty space Size() = %d, want 0", got)
+	}
+	// RunSpace must reject the overflow instead of expanding it, and
+	// Expand must refuse to materialize it.
+	if _, err := New(Options{}).RunSpace(context.Background(), sp); err == nil {
+		t.Fatal("RunSpace expanded an overflowing space")
+	}
+	if got := sp.Expand(); got != nil {
+		t.Fatalf("Expand materialized an overflowing space: %d specs", len(got))
+	}
+}
+
+func TestEngineWideWorkerCap(t *testing.T) {
+	// Two concurrent Runs against a Workers=1 engine must both finish:
+	// the engine-wide semaphore serializes evaluations without
+	// deadlocking across calls.
+	e := New(Options{Workers: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Run(context.Background(), testSpace().Expand()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Evaluations != uint64(testSpace().Size()) {
+		t.Fatalf("%d evaluations for two identical concurrent runs, want %d (rest coalesced)",
+			st.Evaluations, testSpace().Size())
+	}
+}
+
+func TestCancelWhileWaitingForSlot(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.sem <- struct{}{} // occupy the only evaluation slot
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := e.Evaluate(ctx, Spec{N: 64, Stencil: "5-point", Shape: "square",
+			Machine: syncBusSpec()})
+		errCh <- err
+	}()
+	cancel()
+	// Depending on when cancel lands, the call fails on entry
+	// (context.Canceled) or while parked on the slot (ErrWaitCancelled);
+	// either way it must return promptly instead of blocking.
+	if err := <-errCh; !errors.Is(err, ErrWaitCancelled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled slot wait returned %v", err)
+	}
+	<-e.sem // release; the engine must be reusable afterwards
+	if _, err := e.Evaluate(context.Background(), Spec{N: 64, Stencil: "5-point",
+		Shape: "square", Machine: syncBusSpec()}); err != nil {
+		t.Fatalf("engine unusable after a cancelled slot wait: %v", err)
+	}
+}
+
+func TestCancelledOwnerDoesNotPoisonCoalescedWaiter(t *testing.T) {
+	// Caller A creates the in-flight entry for spec K but is cancelled
+	// while parked on the (occupied) semaphore; caller B, live, has
+	// coalesced on that entry. B must not inherit A's ErrWaitCancelled:
+	// it retries, becomes the computer, and gets the real answer.
+	e := New(Options{Workers: 1})
+	e.sem <- struct{}{} // occupy the only slot so A parks
+	spec := Spec{N: 256, Stencil: "5-point", Shape: "square", Machine: syncBusSpec()}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := e.Evaluate(ctxA, spec)
+		aDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let A insert the entry and park on the slot
+
+	bDone := make(chan Result, 1)
+	go func() {
+		r, err := e.Evaluate(context.Background(), spec)
+		if err != nil {
+			t.Errorf("live waiter B failed: %v", err)
+		}
+		bDone <- r
+	}()
+	time.Sleep(50 * time.Millisecond) // let B coalesce on A's entry
+
+	cancelA()
+	if err := <-aDone; !errors.Is(err, ErrWaitCancelled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("A returned %v", err)
+	}
+	<-e.sem // free the slot so B's retry can compute
+
+	r := <-bDone
+	if r.Err != nil || r.Alloc.Procs != 14 {
+		t.Fatalf("B got poisoned result %+v, want the real optimum (procs 14)", r)
+	}
+}
+
+func TestCoalescedErrorNotAHit(t *testing.T) {
+	c := newCache(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.getOrCompute(nil, "failing", func() outcome {
+		close(started)
+		<-release
+		return outcome{err: errors.New("model error")}
+	})
+	<-started
+	got := make(chan bool, 1)
+	waiterUp := make(chan struct{})
+	go func() {
+		close(waiterUp)
+		_, hit := c.getOrCompute(nil, "failing", func() outcome {
+			t.Error("waiter recomputed a coalesced key")
+			return outcome{}
+		})
+		got <- hit
+	}()
+	// Let the waiter park on the in-flight entry before releasing the
+	// computation; the entry exists until fn returns, so only scheduling
+	// delay past this handoff could race, and 50ms dwarfs it.
+	<-waiterUp
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if hit := <-got; hit {
+		t.Fatal("coalesced waiter on a failed computation reported a cache hit")
+	}
+}
+
+func TestRunMatchesDirectOptimize(t *testing.T) {
+	e := New(Options{Workers: 4})
+	specs := testSpace().Expand()
+	results, err := e.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d: ordering broken", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("spec %d: %v", i, r.Err)
+		}
+		p, err := r.Spec.Problem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		arch, err := r.Spec.Machine.Machine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Optimize(p, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Alloc, want) {
+			t.Fatalf("spec %d: engine alloc %+v != direct %+v", i, r.Alloc, want)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	e := New(Options{Workers: 7})
+	specs := testSpace().Expand()
+	first, err := e.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		a.CacheHit, b.CacheHit = false, false
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("run not deterministic at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCacheHitAccounting(t *testing.T) {
+	e := New(Options{Workers: 4})
+	specs := testSpace().Expand()
+	if _, err := e.Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Evaluations != uint64(len(specs)) {
+		t.Fatalf("first run evaluated %d specs, want %d", st.Evaluations, len(specs))
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("first run reported %d cache hits, want 0", st.CacheHits)
+	}
+	results, err := e.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.CacheHit {
+			t.Fatalf("repeat spec %d missed the cache", i)
+		}
+	}
+	st = e.Stats()
+	if st.Evaluations != uint64(len(specs)) {
+		t.Fatalf("repeat run recomputed: %d evaluations, want %d", st.Evaluations, len(specs))
+	}
+	if st.CacheHits != uint64(len(specs)) {
+		t.Fatalf("repeat run hit %d, want %d", st.CacheHits, len(specs))
+	}
+	if st.CacheLen != len(specs) {
+		t.Fatalf("cache holds %d entries, want %d", st.CacheLen, len(specs))
+	}
+}
+
+func TestKeyCanonicalizesMachineDefaults(t *testing.T) {
+	implicit := Spec{N: 256, Stencil: "5-point", Shape: "square",
+		Machine: core.MachineSpec{Type: "sync-bus"}}
+	explicit := implicit
+	explicit.Machine.Tflp = core.DefaultTflp
+	explicit.Machine.BusCycle = core.DefaultBusCycle
+	k1, err := implicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("default-filled machines key differently:\n%s\n%s", k1, k2)
+	}
+
+	e := New(Options{})
+	if _, err := e.Evaluate(context.Background(), implicit); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Evaluate(context.Background(), explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("canonically equal spec did not coalesce in the cache")
+	}
+}
+
+func TestKeySeparatesOps(t *testing.T) {
+	base := Spec{N: 128, Stencil: "5-point", Shape: "square", Machine: syncBusSpec()}
+	snapped := base
+	snapped.Op = OpOptimizeSnapped
+	k1, _ := base.Key()
+	k2, _ := snapped.Key()
+	if k1 == k2 {
+		t.Fatal("different ops share a cache key")
+	}
+}
+
+func TestInvalidSpecs(t *testing.T) {
+	e := New(Options{})
+	cases := []Spec{
+		{N: 64, Stencil: "7-point", Shape: "square", Machine: syncBusSpec()},
+		{N: 64, Stencil: "5-point", Shape: "hexagon", Machine: syncBusSpec()},
+		{N: 64, Stencil: "5-point", Shape: "square", Machine: core.MachineSpec{Type: "quantum"}},
+		{N: 0, Stencil: "5-point", Shape: "square", Machine: syncBusSpec()},
+		{Op: "frobnicate", N: 64, Stencil: "5-point", Shape: "square", Machine: syncBusSpec()},
+	}
+	results, err := e.Run(context.Background(), cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("invalid spec %d evaluated without error", i)
+		}
+	}
+	if st := e.Stats(); st.Errors != uint64(len(cases)) {
+		t.Fatalf("stats count %d errors, want %d", st.Errors, len(cases))
+	}
+	if st := e.Stats(); st.CacheLen != 0 {
+		t.Fatalf("errors were cached: cache len %d", st.CacheLen)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	e := New(Options{Workers: 2})
+	// A big space: cancellation must stop the run early.
+	sp := testSpace()
+	sp.Ns = []int{64, 96, 128, 192, 256, 384, 512, 768, 1024}
+	specs := sp.Expand()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	ch := e.Stream(ctx, specs)
+	first, ok := <-ch
+	if !ok {
+		t.Fatal("stream closed before any result")
+	}
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	cancel()
+	for range ch {
+		// Drain; the channel must close promptly after cancellation.
+	}
+	if got := e.Stats().Evaluations; got >= uint64(len(specs)) {
+		t.Fatalf("cancellation did not stop the sweep: %d evaluations of %d specs",
+			got, len(specs))
+	}
+
+	// Run surfaces the cancellation and marks unevaluated entries.
+	results, err := e.Run(ctx, specs)
+	if err == nil {
+		t.Fatal("Run on a cancelled context returned nil error")
+	}
+	for _, r := range results {
+		if r.Err == nil && r.Spec.N == 0 {
+			t.Fatal("unevaluated result carries no error")
+		}
+	}
+}
+
+func TestEvaluateCancelled(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Evaluate(ctx, Spec{N: 64, Stencil: "5-point", Shape: "square",
+		Machine: syncBusSpec()}); err == nil {
+		t.Fatal("Evaluate on cancelled context succeeded")
+	}
+}
+
+func TestCoalescingConcurrentDuplicates(t *testing.T) {
+	e := New(Options{Workers: 8})
+	spec := Spec{N: 2048, Stencil: "9-point", Shape: "square", Machine: syncBusSpec()}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Evaluate(context.Background(), spec); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Evaluations != 1 {
+		t.Fatalf("%d concurrent duplicates computed %d times, want 1", callers, st.Evaluations)
+	}
+}
+
+func TestGridOpsKeyIgnoresSeedN(t *testing.T) {
+	e := New(Options{})
+	ctx := context.Background()
+	base := Spec{Op: OpMinGrid, N: 16, Stencil: "5-point", Shape: "square",
+		Machine: syncBusSpec(), Procs: 8}
+	first, err := e.Evaluate(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.N = 512
+	second, err := e.Evaluate(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("min-grid with a different seed N missed the cache")
+	}
+	if first.Grid != second.Grid {
+		t.Fatalf("seed N changed the answer: %d vs %d", first.Grid, second.Grid)
+	}
+	// Omitting N entirely is valid for the grid-search ops (the search
+	// overwrites it) and shares the same cache entry.
+	seedless := base
+	seedless.N = 0
+	third, err := e.Evaluate(ctx, seedless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit || third.Grid != first.Grid {
+		t.Fatalf("seedless min-grid: hit=%t grid=%d, want hit with grid %d",
+			third.CacheHit, third.Grid, first.Grid)
+	}
+	// The optimize ops still key on N.
+	a := Spec{N: 128, Stencil: "5-point", Shape: "square", Machine: syncBusSpec()}
+	b := a
+	b.N = 256
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka == kb {
+		t.Fatal("optimize specs at different N share a key")
+	}
+}
+
+func TestRecoverOutcome(t *testing.T) {
+	out := recoverOutcome(func() outcome { panic("boom") })
+	if out.err == nil || !strings.Contains(out.err.Error(), "boom") {
+		t.Fatalf("panic not converted to error: %+v", out)
+	}
+	if !errors.Is(out.err, ErrEvaluationPanic) {
+		t.Fatalf("recovered panic not marked with ErrEvaluationPanic: %v", out.err)
+	}
+	if out := recoverOutcome(func() outcome { return outcome{grid: 7} }); out.grid != 7 {
+		t.Fatalf("non-panicking outcome mangled: %+v", out)
+	}
+}
+
+func TestCoalescedWaiterReleasedOnCancel(t *testing.T) {
+	c := newCache(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.getOrCompute(nil, "slow", func() outcome {
+		close(started)
+		<-release
+		return outcome{grid: 1}
+	})
+	<-started
+	cancel := make(chan struct{})
+	close(cancel)
+	out, hit := c.getOrCompute(cancel, "slow", func() outcome {
+		t.Error("waiter recomputed a coalesced key")
+		return outcome{}
+	})
+	if hit || out.err != ErrWaitCancelled {
+		t.Fatalf("cancelled waiter got %+v hit=%t, want ErrWaitCancelled", out, hit)
+	}
+	close(release)
+	// The original computation still completes and fills the cache.
+	out, hit = c.getOrCompute(nil, "slow", func() outcome {
+		t.Error("completed key recomputed")
+		return outcome{}
+	})
+	if !hit || out.grid != 1 {
+		t.Fatalf("in-flight result lost after a cancelled wait: %+v hit=%t", out, hit)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: 4})
+	sp := Space{
+		Ns:       []int{64, 128, 256, 512, 1024, 2048},
+		Stencils: []string{"5-point"},
+		Shapes:   []string{"square"},
+		Machines: []core.MachineSpec{{Type: "sync-bus"}},
+	}
+	if _, err := e.RunSpace(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheLen > 4 {
+		t.Fatalf("cache grew to %d entries past its capacity 4", st.CacheLen)
+	}
+}
+
+func TestOpsAgainstCore(t *testing.T) {
+	e := New(Options{})
+	ctx := context.Background()
+	p := core.MustProblem(256, stencil.FivePoint, partition.Square)
+	bus := core.DefaultSyncBus(0)
+	machine := machineSpecFor(t, bus)
+
+	r, err := e.Evaluate(ctx, Spec{Op: OpSpeedup, N: 256, Stencil: "5-point",
+		Shape: "square", Machine: machine, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Speedup(p, bus, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != want {
+		t.Fatalf("OpSpeedup %g != core %g", r.Value, want)
+	}
+
+	r, err = e.Evaluate(ctx, Spec{Op: OpMinGrid, N: 16, Stencil: "5-point",
+		Shape: "square", Machine: machine, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG, err := core.MinGridAllProcs(core.MustProblem(16, stencil.FivePoint, partition.Square), bus, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Grid != wantG {
+		t.Fatalf("OpMinGrid %d != core %d", r.Grid, wantG)
+	}
+
+	r, err = e.Evaluate(ctx, Spec{Op: OpIsoeffGrid, N: 64, Stencil: "5-point",
+		Shape: "square", Machine: machine, Procs: 16, Target: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG, err = core.IsoefficiencyGrid(core.MustProblem(64, stencil.FivePoint, partition.Square), bus, 16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Grid != wantG {
+		t.Fatalf("OpIsoeffGrid %d != core %d", r.Grid, wantG)
+	}
+
+	r, err = e.Evaluate(ctx, Spec{Op: OpScaled, N: 512, Stencil: "5-point",
+		Shape: "square", Machine: machine, PointsPerProc: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := core.ScaledSpeedupSeries(p, bus, 64, []int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scaled != series[0] {
+		t.Fatalf("OpScaled %+v != core %+v", r.Scaled, series[0])
+	}
+}
+
+func machineSpecFor(t *testing.T, arch core.Architecture) core.MachineSpec {
+	t.Helper()
+	spec, err := core.SpecFor(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}

@@ -1,0 +1,318 @@
+// Package sweep is the sharded parallel evaluation engine for the
+// Nicol-Willard model: it takes Cartesian spaces of
+// (grid size, stencil, shape, architecture, processor cap) specs,
+// evaluates them concurrently on an engine-wide worker pool, memoizes
+// results under canonical spec keys in a hash-sharded LRU cache
+// (coalescing concurrent duplicate work shard-locally), and streams
+// results in a deterministic order. The paper-figure experiments and
+// the optimization service share this one evaluation path.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// Op selects which model quantity a Spec evaluates.
+type Op string
+
+const (
+	// OpOptimize finds the optimal allocation (default).
+	OpOptimize Op = "optimize"
+	// OpOptimizeSnapped optimizes and snaps squares to working rectangles.
+	OpOptimizeSnapped Op = "optimize-snapped"
+	// OpSpeedup evaluates the speedup at exactly Procs processors.
+	OpSpeedup Op = "speedup"
+	// OpMinGrid finds the smallest grid gainfully using all Procs
+	// processors (paper Fig. 7); the spec's N seeds the search problem.
+	OpMinGrid Op = "min-grid"
+	// OpIsoeffGrid finds the smallest grid sustaining efficiency ≥ Target
+	// on Procs processors.
+	OpIsoeffGrid Op = "isoeff-grid"
+	// OpScaled evaluates one point of a scaled-speedup series: the
+	// machine grows with the problem at PointsPerProc grid points per
+	// processor (buses take their unbounded optimum instead).
+	OpScaled Op = "scaled"
+)
+
+// Spec is one evaluation point: a problem, a machine, and an operation.
+// The zero Op means OpOptimize. Machine fields left zero take the
+// calibrated defaults (core.MachineSpec.Canonical).
+type Spec struct {
+	Op      Op               `json:"op,omitempty"`
+	N       int              `json:"n"`
+	Stencil string           `json:"stencil"`
+	Shape   string           `json:"shape"`
+	Machine core.MachineSpec `json:"machine"`
+
+	// Procs is the processor count for OpSpeedup, OpMinGrid and
+	// OpIsoeffGrid. It is independent of Machine.Procs, which caps the
+	// admissible range for the optimize ops.
+	Procs int `json:"procs,omitempty"`
+	// Target is the efficiency target for OpIsoeffGrid.
+	Target float64 `json:"target,omitempty"`
+	// PointsPerProc is the per-processor load F for OpScaled.
+	PointsPerProc float64 `json:"points_per_proc,omitempty"`
+}
+
+// ParseShape maps "strip"/"square" to the partition shape.
+func ParseShape(name string) (partition.Shape, error) {
+	switch name {
+	case "strip":
+		return partition.Strip, nil
+	case "square":
+		return partition.Square, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown shape %q (want strip or square)", name)
+	}
+}
+
+// op returns the spec's operation with the default applied.
+func (s Spec) op() Op {
+	if s.Op == "" {
+		return OpOptimize
+	}
+	return s.Op
+}
+
+// DefaultSeedN seeds the problem for the grid-search ops (OpMinGrid,
+// OpIsoeffGrid) when the spec omits N: those searches overwrite the
+// problem's N, so the seed only has to validate.
+const DefaultSeedN = 16
+
+// Problem resolves the spec's problem triple, validating it.
+func (s Spec) Problem() (core.Problem, error) {
+	st, ok := stencil.ByName(s.Stencil)
+	if !ok {
+		return core.Problem{}, fmt.Errorf("sweep: unknown stencil %q", s.Stencil)
+	}
+	sh, err := ParseShape(s.Shape)
+	if err != nil {
+		return core.Problem{}, err
+	}
+	n := s.N
+	if n == 0 {
+		switch s.op() {
+		case OpMinGrid, OpIsoeffGrid:
+			n = DefaultSeedN
+		}
+	}
+	return core.NewProblem(n, st, sh)
+}
+
+// Validate checks the spec without evaluating it.
+func (s Spec) Validate() error {
+	_, err := s.resolve()
+	return err
+}
+
+// resolved is a spec with its problem, machine, and cache key
+// materialized once — the engine resolves each spec a single time and
+// reuses the triple for both keying and evaluation.
+type resolved struct {
+	problem core.Problem
+	arch    core.Architecture
+	key     string
+}
+
+// resolve validates the spec and materializes its problem, machine, and
+// canonical key in one pass.
+func (s Spec) resolve() (resolved, error) {
+	p, err := s.Problem()
+	if err != nil {
+		return resolved{}, err
+	}
+	arch, err := s.Machine.Machine()
+	if err != nil {
+		return resolved{}, err
+	}
+	// SpecFor of a materialized machine is canonical by construction, so
+	// its KeyString needs no second Machine round-trip.
+	canon, err := core.SpecFor(arch)
+	if err != nil {
+		return resolved{}, err
+	}
+	key, err := s.opKey(canon.KeyString())
+	if err != nil {
+		return resolved{}, err
+	}
+	return resolved{problem: p, arch: arch, key: key}, nil
+}
+
+// Key returns the canonical memoization key of the spec: two specs that
+// evaluate the same model point (after machine default filling) share a
+// key. Fields irrelevant to the spec's op are excluded, so e.g. a
+// leftover Target does not split the cache for an optimize spec.
+func (s Spec) Key() (string, error) {
+	r, err := s.resolve()
+	if err != nil {
+		return "", err
+	}
+	return r.key, nil
+}
+
+// opKey composes the spec key from the machine key and the fields the
+// spec's op actually consumes.
+func (s Spec) opKey(mk string) (string, error) {
+	op := s.op()
+	n := s.N
+	procs, target, f := 0, 0.0, 0.0
+	switch op {
+	case OpOptimize, OpOptimizeSnapped:
+	case OpSpeedup:
+		procs = s.Procs
+	case OpMinGrid:
+		// The grid searches overwrite the problem's N during their
+		// bracket-and-bisect, so the answer is independent of the seed;
+		// excluding it keys all seeds to one cache entry.
+		n, procs = 0, s.Procs
+	case OpIsoeffGrid:
+		n, procs, target = 0, s.Procs, s.Target
+	case OpScaled:
+		f = s.PointsPerProc
+	default:
+		return "", fmt.Errorf("sweep: unknown op %q", op)
+	}
+	return fmt.Sprintf("%s|n=%d|st=%s|sh=%s|p=%d|e=%g|f=%g|%s",
+		op, n, s.Stencil, s.Shape, procs, target, f, mk), nil
+}
+
+// Space is a Cartesian product of spec axes. Expand enumerates it in a
+// fixed order (ns outermost, then stencils, shapes, machines, procs), so
+// sweeps are reproducible and results reassemble positionally.
+type Space struct {
+	Op       Op                 `json:"op,omitempty"`
+	Ns       []int              `json:"ns"`
+	Stencils []string           `json:"stencils"`
+	Shapes   []string           `json:"shapes"`
+	Machines []core.MachineSpec `json:"machines"`
+
+	// Procs is the per-spec processor axis for the ops that take one;
+	// empty means the single value 0.
+	Procs         []int   `json:"procs,omitempty"`
+	Target        float64 `json:"target,omitempty"`
+	PointsPerProc float64 `json:"points_per_proc,omitempty"`
+}
+
+// Size returns the number of specs Expand will produce, saturating at
+// math.MaxInt if the axis product overflows — so limit checks of the
+// form Size() > cap stay sound against adversarial axis lengths.
+func (sp Space) Size() int {
+	procs := len(sp.Procs)
+	if procs == 0 {
+		procs = 1
+	}
+	size := 1
+	for _, d := range []int{len(sp.Ns), len(sp.Stencils), len(sp.Shapes), len(sp.Machines), procs} {
+		if d == 0 {
+			return 0
+		}
+		if size > math.MaxInt/d {
+			return math.MaxInt
+		}
+		size *= d
+	}
+	return size
+}
+
+// Expand enumerates the space as a deterministic spec list. A space
+// whose axis product overflows (Size() saturated) cannot be
+// materialized and expands to nil; RunSpace turns that into an error.
+func (sp Space) Expand() []Spec {
+	procsAxis := sp.Procs
+	if len(procsAxis) == 0 {
+		procsAxis = []int{0}
+	}
+	size := sp.Size()
+	if size == math.MaxInt {
+		return nil
+	}
+	out := make([]Spec, 0, size)
+	for _, n := range sp.Ns {
+		for _, st := range sp.Stencils {
+			for _, sh := range sp.Shapes {
+				for _, m := range sp.Machines {
+					for _, procs := range procsAxis {
+						out = append(out, Spec{
+							Op:            sp.Op,
+							N:             n,
+							Stencil:       st,
+							Shape:         sh,
+							Machine:       m,
+							Procs:         procs,
+							Target:        sp.Target,
+							PointsPerProc: sp.PointsPerProc,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// outcome is the cached value of one evaluation.
+type outcome struct {
+	alloc  core.Allocation
+	scaled core.ScaledPoint
+	value  float64
+	grid   int
+	err    error
+}
+
+// evaluate computes the spec's quantity through the core model, using
+// the problem and machine the caller already resolved. It is pure:
+// equal specs produce equal outcomes, which is what makes the cache
+// sound.
+func evaluate(s Spec, r resolved) outcome {
+	p, arch := r.problem, r.arch
+	switch s.op() {
+	case OpOptimize:
+		alloc, err := core.Optimize(p, arch)
+		return outcome{alloc: alloc, value: alloc.Speedup, err: err}
+	case OpOptimizeSnapped:
+		alloc, err := core.OptimizeSnapped(p, arch)
+		return outcome{alloc: alloc, value: alloc.Speedup, err: err}
+	case OpSpeedup:
+		v, err := core.Speedup(p, arch, s.Procs)
+		return outcome{value: v, err: err}
+	case OpMinGrid:
+		g, err := core.MinGridAllProcs(p, arch, s.Procs)
+		return outcome{grid: g, err: err}
+	case OpIsoeffGrid:
+		g, err := core.IsoefficiencyGrid(p, arch, s.Procs, s.Target)
+		return outcome{grid: g, err: err}
+	case OpScaled:
+		series, err := core.ScaledSpeedupSeries(p, arch, s.PointsPerProc, []int{s.N})
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{scaled: series[0], value: series[0].Speedup}
+	default:
+		return outcome{err: fmt.Errorf("sweep: unknown op %q", s.Op)}
+	}
+}
+
+// Result is one evaluated spec. Index is the spec's position in the
+// submitted list; collected results are ordered by it. Exactly one of
+// the payload fields is meaningful, per the spec's op.
+type Result struct {
+	Index    int  `json:"index"`
+	Spec     Spec `json:"spec"`
+	CacheHit bool `json:"cache_hit"`
+
+	// Alloc holds the allocation for the optimize ops.
+	Alloc core.Allocation `json:"-"`
+	// Value is the headline scalar: optimal or evaluated speedup.
+	Value float64 `json:"value,omitempty"`
+	// Grid is the found grid size for the grid-search ops.
+	Grid int `json:"grid,omitempty"`
+	// Scaled is the series point for OpScaled.
+	Scaled core.ScaledPoint `json:"-"`
+
+	Err error `json:"-"`
+}

@@ -1,6 +1,7 @@
 package optspeed
 
 import (
+	"context"
 	"io"
 
 	"optspeed/internal/core"
@@ -9,6 +10,7 @@ import (
 	"optspeed/internal/partition"
 	"optspeed/internal/solver"
 	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
 )
 
 // --- Stencils (paper §3, Figs. 1 and 3) ---
@@ -334,6 +336,53 @@ type (
 func NewGeometricSchedule(start, ratio float64) (Schedule, error) {
 	return solver.NewGeometric(start, ratio)
 }
+
+// --- The sweep engine (batch evaluation) ---
+
+// SweepEngine is the sharded, memoizing parallel evaluator behind both
+// the paper-figure experiments and the cmd/optspeedd service.
+type SweepEngine = sweep.Engine
+
+// SweepOptions configures a sweep engine (worker pool and cache sizes).
+type SweepOptions = sweep.Options
+
+// SweepSpec is one evaluation point: problem, machine, and operation.
+type SweepSpec = sweep.Spec
+
+// SweepSpace is a Cartesian product of spec axes.
+type SweepSpace = sweep.Space
+
+// SweepResult is one evaluated spec, tagged with its submission index
+// and whether it was answered from the cache.
+type SweepResult = sweep.Result
+
+// Sweep operations.
+const (
+	SweepOptimize        = sweep.OpOptimize
+	SweepOptimizeSnapped = sweep.OpOptimizeSnapped
+	SweepSpeedup         = sweep.OpSpeedup
+	SweepMinGrid         = sweep.OpMinGrid
+	SweepIsoeffGrid      = sweep.OpIsoeffGrid
+	SweepScaled          = sweep.OpScaled
+)
+
+// NewSweepEngine builds a sweep engine.
+func NewSweepEngine(opts SweepOptions) *SweepEngine { return sweep.New(opts) }
+
+// RunSweep expands and evaluates a Cartesian space on a fresh default
+// engine, returning results in deterministic (submission) order. Reuse
+// an engine via NewSweepEngine to keep its cache warm across sweeps.
+func RunSweep(ctx context.Context, space SweepSpace) ([]SweepResult, error) {
+	return NewSweepEngine(SweepOptions{}).RunSpace(ctx, space)
+}
+
+// CatalogEntry describes one supported machine type: its calibrated
+// default spec and the paper's asymptotic growth orders per shape.
+type CatalogEntry = core.CatalogEntry
+
+// MachineCatalog describes the supported machine types with their
+// calibrated defaults (the service's GET /v1/architectures payload).
+func MachineCatalog() []CatalogEntry { return core.Catalog() }
 
 // --- The reproduction harness ---
 

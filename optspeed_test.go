@@ -2,6 +2,7 @@ package optspeed
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -243,5 +244,31 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Table I") {
 		t.Error("experiment output missing Table I")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	results, err := RunSweep(context.Background(), SweepSpace{
+		Ns:       []int{128, 256},
+		Stencils: []string{"5-point"},
+		Shapes:   []string{"square", "strip"},
+		Machines: []MachineSpec{{Type: "sync-bus"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("spec %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.Alloc.Procs < 1 {
+			t.Fatalf("bad result %d: %+v", i, r)
+		}
+	}
+	if len(MachineCatalog()) != 6 {
+		t.Fatalf("machine catalog has %d entries, want 6", len(MachineCatalog()))
 	}
 }
