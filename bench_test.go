@@ -230,6 +230,24 @@ func BenchmarkSolverStrips1024x8(b *testing.B) { benchSolver(b, 1024, 8, solver.
 // BenchmarkSolverBlocks1024x8 measures 8 block workers at n=1024.
 func BenchmarkSolverBlocks1024x8(b *testing.B) { benchSolver(b, 1024, 8, solver.Blocks) }
 
+// BenchmarkSolveRedBlack512 measures parallel red-black Gauss-Seidel
+// at n=512 (8 iterations per op, like the Jacobi benchmarks).
+func BenchmarkSolveRedBlack512(b *testing.B) {
+	const n, iters = 512, 8
+	k := grid.Laplace5(n)
+	u := grid.MustNew(n)
+	u.SetConstantBoundary(1)
+	b.SetBytes(int64(n) * int64(n) * 8 * iters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.SolveRedBlack(u, k, nil, solver.RedBlackConfig{
+			MaxIterations: iters,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDistributedSolver measures the channel-based solver (8
 // workers, n=512).
 func BenchmarkDistributedSolver(b *testing.B) {
@@ -321,6 +339,71 @@ func BenchmarkSweepEngineWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.RunSpace(context.Background(), space); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSpeedupBatched measures the OpSpeedup-over-Procs fast
+// path: one cycle curve per (problem, machine) group fanned across a
+// dense 64-count processor axis, cold cache.
+func BenchmarkSweepSpeedupBatched(b *testing.B) {
+	procs := make([]int, 64)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	space := sweep.Space{
+		Op:       sweep.OpSpeedup,
+		Ns:       []int{256},
+		Stencils: []string{"5-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{
+			{Type: "hypercube"}, {Type: "mesh"}, {Type: "sync-bus"},
+			{Type: "async-bus"}, {Type: "full-async-bus"}, {Type: "banyan"},
+		},
+		Procs: procs,
+	}
+	b.ReportMetric(float64(space.Size()), "specs/op")
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(sweep.Options{})
+		if _, err := eng.RunSpace(context.Background(), space); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Allocation-budget benchmarks (run with -benchmem) ---
+//
+// The hot-path allocation budget (spec resolution + cache lookup ≤ 2
+// allocs/op) is asserted by TestResolveAndLookupAllocBudget in
+// internal/sweep; these benchmarks track the same quantities over time.
+
+// BenchmarkSpecResolution measures one spec validation/resolution
+// (problem, canonical machine, struct cache key — no evaluation).
+func BenchmarkSpecResolution(b *testing.B) {
+	spec := sweep.Spec{N: 256, Stencil: "5-point", Shape: "square",
+		Machine: core.MachineSpec{Type: "sync-bus"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := spec.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheLookupWarm measures a full warm engine round trip for
+// one spec: resolution, sharded-cache hit, result assembly.
+func BenchmarkCacheLookupWarm(b *testing.B) {
+	eng := sweep.New(sweep.Options{})
+	spec := sweep.Spec{N: 256, Stencil: "5-point", Shape: "square",
+		Machine: core.MachineSpec{Type: "sync-bus"}}
+	if _, err := eng.Evaluate(context.Background(), spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(context.Background(), spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,296 @@
+// Command optbench runs the performance suite that tracks the
+// evaluation pipeline across PRs and emits a machine-readable
+// BENCH_sweep.json: sweep-engine throughput (cold, warm, and batched),
+// spec-resolution allocation counts, and solver/kernel update rates.
+//
+// Usage:
+//
+//	optbench                  # run the suite, write BENCH_sweep.json
+//	optbench -o out.json      # write elsewhere ("-" for stdout)
+//	optbench -quick           # smaller problems (CI smoke)
+//
+// The JSON is a trajectory artifact: CI uploads it per PR so perf
+// regressions in the hot paths (see README "Performance") show up as a
+// trend, without gating merges on noisy wall-clock numbers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"optspeed/internal/core"
+	"optspeed/internal/grid"
+	"optspeed/internal/solver"
+	"optspeed/internal/sweep"
+)
+
+// BenchResult is one benchmark's record.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_sweep.json schema.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// run executes one benchmark and records it, attaching derived metrics
+// computed from the per-op time (extras receives ns/op).
+func run(report *Report, name string, fn func(b *testing.B), extras func(nsPerOp float64) map[string]float64) {
+	res := testing.Benchmark(fn)
+	r := BenchResult{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if extras != nil {
+		r.Metrics = extras(r.NsPerOp)
+	}
+	report.Benchmarks = append(report.Benchmarks, r)
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op", name, r.NsPerOp, r.AllocsPerOp)
+	for k, v := range r.Metrics {
+		fmt.Fprintf(os.Stderr, "  %s=%.4g", k, v)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// coldSpace is the cross-machine sweep space BenchmarkSweepEngine uses:
+// every machine class, both shapes, a spread of grid sizes.
+func coldSpace(quick bool) sweep.Space {
+	ns := []int{64, 128, 256, 512}
+	if quick {
+		ns = []int{64, 128}
+	}
+	return sweep.Space{
+		Ns:       ns,
+		Stencils: []string{"5-point", "9-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{
+			{Type: "hypercube"}, {Type: "mesh"}, {Type: "sync-bus"},
+			{Type: "async-bus"}, {Type: "full-async-bus"}, {Type: "banyan"},
+		},
+	}
+}
+
+// batchedSpace exercises the OpSpeedup-over-Procs fast path: a dense
+// processor axis against every machine class.
+func batchedSpace(quick bool) sweep.Space {
+	maxP := 64
+	if quick {
+		maxP = 16
+	}
+	procs := make([]int, maxP)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	return sweep.Space{
+		Op:       sweep.OpSpeedup,
+		Ns:       []int{256},
+		Stencils: []string{"5-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{
+			{Type: "hypercube"}, {Type: "mesh"}, {Type: "sync-bus"},
+			{Type: "async-bus"}, {Type: "full-async-bus"}, {Type: "banyan"},
+		},
+		Procs: procs,
+	}
+}
+
+func specsPerSec(n int) func(float64) map[string]float64 {
+	return func(nsPerOp float64) map[string]float64 {
+		return map[string]float64{"specs_per_sec": float64(n) / (nsPerOp / 1e9)}
+	}
+}
+
+func mupdatesPerSec(updates int64) func(float64) map[string]float64 {
+	return func(nsPerOp float64) map[string]float64 {
+		return map[string]float64{"mupdates_per_sec": float64(updates) / (nsPerOp / 1e9) / 1e6}
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sweep.json", "output path (\"-\" for stdout)")
+	quick := flag.Bool("quick", false, "smaller problem sizes (CI smoke)")
+	flag.Parse()
+
+	report := &Report{
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	ctx := context.Background()
+
+	// --- Sweep engine: resolution/lookup, cold, warm, batched ---
+
+	warmEng := sweep.New(sweep.Options{})
+	warmSpec := sweep.Spec{N: 256, Stencil: "5-point", Shape: "square",
+		Machine: core.MachineSpec{Type: "sync-bus"}}
+	if _, err := warmEng.Evaluate(ctx, warmSpec); err != nil {
+		fatal(err)
+	}
+	run(report, "sweep/resolve+lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := warmEng.Evaluate(ctx, warmSpec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil)
+
+	cold := coldSpace(*quick)
+	run(report, "sweep/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sweep.New(sweep.Options{})
+			results, err := eng.RunSpace(ctx, cold)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != cold.Size() {
+				b.Fatalf("got %d results, want %d", len(results), cold.Size())
+			}
+		}
+	}, specsPerSec(cold.Size()))
+
+	run(report, "sweep/warm", func(b *testing.B) {
+		eng := sweep.New(sweep.Options{})
+		if _, err := eng.RunSpace(ctx, cold); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunSpace(ctx, cold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, specsPerSec(cold.Size()))
+
+	batched := batchedSpace(*quick)
+	run(report, "sweep/speedup_batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sweep.New(sweep.Options{})
+			if _, err := eng.RunSpace(ctx, batched); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, specsPerSec(batched.Size()))
+
+	// --- Solver and kernel update rates ---
+
+	solverN := 512
+	if *quick {
+		solverN = 256
+	}
+	const iters = 8
+
+	run(report, "solver/jacobi", func(b *testing.B) {
+		k := grid.Laplace5(solverN)
+		u := grid.MustNew(solverN)
+		u.SetConstantBoundary(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Solve(u, k, nil, solver.Config{
+				MaxIterations: iters,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, mupdatesPerSec(int64(solverN)*int64(solverN)*iters))
+
+	run(report, "solver/jacobi_checked", func(b *testing.B) {
+		k := grid.Laplace5(solverN)
+		u := grid.MustNew(solverN)
+		u.SetConstantBoundary(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// An unreachable tolerance forces the fused sweep+reduction
+			// every iteration without ever converging early.
+			if _, err := solver.Solve(u, k, nil, solver.Config{
+				MaxIterations: iters,
+				Tolerance:     1e-300,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, mupdatesPerSec(int64(solverN)*int64(solverN)*iters))
+
+	run(report, "solver/redblack", func(b *testing.B) {
+		k := grid.Laplace5(solverN)
+		u := grid.MustNew(solverN)
+		u.SetConstantBoundary(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.SolveRedBlack(u, k, nil, solver.RedBlackConfig{
+				MaxIterations: iters,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, mupdatesPerSec(int64(solverN)*int64(solverN)*iters))
+
+	kernelN := 512
+	if *quick {
+		kernelN = 256
+	}
+	for _, kb := range []struct {
+		name string
+		k    grid.Kernel
+	}{
+		{"grid/sweep_5point", grid.Laplace5(kernelN)},
+		{"grid/sweep_9point", grid.Laplace9(kernelN)},
+		{"grid/sweep_9star", grid.Star9(kernelN)},
+	} {
+		kb := kb
+		run(report, kb.name, func(b *testing.B) {
+			src := grid.MustNew(kernelN)
+			src.SetConstantBoundary(1)
+			dst := grid.MustNew(kernelN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := grid.Sweep(dst, src, kb.k, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, mupdatesPerSec(int64(kernelN)*int64(kernelN)))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "optbench:", err)
+	os.Exit(1)
+}

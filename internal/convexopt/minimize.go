@@ -43,6 +43,64 @@ func MinimizeInt(lo, hi int, f func(int) float64) int {
 	return best
 }
 
+// MinimizeIntSeeded is MinimizeInt with a hint: an estimate of the
+// continuous minimizer (e.g. a closed-form optimum from an approximate
+// model). The search brackets the true integer minimizer by galloping
+// outward from the hint with adjacent-pair probes — for unimodal f,
+// f(a-1) > f(a) proves every minimizer is ≥ a, and f(b+1) ≥ f(b)
+// proves the smallest minimizer is ≤ b — then runs MinimizeInt on the
+// residual bracket. Correctness never relies on the hint being right:
+// a wrong hint only costs extra gallop steps, and the result (smallest
+// minimizer, matching MinimizeInt's tie rule) is identical for any
+// finite hint. A NaN hint falls back to the full-interval search. With
+// an accurate hint the search costs O(1) evaluations regardless of
+// interval width, versus O(log(hi-lo)) for the unseeded search.
+func MinimizeIntSeeded(lo, hi int, guess float64, f func(int) float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("convexopt: MinimizeIntSeeded empty interval [%d, %d]", lo, hi))
+	}
+	if lo == hi {
+		return lo
+	}
+	if math.IsNaN(guess) {
+		return MinimizeInt(lo, hi, f)
+	}
+	g := lo
+	if guess >= float64(hi) {
+		g = hi
+	} else if guess > float64(lo) {
+		g = int(math.Round(guess))
+		if g < lo {
+			g = lo
+		} else if g > hi {
+			g = hi
+		}
+	}
+	// Lower bound: gallop left until f(a-1) > f(a) (or a == lo). The
+	// strict inequality keeps a tie f(a-1) == f(a) expanding, so the
+	// smaller of two tied minimizers stays inside the bracket.
+	a, step := g, 1
+	for a > lo && f(a-1) <= f(a) {
+		a -= step
+		if a < lo {
+			a = lo
+		}
+		step *= 2
+	}
+	// Upper bound: gallop right until f(b+1) >= f(b) (or b == hi); a
+	// tie here means the real minimizer sits between b and b+1 and the
+	// smaller tied integer b is already inside the bracket.
+	b, step := g, 1
+	for b < hi && f(b+1) < f(b) {
+		b += step
+		if b > hi {
+			b = hi
+		}
+		step *= 2
+	}
+	return MinimizeInt(a, b, f)
+}
+
 // invPhi is 1/φ, the golden-section step ratio.
 var invPhi = (math.Sqrt(5) - 1) / 2
 

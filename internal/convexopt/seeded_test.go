@@ -1,0 +1,64 @@
+package convexopt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMinimizeIntSeededMatchesFull checks the seeded search against the
+// full-interval search for a family of unimodal functions and a grid of
+// hints — exact, offset, far-off, boundary, and non-finite — including
+// tie cases where two adjacent arguments share the minimum value.
+func TestMinimizeIntSeededMatchesFull(t *testing.T) {
+	funcs := []struct {
+		name string
+		f    func(int) float64
+	}{
+		{"parabola", func(x int) float64 { d := float64(x - 137); return d * d }},
+		{"tilted-abs", func(x int) float64 { return math.Abs(float64(x)-41) + 0.001*float64(x) }},
+		{"monotone-up", func(x int) float64 { return float64(x) }},
+		{"monotone-down", func(x int) float64 { return -float64(x) }},
+		// Real minimum at 99.5: f(99) == f(100), smallest minimizer 99.
+		{"tie", func(x int) float64 { d := float64(x) - 99.5; return d * d }},
+		{"cycle-like", func(x int) float64 { p := float64(x); return 1/p + 0.001*math.Sqrt(p) }},
+	}
+	hints := []float64{2, 41, 99.5, 137, 500, 1000, -10, 1e12, math.Inf(1), math.Inf(-1), math.NaN()}
+	lo, hi := 2, 1000
+	for _, fn := range funcs {
+		want := MinimizeInt(lo, hi, fn.f)
+		for _, h := range hints {
+			got := MinimizeIntSeeded(lo, hi, h, fn.f)
+			if got != want {
+				t.Errorf("%s: seeded(%g) = %d, full search = %d", fn.name, h, got, want)
+			}
+		}
+	}
+}
+
+// TestMinimizeIntSeededDegenerate covers single-point intervals.
+func TestMinimizeIntSeededDegenerate(t *testing.T) {
+	f := func(x int) float64 { return float64(x * x) }
+	if got := MinimizeIntSeeded(5, 5, 99, f); got != 5 {
+		t.Fatalf("single-point interval: got %d", got)
+	}
+}
+
+// TestMinimizeIntSeededEvaluationCount checks the point of seeding: an
+// accurate hint on a huge interval costs O(1) evaluations, not
+// O(log(hi-lo)).
+func TestMinimizeIntSeededEvaluationCount(t *testing.T) {
+	const target = 123456
+	count := 0
+	f := func(x int) float64 {
+		count++
+		d := float64(x - target)
+		return d * d
+	}
+	got := MinimizeIntSeeded(2, 1<<30, target, f)
+	if got != target {
+		t.Fatalf("got %d, want %d", got, target)
+	}
+	if count > 40 {
+		t.Fatalf("seeded search used %d evaluations for an exact hint; want O(1)", count)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// testArchitectures returns one instance of every architecture class,
+// with both default and explicitly bounded/parameterized variants, for
+// equivalence testing.
+func testArchitectures() []Architecture {
+	return []Architecture{
+		DefaultHypercube(0),
+		DefaultHypercube(64),
+		DefaultMesh(0),
+		DefaultSyncBus(0),
+		DefaultSyncBus(30),
+		SyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, C: 0},
+		DefaultAsyncBus(0),
+		AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, C: 500 * DefaultBusCycle},
+		AsyncBus{TflpTime: DefaultTflp, B: DefaultBusCycle, Overlap: OverlapReadsAndWrites},
+		DefaultBanyan(0),
+		DefaultBanyan(256),
+	}
+}
+
+// TestSpeedupBatchMatchesIndividual checks the batched evaluation
+// against per-point Speedup across architecture classes, shapes, and
+// both dense and sparse processor axes, including out-of-range counts.
+func TestSpeedupBatchMatchesIndividual(t *testing.T) {
+	axes := [][]int{
+		{1, 2, 3, 4, 5, 6, 7, 8},     // dense: cycle-curve fan-out
+		{0, 1, 16, 256, 4096, 70000}, // sparse with out-of-range ends
+		{32},                         // singleton
+		{64, 1, 64, 2},               // duplicates, unordered
+	}
+	for _, arch := range testArchitectures() {
+		for _, shape := range []partition.Shape{partition.Strip, partition.Square} {
+			p := MustProblem(64, stencil.FivePoint, shape)
+			for _, procs := range axes {
+				vals, errs, err := SpeedupBatch(p, arch, procs)
+				if err != nil {
+					t.Fatalf("%s/%s: batch error %v", arch.Name(), shape, err)
+				}
+				for i, q := range procs {
+					want, wantErr := Speedup(p, arch, q)
+					if (errs[i] == nil) != (wantErr == nil) {
+						t.Fatalf("%s/%s procs=%d: batch err %v, individual err %v",
+							arch.Name(), shape, q, errs[i], wantErr)
+					}
+					if wantErr != nil {
+						if errs[i].Error() != wantErr.Error() {
+							t.Fatalf("%s/%s procs=%d: batch err %q, individual %q",
+								arch.Name(), shape, q, errs[i], wantErr)
+						}
+						continue
+					}
+					if vals[i] != want {
+						t.Fatalf("%s/%s procs=%d: batch %g, individual %g",
+							arch.Name(), shape, q, vals[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpeedupBatchInvalidInputs mirrors Speedup's whole-batch failures.
+func TestSpeedupBatchInvalidInputs(t *testing.T) {
+	good := MustProblem(64, stencil.FivePoint, partition.Square)
+	if _, _, err := SpeedupBatch(Problem{N: -1, Stencil: stencil.FivePoint, Shape: partition.Square},
+		DefaultMesh(0), []int{1}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	if _, _, err := SpeedupBatch(good, SyncBus{TflpTime: -1, B: 1}, []int{1}); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+// TestOptimizeSeededMatchesFullSearch replays Optimize's pre-seeding
+// algorithm — full-range integer ternary search plus the robustness
+// sweep — and checks the seeded implementation returns the identical
+// allocation for every architecture class, shape, and a spread of
+// problem sizes. This is the byte-identity guarantee for the paper
+// figures, asserted at the API level.
+func TestOptimizeSeededMatchesFullSearch(t *testing.T) {
+	fullSearch := func(p Problem, arch Architecture) int {
+		maxP := boundedProcs(p, arch)
+		cycle := func(procs int) float64 { return arch.CycleTime(p, p.AreaFor(procs)) }
+		best := 1
+		if maxP >= 2 {
+			best = minimizeIntFull(2, maxP, cycle)
+		}
+		bestT := cycle(best)
+		for _, cand := range []int{1, 2, 3, 4, 5, 6, 7, 8, maxP} {
+			if cand < 1 || cand > maxP {
+				continue
+			}
+			if tc := cycle(cand); tc < bestT || (tc == bestT && cand < best) {
+				best, bestT = cand, tc
+			}
+		}
+		return best
+	}
+	for _, arch := range testArchitectures() {
+		for _, shape := range []partition.Shape{partition.Strip, partition.Square} {
+			for _, st := range []stencil.Stencil{stencil.FivePoint, stencil.NinePoint} {
+				for _, n := range []int{4, 16, 63, 128, 256, 1024} {
+					p := MustProblem(n, st, shape)
+					alloc, err := Optimize(p, arch)
+					if err != nil {
+						t.Fatalf("%s/%s n=%d: %v", arch.Name(), shape, n, err)
+					}
+					if want := fullSearch(p, arch); alloc.Procs != want {
+						t.Fatalf("%s/%s/%s n=%d: seeded optimum %d, full search %d",
+							arch.Name(), shape, st.Name(), n, alloc.Procs, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// minimizeIntFull replicates convexopt.MinimizeInt (the pre-seeding
+// search) so the equivalence test does not depend on the seeded code
+// under test.
+func minimizeIntFull(lo, hi int, f func(int) float64) int {
+	for hi-lo > 8 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2 - 1
+		} else {
+			lo = m1 + 1
+		}
+	}
+	best, bestVal := lo, f(lo)
+	for x := lo + 1; x <= hi; x++ {
+		if v := f(x); v < bestVal {
+			best, bestVal = x, v
+		}
+	}
+	return best
+}

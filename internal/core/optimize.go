@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"optspeed/internal/convexopt"
 	"optspeed/internal/partition"
@@ -53,7 +54,20 @@ func Optimize(p Problem, arch Architecture) (Allocation, error) {
 	}
 	best := 1
 	if maxP >= 2 {
-		best = convexopt.MinimizeInt(2, maxP, cycle)
+		// Architectures with a closed-form continuous optimum (the
+		// buses) seed the search with P̂ = n²/Â: the seeded search
+		// brackets the discrete optimum in O(1) cycle evaluations
+		// around the hint instead of ternary-searching the full
+		// [2, maxP] range (which spans millions of counts for large
+		// square problems). The seeded search self-verifies with
+		// adjacent-pair probes, so an approximate hint (e.g. the
+		// async bus's c-ignoring closed form) cannot change the
+		// result — only the evaluation count.
+		if aHat, ok := closedFormArea(arch, p); ok {
+			best = convexopt.MinimizeIntSeeded(2, maxP, p.GridPoints()/aHat, cycle)
+		} else {
+			best = convexopt.MinimizeInt(2, maxP, cycle)
+		}
 	}
 	// Robustness sweep. The ternary search is exact for the paper's
 	// convex models; a banyan whose network grows with the decomposition
@@ -97,12 +111,27 @@ func MustOptimize(p Problem, arch Architecture) Allocation {
 	return a
 }
 
+// closedFormArea returns the architecture's closed-form continuous
+// optimum area when it provides one and the value is usable as a
+// search seed (positive and finite).
+func closedFormArea(arch Architecture, p Problem) (float64, bool) {
+	type areaOptimizer interface{ OptimalArea(Problem) float64 }
+	ao, ok := arch.(areaOptimizer)
+	if !ok {
+		return 0, false
+	}
+	a := ao.OptimalArea(p)
+	if math.IsNaN(a) || math.IsInf(a, 0) || a <= 0 {
+		return 0, false
+	}
+	return a, true
+}
+
 // continuousArea returns the closed-form continuous optimum area when the
 // architecture provides one, else the discrete result's area.
 func continuousArea(p Problem, arch Architecture, procs int) float64 {
-	type areaOptimizer interface{ OptimalArea(Problem) float64 }
-	if ao, ok := arch.(areaOptimizer); ok {
-		return ao.OptimalArea(p)
+	if a, ok := closedFormArea(arch, p); ok {
+		return a
 	}
 	return p.AreaFor(procs)
 }

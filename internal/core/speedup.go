@@ -16,9 +16,67 @@ func Speedup(p Problem, arch Architecture, procs int) (float64, error) {
 		return 0, err
 	}
 	if procs < 1 || procs > p.MaxProcs() {
-		return 0, fmt.Errorf("core: Speedup: procs=%d out of range [1, %d]", procs, p.MaxProcs())
+		return 0, speedupRangeError(procs, p.MaxProcs())
 	}
 	return p.SerialTime(arch.Tflp()) / arch.CycleTime(p, p.AreaFor(procs)), nil
+}
+
+// speedupRangeError is the out-of-range error shared by Speedup and
+// SpeedupBatch, so batched and individual evaluations fail identically.
+func speedupRangeError(procs, maxProcs int) error {
+	return fmt.Errorf("core: Speedup: procs=%d out of range [1, %d]", procs, maxProcs)
+}
+
+// SpeedupBatch evaluates Speedup at each processor count in one pass:
+// the problem and machine are validated once and the serial time is
+// computed once for the whole batch, and when the requested counts are
+// dense the cycle times come from a single CycleCurve that is fanned
+// out across the batch. vals[i] and errs[i] correspond to procs[i];
+// errs[i] is non-nil exactly when Speedup(p, arch, procs[i]) would
+// fail, with an identical message and identical vals otherwise (the
+// per-point arithmetic is the same expression). The final error
+// reports an invalid problem or machine, which fails the whole batch.
+func SpeedupBatch(p Problem, arch Architecture, procs []int) (vals []float64, errs []error, _ error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	serial := p.SerialTime(arch.Tflp())
+	maxP := p.MaxProcs()
+	vals = make([]float64, len(procs))
+	errs = make([]error, len(procs))
+	maxReq := 0
+	for _, q := range procs {
+		if q >= 1 && q <= maxP && q > maxReq {
+			maxReq = q
+		}
+	}
+	// Dense batches (most sweep axes: 1..P or small strides) take one
+	// cycle curve; sparse ones (e.g. powers of two up to n²) evaluate
+	// pointwise, which costs the same per point without materializing
+	// millions of unneeded curve entries. CycleCurve clamps at the
+	// machine's own processor bound, so curve coverage is checked per
+	// point below.
+	var curve []float64
+	if maxReq > 0 && maxReq <= 2*len(procs) {
+		curve = CycleCurve(p, arch, maxReq)
+	}
+	for i, q := range procs {
+		if q < 1 || q > maxP {
+			errs[i] = speedupRangeError(q, maxP)
+			continue
+		}
+		var t float64
+		if q <= len(curve) {
+			t = curve[q-1]
+		} else {
+			t = arch.CycleTime(p, p.AreaFor(q))
+		}
+		vals[i] = serial / t
+	}
+	return vals, errs, nil
 }
 
 // OptimalSpeedup returns the speedup of the optimal allocation.

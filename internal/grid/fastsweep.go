@@ -1,0 +1,178 @@
+package grid
+
+import "optspeed/internal/stencil"
+
+// kernelClass selects a sweep inner loop. The built-in 5-point and
+// 9-point kernels get specialized loops whose neighbor loads are
+// unrolled over same-length row slices — the compiler can eliminate the
+// per-point bounds checks and the per-offset weight/offset table walk
+// of the generic loop. Everything else (9-star, 13-point, custom
+// stencils) takes the generic flat-offset loop.
+type kernelClass int
+
+const (
+	classGeneric kernelClass = iota
+	class5Point
+	class9Point
+)
+
+// classify inspects the kernel's stencil. Matching is by stencil
+// identity (geometry, name, and flop count), so a recalibrated
+// (WithFlops) or custom stencil with different metadata falls back to
+// the generic loop rather than risking a mismatched specialization.
+func classify(k Kernel) kernelClass {
+	switch {
+	case k.Stencil.Equal(stencil.FivePoint):
+		return class5Point
+	case k.Stencil.Equal(stencil.NinePoint):
+		return class9Point
+	default:
+		return classGeneric
+	}
+}
+
+// sweepClassified runs one Jacobi sweep over the region with the
+// kernel-appropriate inner loop. When collect is set it also returns
+// Σ(dst−src)² over the region, accumulated in the same row-major order
+// as SumSquaredDiffRegion — the fused form of the solver's
+// sweep-then-reduce convergence check. All three loop families apply
+// the stencil terms in the stencil's canonical offset order with the
+// source term added last, so their floating-point results are
+// identical to each other and to the pre-specialization generic loop.
+func sweepClassified(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int, collect bool) float64 {
+	switch classify(k) {
+	case class5Point:
+		return sweepRows5(dst, src, k, f, r0, r1, c0, c1, collect)
+	case class9Point:
+		return sweepRows9(dst, src, k, f, r0, r1, c0, c1, collect)
+	default:
+		return sweepGeneric(dst, src, k, f, r0, r1, c0, c1, collect)
+	}
+}
+
+// sweepGeneric is the flat-offset loop for arbitrary stencils.
+func sweepGeneric(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int, collect bool) float64 {
+	offs := k.Stencil.Offsets()
+	// Precompute flat offsets into the backing array for speed.
+	flat := make([]int, len(offs))
+	for i, o := range offs {
+		flat[i] = o.DI*src.stride + o.DJ
+	}
+	sdata, ddata := src.data, dst.data
+	var sum float64
+	for i := r0; i < r1; i++ {
+		base := src.index(i, 0)
+		for j := c0; j < c1; j++ {
+			idx := base + j
+			var acc float64
+			for t, fo := range flat {
+				acc += k.Weights[t] * sdata[idx+fo]
+			}
+			if f != nil && k.RHSCoeff != 0 {
+				acc += k.RHSCoeff * f.At(i, j)
+			}
+			if collect {
+				d := acc - sdata[idx]
+				sum += d * d
+			}
+			ddata[idx] = acc
+		}
+	}
+	return sum
+}
+
+// sweepRows5 is the specialized 5-point loop: per row, the four
+// neighbor bands and the output become equal-length slices, so the
+// inner loop is four loads, four multiplies, and three adds with
+// bounds checks hoisted. Weight order follows the canonical offsets
+// (-1,0) (0,-1) (0,1) (1,0): north, west, east, south.
+func sweepRows5(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int, collect bool) float64 {
+	stride := src.stride
+	wN, wW, wE, wS := k.Weights[0], k.Weights[1], k.Weights[2], k.Weights[3]
+	cf := k.RHSCoeff
+	useF := f != nil && cf != 0
+	m := c1 - c0
+	if m <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := r0; i < r1; i++ {
+		base := src.index(i, c0)
+		cur := src.data[base : base+m]
+		up := src.data[base-stride : base-stride+m]
+		dn := src.data[base+stride : base+stride+m]
+		lf := src.data[base-1 : base-1+m]
+		rt := src.data[base+1 : base+1+m]
+		out := dst.data[base : base+m]
+		switch {
+		case useF && collect:
+			fr := f.data[f.index(i, c0) : f.index(i, c0)+m]
+			for j := range out {
+				acc := wN*up[j] + wW*lf[j] + wE*rt[j] + wS*dn[j] + cf*fr[j]
+				d := acc - cur[j]
+				sum += d * d
+				out[j] = acc
+			}
+		case useF:
+			fr := f.data[f.index(i, c0) : f.index(i, c0)+m]
+			for j := range out {
+				out[j] = wN*up[j] + wW*lf[j] + wE*rt[j] + wS*dn[j] + cf*fr[j]
+			}
+		case collect:
+			for j := range out {
+				acc := wN*up[j] + wW*lf[j] + wE*rt[j] + wS*dn[j]
+				d := acc - cur[j]
+				sum += d * d
+				out[j] = acc
+			}
+		default:
+			for j := range out {
+				out[j] = wN*up[j] + wW*lf[j] + wE*rt[j] + wS*dn[j]
+			}
+		}
+	}
+	return sum
+}
+
+// sweepRows9 is the specialized 9-point (box) loop: three source bands
+// of width m+2 cover the full Chebyshev-1 neighborhood, indexed j,
+// j+1, j+2. Weight order follows the canonical offsets
+// (-1,-1) (-1,0) (-1,1) (0,-1) (0,1) (1,-1) (1,0) (1,1).
+func sweepRows9(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int, collect bool) float64 {
+	stride := src.stride
+	w0, w1, w2 := k.Weights[0], k.Weights[1], k.Weights[2]
+	w3, w4 := k.Weights[3], k.Weights[4]
+	w5, w6, w7 := k.Weights[5], k.Weights[6], k.Weights[7]
+	cf := k.RHSCoeff
+	useF := f != nil && cf != 0
+	m := c1 - c0
+	if m <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := r0; i < r1; i++ {
+		base := src.index(i, c0)
+		up := src.data[base-stride-1 : base-stride-1+m+2]
+		md := src.data[base-1 : base-1+m+2]
+		dn := src.data[base+stride-1 : base+stride-1+m+2]
+		out := dst.data[base : base+m]
+		var fr []float64
+		if useF {
+			fr = f.data[f.index(i, c0) : f.index(i, c0)+m]
+		}
+		for j := range out {
+			acc := w0*up[j] + w1*up[j+1] + w2*up[j+2] +
+				w3*md[j] + w4*md[j+2] +
+				w5*dn[j] + w6*dn[j+1] + w7*dn[j+2]
+			if useF {
+				acc += cf * fr[j]
+			}
+			if collect {
+				d := acc - md[j+1]
+				sum += d * d
+			}
+			out[j] = acc
+		}
+	}
+	return sum
+}

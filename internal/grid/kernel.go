@@ -115,8 +115,31 @@ func Sweep(dst, src *Grid, k Kernel, f *Grid) error {
 
 // SweepRegion performs one Jacobi sweep over rows [r0, r1) and columns
 // [c0, c1) of the interior. It is the unit of work a partition executes
-// per iteration; ghost/halo values of src must already be current.
+// per iteration; ghost/halo values of src must already be current. The
+// built-in 5-point and 9-point kernels take specialized unrolled inner
+// loops (see fastsweep.go) with identical floating-point results.
 func SweepRegion(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int) error {
+	if err := checkSweepArgs(dst, src, k, r0, r1, c0, c1); err != nil {
+		return err
+	}
+	sweepClassified(dst, src, k, f, r0, r1, c0, c1, false)
+	return nil
+}
+
+// SweepRegionDelta is SweepRegion fused with the convergence-check
+// reduction: it returns Σ(dst−src)² over the region, computed inside
+// the sweep loop instead of by a second pass over the same memory
+// (SumSquaredDiffRegion). The sum is accumulated in the same row-major
+// order as the two-pass form, so the result is bit-identical.
+func SweepRegionDelta(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int) (float64, error) {
+	if err := checkSweepArgs(dst, src, k, r0, r1, c0, c1); err != nil {
+		return 0, err
+	}
+	return sweepClassified(dst, src, k, f, r0, r1, c0, c1, true), nil
+}
+
+// checkSweepArgs validates the shared sweep preconditions.
+func checkSweepArgs(dst, src *Grid, k Kernel, r0, r1, c0, c1 int) error {
 	if dst.N != src.N || dst.Halo != src.Halo {
 		return fmt.Errorf("grid: SweepRegion geometry mismatch")
 	}
@@ -127,27 +150,6 @@ func SweepRegion(dst, src *Grid, k Kernel, f *Grid, r0, r1, c0, c1 int) error {
 	if k.Stencil.ChebyshevRadius() > src.Halo {
 		return fmt.Errorf("grid: stencil %s radius %d exceeds halo %d",
 			k.Stencil.Name(), k.Stencil.ChebyshevRadius(), src.Halo)
-	}
-	offs := k.Stencil.Offsets()
-	// Precompute flat offsets into the backing array for speed.
-	flat := make([]int, len(offs))
-	for i, o := range offs {
-		flat[i] = o.DI*src.stride + o.DJ
-	}
-	sdata, ddata := src.data, dst.data
-	for i := r0; i < r1; i++ {
-		base := src.index(i, 0)
-		for j := c0; j < c1; j++ {
-			idx := base + j
-			var acc float64
-			for t, fo := range flat {
-				acc += k.Weights[t] * sdata[idx+fo]
-			}
-			if f != nil && k.RHSCoeff != 0 {
-				acc += k.RHSCoeff * f.At(i, j)
-			}
-			ddata[idx] = acc
-		}
 	}
 	return nil
 }

@@ -261,6 +261,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	specs := req.Specs
+	spaceOnly := false
 	if req.Space != nil {
 		// Size() saturates at math.MaxInt on overflowing axis products,
 		// and the two-step comparison avoids overflowing the sum, so a
@@ -271,9 +272,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				"sweep of %d+%d specs exceeds the limit of %d", len(specs), size, s.maxSpecs)
 			return
 		}
-		specs = append(specs, req.Space.Expand()...)
+		spaceOnly = len(specs) == 0 && size > 0
+		if !spaceOnly {
+			specs = append(specs, req.Space.Expand()...)
+		}
 	}
-	if len(specs) == 0 {
+	if len(specs) == 0 && !spaceOnly {
 		writeError(w, http.StatusBadRequest, "empty sweep: provide specs or a space")
 		return
 	}
@@ -282,7 +286,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			"sweep of %d specs exceeds the limit of %d", len(specs), s.maxSpecs)
 		return
 	}
-	results, err := s.engine.Run(r.Context(), specs)
+	var results []sweep.Result
+	var err error
+	if spaceOnly {
+		// A pure space request keeps its Cartesian structure, so the
+		// engine can pre-resolve each axis value once and batch the
+		// speedup-over-procs fast path (RunSpace); mixed requests fall
+		// back to the flat spec list.
+		results, err = s.engine.RunSpace(r.Context(), *req.Space)
+	} else {
+		results, err = s.engine.Run(r.Context(), specs)
+	}
 	if err != nil {
 		// Cancelled by the client; nobody reads the response, but the
 		// abort should be visible in metrics.

@@ -129,6 +129,49 @@ func Solve(u *grid.Grid, k grid.Kernel, f *grid.Grid, cfg Config) (Result, error
 		barrierSum float64
 	)
 
+	// Persistent row-banded workers: one goroutine per partition for the
+	// whole solve, fed one job per iteration over a buffered channel and
+	// joined at the WaitGroup barrier — instead of spawning workers×
+	// iterations goroutines. The convergence-check iterations use the
+	// fused sweep+reduction (SweepRegionDelta), so the Σ(Δu)² statistic
+	// costs no second pass over the partition's memory.
+	type sweepJob struct {
+		cur, next *grid.Grid
+		collect   bool
+	}
+	jobs := make([]chan sweepJob, workers)
+	for w := 0; w < workers; w++ {
+		jobs[w] = make(chan sweepJob, 1)
+		go func(w int) {
+			reg := regions[w]
+			for job := range jobs[w] {
+				var t0 time.Time
+				if cfg.Profile {
+					t0 = time.Now()
+				}
+				if job.collect {
+					d, err := grid.SweepRegionDelta(job.next, job.cur, k, f, reg.r0, reg.r1, reg.c0, reg.c1)
+					if err != nil {
+						errOnce.Do(func() { sweepErr = err })
+					} else {
+						deltas[w] = d
+					}
+				} else if err := grid.SweepRegion(job.next, job.cur, k, f, reg.r0, reg.r1, reg.c0, reg.c1); err != nil {
+					errOnce.Do(func() { sweepErr = err })
+				}
+				if cfg.Profile {
+					sweepSecs[w] = time.Since(t0).Seconds()
+				}
+				wg.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
 	for iter := 1; iter <= maxIter; iter++ {
 		doCheck := cfg.Tolerance > 0 && sched.CheckAt(iter)
 		var iterStart time.Time
@@ -137,24 +180,7 @@ func Solve(u *grid.Grid, k grid.Kernel, f *grid.Grid, cfg Config) (Result, error
 		}
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func(w int) {
-				defer wg.Done()
-				var t0 time.Time
-				if cfg.Profile {
-					t0 = time.Now()
-				}
-				reg := regions[w]
-				if err := grid.SweepRegion(next, cur, k, f, reg.r0, reg.r1, reg.c0, reg.c1); err != nil {
-					errOnce.Do(func() { sweepErr = err })
-					return
-				}
-				if doCheck {
-					deltas[w] = next.SumSquaredDiffRegion(cur, reg.r0, reg.r1, reg.c0, reg.c1)
-				}
-				if cfg.Profile {
-					sweepSecs[w] = time.Since(t0).Seconds()
-				}
-			}(w)
+			jobs[w] <- sweepJob{cur: cur, next: next, collect: doCheck}
 		}
 		wg.Wait() // barrier: iteration ends before the next begins (paper §3)
 		if sweepErr != nil {

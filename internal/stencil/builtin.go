@@ -51,12 +51,20 @@ func Builtins() []Stencil {
 }
 
 // ByName returns the built-in stencil with the given name ("5-point",
-// "9-point", "9-star", "13-point") and whether it exists.
+// "9-point", "9-star", "13-point") and whether it exists. It allocates
+// nothing: the sweep engine resolves a stencil per evaluated spec on its
+// hot path.
 func ByName(name string) (Stencil, bool) {
-	for _, s := range Builtins() {
-		if s.Name() == name {
-			return s, true
-		}
+	switch name {
+	case "5-point":
+		return FivePoint, true
+	case "9-point":
+		return NinePoint, true
+	case "9-star":
+		return NineStar, true
+	case "13-point":
+		return ThirteenPoint, true
+	default:
+		return Stencil{}, false
 	}
-	return Stencil{}, false
 }

@@ -17,14 +17,18 @@ var ErrWaitCancelled = errors.New("sweep: cancelled while waiting for an in-flig
 const maxCacheShards = 16
 
 // cache is a sharded, bounded LRU memoization table with in-flight
-// coalescing: keys hash to one of up to maxCacheShards independent
-// shards, so concurrent lookups from the worker pool contend only
-// per-shard. Within a shard, the first goroutine to request a key
-// computes it while later requesters for the same key block on the
-// entry instead of recomputing (the request-coalescing behavior the
-// HTTP service relies on when identical sweeps arrive concurrently).
-// Failed computations are not retained, so a transient error never
-// poisons the cache.
+// coalescing: struct keys hash to one of up to maxCacheShards
+// independent shards, so concurrent lookups from the worker pool
+// contend only per-shard. Within a shard, the first goroutine to
+// request a key via getOrCompute computes it while later requesters
+// for the same key block on the entry instead of recomputing (the
+// request-coalescing behavior the HTTP service relies on when
+// identical per-spec sweeps arrive concurrently). The batched speedup
+// path uses peek/put instead and trades that per-key coalescing for
+// whole-group batching: concurrent identical cold batched sweeps may
+// duplicate a group computation (the first put wins), but completed
+// entries still serve everyone afterwards. Failed computations are not
+// retained, so a transient error never poisons the cache.
 type cache struct {
 	shards []*cacheShard
 }
@@ -34,13 +38,13 @@ type cacheShard struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used; values are *centry
-	idx map[string]*list.Element
+	idx map[specKey]*list.Element
 }
 
 // centry is one cache slot. done is closed once out is populated;
 // waiters hold the pointer, so eviction never races a fill.
 type centry struct {
-	key  string
+	key  specKey
 	done chan struct{}
 	out  outcome
 }
@@ -68,21 +72,15 @@ func newCache(capacity int) *cache {
 		per = 1
 	}
 	for i := range c.shards {
-		c.shards[i] = &cacheShard{cap: per, ll: list.New(), idx: make(map[string]*list.Element)}
+		c.shards[i] = &cacheShard{cap: per, ll: list.New(), idx: make(map[specKey]*list.Element)}
 	}
 	return c
 }
 
-// shardFor picks the key's shard with inline FNV-1a (no allocation on
-// the per-spec hot path).
-func (c *cache) shardFor(key string) *cacheShard {
-	const offset32, prime32 = 2166136261, 16777619
-	h := uint32(offset32)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime32
-	}
-	return c.shards[h%uint32(len(c.shards))]
+// shardFor picks the key's shard from the struct key's inline hash (no
+// allocation on the per-spec hot path).
+func (c *cache) shardFor(key specKey) *cacheShard {
+	return c.shards[key.hash()%uint64(len(c.shards))]
 }
 
 // getOrCompute returns the outcome for key, computing it with fn on a
@@ -92,11 +90,11 @@ func (c *cache) shardFor(key string) *cacheShard {
 // whose cancel channel closes before the in-flight computation finishes
 // gets ErrWaitCancelled instead of blocking past its context; fn itself
 // must not block on cancel (it is pure model evaluation).
-func (c *cache) getOrCompute(cancel <-chan struct{}, key string, fn func() outcome) (outcome, bool) {
+func (c *cache) getOrCompute(cancel <-chan struct{}, key specKey, fn func() outcome) (outcome, bool) {
 	return c.shardFor(key).getOrCompute(cancel, key, fn)
 }
 
-func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key string, fn func() outcome) (outcome, bool) {
+func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key specKey, fn func() outcome) (outcome, bool) {
 	s.mu.Lock()
 	if el, ok := s.idx[key]; ok {
 		s.ll.MoveToFront(el)
@@ -135,6 +133,56 @@ func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key string, fn func() 
 		s.mu.Unlock()
 	}
 	return e.out, false
+}
+
+// peek returns the outcome for key without inserting anything on a
+// miss: the batched evaluation path probes its whole group first and
+// computes only the absentees in one pass. A resident in-flight entry
+// is waited on exactly like a getOrCompute hit (the waiter coalesces),
+// so peek honors cancel the same way. The bool reports residency.
+func (c *cache) peek(cancel <-chan struct{}, key specKey) (outcome, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.idx[key]
+	if !ok {
+		s.mu.Unlock()
+		return outcome{}, false
+	}
+	s.ll.MoveToFront(el)
+	e := el.Value.(*centry)
+	s.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.out, true
+	case <-cancel:
+		return outcome{err: ErrWaitCancelled}, true
+	}
+}
+
+// put inserts a completed successful outcome for key, evicting LRU
+// entries as needed. An existing resident entry wins (it may have
+// waiters parked on its done channel), and errored outcomes are
+// dropped to preserve the never-cache-failures invariant.
+func (c *cache) put(key specKey, out outcome) {
+	if out.err != nil {
+		return
+	}
+	s := c.shardFor(key)
+	e := &centry{key: key, done: make(chan struct{}), out: out}
+	close(e.done)
+	s.mu.Lock()
+	if _, ok := s.idx[key]; ok {
+		s.mu.Unlock()
+		return
+	}
+	el := s.ll.PushFront(e)
+	s.idx[key] = el
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.idx, oldest.Value.(*centry).key)
+	}
+	s.mu.Unlock()
 }
 
 // len returns the number of resident entries across all shards.

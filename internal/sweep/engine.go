@@ -8,6 +8,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"optspeed/internal/core"
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
 )
 
 // Options configures an Engine. Zero values take defaults.
@@ -98,20 +102,34 @@ func recoverOutcome(fn func() outcome) (o outcome) {
 	return fn()
 }
 
-// eval answers one spec through the cache, updating counters. cancel
-// releases a coalesced wait on another goroutine's in-flight
-// computation; the computation itself is never interrupted. An
-// ErrWaitCancelled outcome is only returned when THIS caller's cancel
-// fired: if another caller abandoned the in-flight entry (its context
-// died while it was parked on the semaphore), the poisoned outcome is
-// retried rather than handed to a live caller as if it had cancelled.
+// preResolved carries one spec's resolution, shared between the space
+// pre-resolution pass and the evaluation workers. Exactly one of r/err
+// is meaningful.
+type preResolved struct {
+	r   resolved
+	err error
+}
+
+// eval answers one spec through the cache, resolving it first.
 func (e *Engine) eval(cancel <-chan struct{}, s Spec) (outcome, bool) {
 	r, err := s.resolve()
-	if err != nil {
+	return e.evalResolved(cancel, s, r, err)
+}
+
+// evalResolved answers one already-resolved spec through the cache,
+// updating counters. cancel releases a coalesced wait on another
+// goroutine's in-flight computation; the computation itself is never
+// interrupted. An ErrWaitCancelled outcome is only returned when THIS
+// caller's cancel fired: if another caller abandoned the in-flight
+// entry (its context died while it was parked on the semaphore), the
+// poisoned outcome is retried rather than handed to a live caller as if
+// it had cancelled.
+func (e *Engine) evalResolved(cancel <-chan struct{}, s Spec, r resolved, rerr error) (outcome, bool) {
+	if rerr != nil {
 		// Unresolvable specs (bad stencil/shape/machine) fail fast and
 		// are never cached: the resolution error is the evaluation error.
 		e.keyErrors.Add(1)
-		return outcome{err: err}, false
+		return outcome{err: rerr}, false
 	}
 	for {
 		var computed bool
@@ -183,6 +201,12 @@ func result(i int, s Spec, out outcome, hit bool) Result {
 // done or the context is cancelled; on cancellation remaining specs are
 // skipped, not errored.
 func (e *Engine) Stream(ctx context.Context, specs []Spec) <-chan Result {
+	return e.stream(ctx, specs, nil)
+}
+
+// stream is Stream with optional pre-resolved specs (pre parallel to
+// specs, or nil to resolve per spec on the worker).
+func (e *Engine) stream(ctx context.Context, specs []Spec, pre []preResolved) <-chan Result {
 	out := make(chan Result, e.workers)
 	var wg sync.WaitGroup
 	// Work distribution: a shared atomic cursor hands each worker the
@@ -205,8 +229,14 @@ func (e *Engine) Stream(ctx context.Context, specs []Spec) <-chan Result {
 				if i >= len(specs) || ctx.Err() != nil {
 					return
 				}
-				o, hit := e.eval(ctx.Done(), specs[i])
-				if o.err == ErrWaitCancelled {
+				var o outcome
+				var hit bool
+				if pre != nil {
+					o, hit = e.evalResolved(ctx.Done(), specs[i], pre[i].r, pre[i].err)
+				} else {
+					o, hit = e.eval(ctx.Done(), specs[i])
+				}
+				if errors.Is(o.err, ErrWaitCancelled) {
 					// The context died while this worker was parked on
 					// another goroutine's in-flight computation; the
 					// sweep is over.
@@ -234,9 +264,14 @@ func (e *Engine) Stream(ctx context.Context, specs []Spec) <-chan Result {
 // hold only the completed entries (unevaluated ones keep their
 // submitted Spec and an Err of ctx.Err()).
 func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	return e.run(ctx, specs, nil)
+}
+
+// run is Run with optional pre-resolved specs.
+func (e *Engine) run(ctx context.Context, specs []Spec, pre []preResolved) ([]Result, error) {
 	results := make([]Result, len(specs))
 	done := make([]bool, len(specs))
-	for r := range e.Stream(ctx, specs) {
+	for r := range e.stream(ctx, specs, pre) {
 		results[r.Index] = r
 		done[r.Index] = true
 	}
@@ -251,12 +286,219 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	return results, nil
 }
 
-// RunSpace expands a Cartesian space and runs it. A space whose axis
-// product overflows (Size() saturated) cannot be materialized and is
-// rejected up front.
+// RunSpace expands a Cartesian space and runs it with space-aware
+// evaluation: each distinct axis value (stencil, shape, machine) is
+// resolved once per space instead of once per spec, and an OpSpeedup
+// space with a processor axis takes a batched fast path that computes
+// one cycle curve per (problem, machine) group and fans the per-procs
+// results out. A space whose axis product overflows (Size() saturated)
+// cannot be materialized and is rejected up front.
 func (e *Engine) RunSpace(ctx context.Context, sp Space) ([]Result, error) {
 	if sp.Size() == math.MaxInt {
 		return nil, fmt.Errorf("sweep: space axis product overflows; refusing to expand")
 	}
-	return e.Run(ctx, sp.Expand())
+	specs := sp.Expand()
+	pre := preResolveSpace(sp, specs)
+	if sp.Op == OpSpeedup && len(sp.Procs) > 1 {
+		return e.runSpeedupBatched(ctx, len(sp.Procs), specs, pre)
+	}
+	return e.run(ctx, specs, pre)
+}
+
+// preResolveSpace materializes each distinct axis value of the space
+// once — machines are validated and default-filled a single time, and
+// the problem is built once per (n, stencil, shape) triple — and
+// composes the per-spec resolutions in Expand order through the same
+// resolvedFromParts helper as Spec.resolve, so RunSpace reports the
+// same errors, with the same precedence, as Run.
+func preResolveSpace(sp Space, specs []Spec) []preResolved {
+	type stRes struct {
+		st   stencil.Stencil
+		code uint8
+		err  error
+	}
+	stencils := make([]stRes, len(sp.Stencils))
+	for i, name := range sp.Stencils {
+		st, ok := stencil.ByName(name)
+		if !ok {
+			stencils[i].err = fmt.Errorf("sweep: unknown stencil %q", name)
+			continue
+		}
+		stencils[i].st = st
+		stencils[i].code, _ = stencilCode(name)
+	}
+	shapeErr := make([]error, len(sp.Shapes))
+	shapeVal := make([]partition.Shape, len(sp.Shapes))
+	for i, name := range sp.Shapes {
+		shapeVal[i], shapeErr[i] = ParseShape(name)
+	}
+	machines := make([]machResolved, len(sp.Machines))
+	for i, m := range sp.Machines {
+		machines[i] = resolveMachine(m)
+	}
+
+	procsLen := len(sp.Procs)
+	if procsLen == 0 {
+		procsLen = 1
+	}
+	pre := make([]preResolved, len(specs))
+	idx := 0
+	for range sp.Ns {
+		for si := range sp.Stencils {
+			for hi := range sp.Shapes {
+				// The problem depends only on (n, stencil, shape) — and
+				// on the op's N default, constant across the space — so
+				// one construction covers the machines × procs block.
+				var prob core.Problem
+				var probErr error
+				axisErr := stencils[si].err
+				if axisErr == nil {
+					axisErr = shapeErr[hi]
+				}
+				if axisErr == nil {
+					prob, probErr = specs[idx].problemFor(stencils[si].st, shapeVal[hi])
+				}
+				for mi := range sp.Machines {
+					for q := 0; q < procsLen; q++ {
+						p := &pre[idx]
+						if axisErr != nil {
+							p.err = axisErr
+						} else {
+							p.r, p.err = resolvedFromParts(specs[idx], prob, probErr,
+								stencils[si].code, shapeVal[hi], machines[mi])
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return pre
+}
+
+// runSpeedupBatched evaluates an OpSpeedup space whose processor axis
+// has length groupLen. Expand keeps the procs axis innermost, so specs
+// come in contiguous groups sharing one (problem, machine) pair; each
+// group probes the cache for all members, then computes the absentees
+// with a single validated batch (core.SpeedupBatch — one serial-time
+// and one cycle-curve evaluation per group) instead of |Procs|
+// independent evaluations, and fans the results out.
+func (e *Engine) runSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved) ([]Result, error) {
+	results := make([]Result, len(specs))
+	done := make([]bool, len(specs))
+	groups := len(specs) / groupLen
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+	workers := e.workers
+	if groups < workers {
+		workers = groups
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(cursor.Add(1)) - 1
+				if g >= groups || ctx.Err() != nil {
+					return
+				}
+				base := g * groupLen
+				out := e.evalSpeedupGroup(ctx.Done(), specs[base:base+groupLen], pre[base:base+groupLen], base)
+				if out == nil {
+					return // cancelled mid-group
+				}
+				// Groups own disjoint index ranges, so no lock is
+				// needed; wg.Wait orders these writes before the reads
+				// below.
+				for i, r := range out {
+					results[base+i] = r
+					done[base+i] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !done[i] {
+				results[i] = Result{Index: i, Spec: specs[i], Err: err}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// evalSpeedupGroup answers one contiguous procs group. It returns nil
+// if the caller's cancel fired while probing or computing; otherwise
+// one Result per member. Cache hits are served individually; the
+// misses share one batched computation under a single semaphore slot
+// and are inserted into the cache so later sweeps hit.
+func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []preResolved, base int) []Result {
+	out := make([]Result, len(specs))
+	missIdx := make([]int, 0, len(specs))
+	for i, s := range specs {
+		if pre[i].err != nil {
+			e.keyErrors.Add(1)
+			out[i] = result(base+i, s, outcome{err: pre[i].err}, false)
+			continue
+		}
+		o, found := e.cache.peek(cancel, pre[i].r.key)
+		if found && errors.Is(o.err, ErrWaitCancelled) {
+			select {
+			case <-cancel:
+				return nil
+			default:
+				// Another caller's cancellation poisoned the entry we
+				// coalesced on; recompute it with the batch.
+				missIdx = append(missIdx, i)
+				continue
+			}
+		}
+		if found {
+			if o.err == nil {
+				e.hits.Add(1)
+			}
+			out[i] = result(base+i, s, o, o.err == nil)
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out
+	}
+	// One semaphore slot covers the whole batched group: the group is a
+	// single fused model computation, which keeps the Workers cap the
+	// bound on concurrent computations.
+	select {
+	case e.sem <- struct{}{}:
+	case <-cancel:
+		return nil
+	}
+	r := pre[missIdx[0]].r
+	procs := make([]int, len(missIdx))
+	for j, i := range missIdx {
+		procs[j] = specs[i].Procs
+	}
+	vals, errs, batchErr := core.SpeedupBatch(r.problem, r.arch, procs)
+	<-e.sem
+	for j, i := range missIdx {
+		var o outcome
+		switch {
+		case batchErr != nil:
+			o = outcome{err: batchErr}
+		case errs[j] != nil:
+			o = outcome{err: errs[j]}
+		default:
+			o = outcome{value: vals[j]}
+		}
+		e.evals.Add(1)
+		if o.err != nil {
+			e.errors.Add(1)
+		} else {
+			e.cache.put(pre[i].r.key, o)
+		}
+		out[i] = result(base+i, specs[i], o, false)
+	}
+	return out
 }

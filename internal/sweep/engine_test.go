@@ -152,7 +152,7 @@ func TestCoalescedErrorNotAHit(t *testing.T) {
 	c := newCache(8)
 	started := make(chan struct{})
 	release := make(chan struct{})
-	go c.getOrCompute(nil, "failing", func() outcome {
+	go c.getOrCompute(nil, specKey{n: 101}, func() outcome {
 		close(started)
 		<-release
 		return outcome{err: errors.New("model error")}
@@ -162,7 +162,7 @@ func TestCoalescedErrorNotAHit(t *testing.T) {
 	waiterUp := make(chan struct{})
 	go func() {
 		close(waiterUp)
-		_, hit := c.getOrCompute(nil, "failing", func() outcome {
+		_, hit := c.getOrCompute(nil, specKey{n: 101}, func() outcome {
 			t.Error("waiter recomputed a coalesced key")
 			return outcome{}
 		})
@@ -464,7 +464,7 @@ func TestCoalescedWaiterReleasedOnCancel(t *testing.T) {
 	c := newCache(8)
 	started := make(chan struct{})
 	release := make(chan struct{})
-	go c.getOrCompute(nil, "slow", func() outcome {
+	go c.getOrCompute(nil, specKey{n: 102}, func() outcome {
 		close(started)
 		<-release
 		return outcome{grid: 1}
@@ -472,7 +472,7 @@ func TestCoalescedWaiterReleasedOnCancel(t *testing.T) {
 	<-started
 	cancel := make(chan struct{})
 	close(cancel)
-	out, hit := c.getOrCompute(cancel, "slow", func() outcome {
+	out, hit := c.getOrCompute(cancel, specKey{n: 102}, func() outcome {
 		t.Error("waiter recomputed a coalesced key")
 		return outcome{}
 	})
@@ -481,7 +481,7 @@ func TestCoalescedWaiterReleasedOnCancel(t *testing.T) {
 	}
 	close(release)
 	// The original computation still completes and fills the cache.
-	out, hit = c.getOrCompute(nil, "slow", func() outcome {
+	out, hit = c.getOrCompute(nil, specKey{n: 102}, func() outcome {
 		t.Error("completed key recomputed")
 		return outcome{}
 	})

@@ -1,0 +1,352 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"optspeed/internal/core"
+)
+
+// keyTestSpecs enumerates specs across every op × machine-type
+// combination, plus variations of each op-relevant field and
+// implicit/explicit machine defaults, so the equivalence test sees both
+// specs that must share a key and specs that must not.
+func keyTestSpecs() []Spec {
+	var specs []Spec
+	ops := []Op{OpOptimize, OpOptimizeSnapped, OpSpeedup, OpMinGrid, OpIsoeffGrid, OpScaled, ""}
+	machines := []core.MachineSpec{}
+	for _, typ := range core.MachineTypes() {
+		machines = append(machines,
+			core.MachineSpec{Type: typ},
+			core.MachineSpec{Type: typ, Procs: 32},
+			core.MachineSpec{Type: typ, Tflp: core.DefaultTflp}, // explicit default = implicit
+			core.MachineSpec{Type: typ, Tflp: 2 * core.DefaultTflp},
+		)
+	}
+	for _, op := range ops {
+		for _, m := range machines {
+			for _, n := range []int{0, 64, 128} {
+				for _, procs := range []int{0, 8} {
+					specs = append(specs, Spec{
+						Op: op, N: n, Stencil: "5-point", Shape: "square",
+						Machine: m, Procs: procs, Target: 0.5, PointsPerProc: 64,
+					})
+				}
+			}
+			specs = append(specs,
+				Spec{Op: op, N: 64, Stencil: "9-point", Shape: "square", Machine: m, Procs: 8, Target: 0.5, PointsPerProc: 64},
+				Spec{Op: op, N: 64, Stencil: "5-point", Shape: "strip", Machine: m, Procs: 8, Target: 0.5, PointsPerProc: 64},
+				Spec{Op: op, N: 64, Stencil: "5-point", Shape: "square", Machine: m, Procs: 8, Target: 0.75, PointsPerProc: 32},
+			)
+		}
+	}
+	return specs
+}
+
+// TestStructKeyMatchesStringKey holds the engine's struct keys to the
+// same equality classes as the string keys: for every pair of
+// resolvable specs, the struct keys are equal exactly when the string
+// keys are. This is the refactor's soundness condition — the cache
+// coalesces precisely the specs it coalesced before.
+func TestStructKeyMatchesStringKey(t *testing.T) {
+	specs := keyTestSpecs()
+	type keyed struct {
+		spec Spec
+		str  string
+		sk   specKey
+	}
+	var ks []keyed
+	for _, s := range specs {
+		// The enumeration includes some unresolvable points (N=0 on
+		// non-grid-search ops); both key forms must reject exactly the
+		// same specs, and the resolvable ones feed the class check.
+		str, strErr := s.Key()
+		r, structErr := s.resolve()
+		if (strErr == nil) != (structErr == nil) {
+			t.Fatalf("spec %+v: string key err %v, struct key err %v", s, strErr, structErr)
+		}
+		if strErr != nil {
+			continue
+		}
+		ks = append(ks, keyed{spec: s, str: str, sk: r.key})
+	}
+	if len(ks) < 500 {
+		t.Fatalf("only %d resolvable specs; enumeration too small to be meaningful", len(ks))
+	}
+	classes := map[string]int{}
+	structClasses := map[specKey]int{}
+	for _, k := range ks {
+		if _, ok := classes[k.str]; !ok {
+			classes[k.str] = len(classes)
+		}
+		if _, ok := structClasses[k.sk]; !ok {
+			structClasses[k.sk] = len(structClasses)
+		}
+	}
+	if len(classes) != len(structClasses) {
+		t.Fatalf("string keys form %d classes, struct keys %d", len(classes), len(structClasses))
+	}
+	for i := range ks {
+		for j := i + 1; j < len(ks); j++ {
+			strEq := ks[i].str == ks[j].str
+			structEq := ks[i].sk == ks[j].sk
+			if strEq != structEq {
+				t.Fatalf("key class mismatch:\n  %+v\n  %+v\nstring equal %t, struct equal %t\n(%q vs %q)",
+					ks[i].spec, ks[j].spec, strEq, structEq, ks[i].str, ks[j].str)
+			}
+		}
+	}
+}
+
+// TestStructKeyUnresolvableMatchesStringKey checks that the struct path
+// rejects exactly the specs the string path rejects.
+func TestStructKeyUnresolvableMatchesStringKey(t *testing.T) {
+	bad := []Spec{
+		{Stencil: "7-point", Shape: "square", Machine: core.MachineSpec{Type: "mesh"}, N: 64},
+		{Stencil: "5-point", Shape: "hexagon", Machine: core.MachineSpec{Type: "mesh"}, N: 64},
+		{Stencil: "5-point", Shape: "square", Machine: core.MachineSpec{Type: "torus"}, N: 64},
+		{Stencil: "5-point", Shape: "square", Machine: core.MachineSpec{Type: "mesh"}, N: -1},
+		{Op: "transmogrify", Stencil: "5-point", Shape: "square", Machine: core.MachineSpec{Type: "mesh"}, N: 64},
+	}
+	for _, s := range bad {
+		_, strErr := s.Key()
+		_, structErr := s.resolve()
+		if (strErr == nil) != (structErr == nil) {
+			t.Fatalf("spec %+v: string key err %v, struct key err %v", s, strErr, structErr)
+		}
+		if strErr == nil {
+			t.Fatalf("spec %+v unexpectedly resolvable", s)
+		}
+	}
+}
+
+// TestNaNFieldsRejectedAtResolve guards the comparable key's map
+// semantics: NaN != NaN, so a NaN smuggled into a specKey field would
+// make the cache entry unfindable and undeletable (a permanent miss
+// that leaks an index entry per evaluation). Such specs must fail
+// resolution and never reach the cache.
+func TestNaNFieldsRejectedAtResolve(t *testing.T) {
+	nan := math.NaN()
+	bad := []Spec{
+		{Op: OpIsoeffGrid, Stencil: "5-point", Shape: "square",
+			Machine: core.MachineSpec{Type: "sync-bus"}, Procs: 8, Target: nan},
+		{Op: OpScaled, N: 64, Stencil: "5-point", Shape: "square",
+			Machine: core.MachineSpec{Type: "hypercube"}, PointsPerProc: nan},
+		{N: 64, Stencil: "5-point", Shape: "square",
+			Machine: core.MachineSpec{Type: "hypercube", Alpha: nan}},
+	}
+	e := New(Options{Workers: 1, CacheSize: 4})
+	for _, s := range bad {
+		if _, err := s.resolve(); err == nil {
+			t.Fatalf("spec %+v with NaN field resolved", s)
+		}
+		if _, err := s.Key(); err == nil {
+			t.Fatalf("spec %+v with NaN field produced a string key", s)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := e.Evaluate(context.Background(), s); err == nil {
+				t.Fatalf("spec %+v with NaN field evaluated", s)
+			}
+		}
+	}
+	if got := e.cache.len(); got != 0 {
+		t.Fatalf("NaN specs leaked %d cache entries", got)
+	}
+}
+
+// TestResolveAndLookupAllocBudget pins the hot path's allocation
+// budget: resolving a spec and answering it from the warm cache must
+// cost at most 2 allocations (the interface box in
+// MachineSpec.Machine is the only expected one; the budget leaves one
+// spare so a compiler-version wobble doesn't flake the suite).
+func TestResolveAndLookupAllocBudget(t *testing.T) {
+	e := New(Options{Workers: 1})
+	spec := Spec{N: 256, Stencil: "5-point", Shape: "square", Machine: core.MachineSpec{Type: "sync-bus"}}
+	if _, err := e.Evaluate(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, hit := e.eval(nil, spec)
+		if out.err != nil || !hit {
+			t.Fatalf("warm eval failed: err=%v hit=%t", out.err, hit)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("resolve+lookup allocates %.1f/op, budget is 2", allocs)
+	}
+}
+
+// TestResolveOnlyAllocBudget pins spec resolution alone (problem,
+// machine, struct key) to the same budget.
+func TestResolveOnlyAllocBudget(t *testing.T) {
+	spec := Spec{Op: OpSpeedup, N: 512, Stencil: "9-point", Shape: "strip",
+		Machine: core.MachineSpec{Type: "hypercube"}, Procs: 64}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := spec.resolve(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("resolve allocates %.1f/op, budget is 2", allocs)
+	}
+}
+
+// TestCacheConcurrentEvictionStress hammers a tiny sharded cache from
+// many goroutines with overlapping keys — far more keys than capacity,
+// so eviction, coalescing, put, and peek race continuously — and
+// checks every returned outcome is the right one for its key.
+func TestCacheConcurrentEvictionStress(t *testing.T) {
+	c := newCache(8)
+	const (
+		goroutines = 16
+		iters      = 400
+		keys       = 64
+	)
+	keyFor := func(i int) specKey { return specKey{n: int64(i), procs: int64(i * 3)} }
+	wantGrid := func(i int) int { return i*7 + 1 }
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g*31 + it*17) % keys
+				k := keyFor(i)
+				switch it % 3 {
+				case 0:
+					out, _ := c.getOrCompute(nil, k, func() outcome {
+						return outcome{grid: wantGrid(i)}
+					})
+					if out.err != nil || out.grid != wantGrid(i) {
+						errs <- fmt.Errorf("key %d: got %+v", i, out)
+						return
+					}
+				case 1:
+					c.put(k, outcome{grid: wantGrid(i)})
+				case 2:
+					if out, ok := c.peek(nil, k); ok && (out.err != nil || out.grid != wantGrid(i)) {
+						errs <- fmt.Errorf("peek key %d: got %+v", i, out)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.len(); got > 8+8 { // capacity plus shard slack
+		t.Fatalf("cache holds %d entries, capacity 8 (+slack)", got)
+	}
+}
+
+// TestCachePutRespectsResidents ensures put never replaces a resident
+// entry (which may have waiters parked on its done channel) and drops
+// errored outcomes.
+func TestCachePutRespectsResidents(t *testing.T) {
+	c := newCache(8)
+	k := specKey{n: 7}
+	c.put(k, outcome{grid: 1})
+	c.put(k, outcome{grid: 2})
+	if out, ok := c.peek(nil, k); !ok || out.grid != 1 {
+		t.Fatalf("put replaced a resident entry: %+v ok=%t", out, ok)
+	}
+	bad := specKey{n: 8}
+	c.put(bad, outcome{err: fmt.Errorf("boom")})
+	if _, ok := c.peek(nil, bad); ok {
+		t.Fatal("errored outcome was cached")
+	}
+}
+
+// TestRunSpaceBatchedSpeedupMatchesIndividual checks the batched
+// OpSpeedup fast path against per-spec evaluation: identical values
+// and identical error messages, including out-of-range processor
+// counts mixed into the axis.
+func TestRunSpaceBatchedSpeedupMatchesIndividual(t *testing.T) {
+	sp := Space{
+		Op:       OpSpeedup,
+		Ns:       []int{32, 64},
+		Stencils: []string{"5-point", "9-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{
+			{Type: "sync-bus"}, {Type: "hypercube"}, {Type: "banyan", Procs: 16},
+		},
+		// 0 and 4096 are out of range for some (shape, n) pairs: the
+		// batch must reproduce the exact per-spec range errors.
+		Procs: []int{0, 1, 2, 16, 33, 4096},
+	}
+	batched := New(Options{Workers: 4})
+	got, err := batched.RunSpace(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	individual := New(Options{Workers: 4})
+	specs := sp.Expand()
+	if len(got) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(got), len(specs))
+	}
+	for i, s := range specs {
+		want, wantErr := individual.Evaluate(context.Background(), s)
+		r := got[i]
+		if (r.Err == nil) != (wantErr == nil) {
+			t.Fatalf("spec %d (%+v): batched err %v, individual err %v", i, s, r.Err, wantErr)
+		}
+		if r.Err != nil {
+			if r.Err.Error() != wantErr.Error() {
+				t.Fatalf("spec %d: batched err %q, individual err %q", i, r.Err, wantErr)
+			}
+			continue
+		}
+		if r.Value != want.Value {
+			t.Fatalf("spec %d (%+v): batched value %g, individual %g", i, s, r.Value, want.Value)
+		}
+	}
+	// A repeat of the same space must be answered from cache.
+	again, err := batched.RunSpace(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range again {
+		if r.Err == nil && !r.CacheHit {
+			t.Fatalf("spec %d not served from cache on repeat", i)
+		}
+		if r.Value != got[i].Value {
+			t.Fatalf("spec %d: repeat value %g != first %g", i, r.Value, got[i].Value)
+		}
+	}
+}
+
+// TestRunSpacePreResolutionErrorParity checks that the space
+// pre-resolution path reports the same per-spec errors, with the same
+// precedence, as per-spec resolution.
+func TestRunSpacePreResolutionErrorParity(t *testing.T) {
+	sp := Space{
+		Op:       OpOptimize,
+		Ns:       []int{0, 64},
+		Stencils: []string{"5-point", "no-such-stencil"},
+		Shapes:   []string{"square", "triangle"},
+		Machines: []core.MachineSpec{{Type: "mesh"}, {Type: "no-such-machine"}},
+	}
+	e := New(Options{Workers: 2})
+	got, err := e.RunSpace(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sp.Expand()
+	for i, s := range specs {
+		_, wantErr := s.resolve()
+		r := got[i]
+		if (r.Err == nil) != (wantErr == nil) {
+			t.Fatalf("spec %d (%+v): RunSpace err %v, resolve err %v", i, s, r.Err, wantErr)
+		}
+		if wantErr != nil && r.Err.Error() != wantErr.Error() {
+			t.Fatalf("spec %d (%+v): RunSpace err %q, resolve err %q", i, s, r.Err, wantErr)
+		}
+	}
+}

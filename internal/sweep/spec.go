@@ -116,43 +116,114 @@ func (s Spec) Validate() error {
 type resolved struct {
 	problem core.Problem
 	arch    core.Architecture
-	key     string
+	key     specKey
+}
+
+// machResolved is one machine's resolution, shared between per-spec
+// resolution and the space pre-resolution pass (which materializes each
+// machine axis value once). Exactly one of {arch, canon, mk} / err is
+// meaningful.
+type machResolved struct {
+	arch  core.Architecture
+	canon core.MachineSpec
+	mk    machKey
+	err   error
+}
+
+// resolveMachine materializes a machine spec once: default filling and
+// validation (Machine), canonicalization (SpecFor of the materialized
+// machine is canonical by construction, so no second round-trip), and
+// the struct key fields.
+func resolveMachine(m core.MachineSpec) machResolved {
+	arch, err := m.Machine()
+	if err != nil {
+		return machResolved{err: err}
+	}
+	canon, err := core.SpecFor(arch)
+	if err != nil {
+		return machResolved{err: err}
+	}
+	mk, err := machKeyFor(canon)
+	if err != nil {
+		return machResolved{err: err}
+	}
+	return machResolved{arch: arch, canon: canon, mk: mk}
+}
+
+// problemFor materializes the spec's problem from pre-resolved stencil
+// and shape values, applying the grid-search seed default.
+func (s Spec) problemFor(st stencil.Stencil, sh partition.Shape) (core.Problem, error) {
+	n := s.N
+	if n == 0 {
+		switch s.op() {
+		case OpMinGrid, OpIsoeffGrid:
+			n = DefaultSeedN
+		}
+	}
+	return core.NewProblem(n, st, sh)
+}
+
+// resolvedFromParts composes a spec's resolution from its materialized
+// parts. It is the single definition of per-spec error precedence —
+// problem before machine before key — used by both resolve and the
+// space pre-resolution pass, so RunSpace and Run report identical
+// errors by construction.
+func resolvedFromParts(s Spec, prob core.Problem, probErr error, stCode uint8, sh partition.Shape, mach machResolved) (resolved, error) {
+	if probErr != nil {
+		return resolved{}, probErr
+	}
+	if mach.err != nil {
+		return resolved{}, mach.err
+	}
+	key, err := buildKey(s, stCode, sh, mach.mk)
+	if err != nil {
+		return resolved{}, err
+	}
+	return resolved{problem: prob, arch: mach.arch, key: key}, nil
 }
 
 // resolve validates the spec and materializes its problem, machine, and
-// canonical key in one pass.
+// struct cache key in one pass. The only allocation on this path is the
+// one interface box inside MachineSpec.Machine; everything else stays
+// on the stack (asserted by TestResolveAndLookupAllocBudget).
 func (s Spec) resolve() (resolved, error) {
-	p, err := s.Problem()
+	st, ok := stencil.ByName(s.Stencil)
+	if !ok {
+		return resolved{}, fmt.Errorf("sweep: unknown stencil %q", s.Stencil)
+	}
+	stCode, _ := stencilCode(s.Stencil)
+	sh, err := ParseShape(s.Shape)
 	if err != nil {
 		return resolved{}, err
 	}
-	arch, err := s.Machine.Machine()
-	if err != nil {
-		return resolved{}, err
-	}
-	// SpecFor of a materialized machine is canonical by construction, so
-	// its KeyString needs no second Machine round-trip.
-	canon, err := core.SpecFor(arch)
-	if err != nil {
-		return resolved{}, err
-	}
-	key, err := s.opKey(canon.KeyString())
-	if err != nil {
-		return resolved{}, err
-	}
-	return resolved{problem: p, arch: arch, key: key}, nil
+	prob, probErr := s.problemFor(st, sh)
+	return resolvedFromParts(s, prob, probErr, stCode, sh, resolveMachine(s.Machine))
 }
 
-// Key returns the canonical memoization key of the spec: two specs that
-// evaluate the same model point (after machine default filling) share a
-// key. Fields irrelevant to the spec's op are excluded, so e.g. a
-// leftover Target does not split the cache for an optimize spec.
+// Key returns the canonical memoization key of the spec as a string:
+// two specs that evaluate the same model point (after machine default
+// filling) share a key. Fields irrelevant to the spec's op are
+// excluded, so e.g. a leftover Target does not split the cache for an
+// optimize spec. The engine itself caches on an equivalent fixed-size
+// struct key; this formatter serves the service and debug surfaces,
+// and the key-equivalence tests hold the two forms to the same
+// equality classes.
 func (s Spec) Key() (string, error) {
-	r, err := s.resolve()
+	st, ok := stencil.ByName(s.Stencil)
+	if !ok {
+		return "", fmt.Errorf("sweep: unknown stencil %q", s.Stencil)
+	}
+	stCode, _ := stencilCode(s.Stencil)
+	sh, err := ParseShape(s.Shape)
 	if err != nil {
 		return "", err
 	}
-	return r.key, nil
+	mach := resolveMachine(s.Machine)
+	prob, probErr := s.problemFor(st, sh)
+	if _, err := resolvedFromParts(s, prob, probErr, stCode, sh, mach); err != nil {
+		return "", err
+	}
+	return s.opKey(mach.canon.KeyString())
 }
 
 // opKey composes the spec key from the machine key and the fields the
