@@ -1,0 +1,179 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optspeed/client"
+)
+
+// TestRetryOnTransient5xx: idempotent reads retry past 5xx responses
+// and succeed once the server recovers.
+func TestRetryOnTransient5xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(client.Job{ID: "j1", Kind: "sweep", State: client.JobSucceeded})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j1" || calls.Load() != 3 {
+		t.Fatalf("job %+v after %d calls", job, calls.Load())
+	}
+}
+
+// TestRetriesExhausted: a persistently failing read surfaces the last
+// APIError after the configured attempts.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Job(context.Background(), "j1")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("error %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// TestWritesNeverRetried: submissions are not idempotent and must run
+// exactly once even when they fail retryably.
+func TestWritesNeverRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitSweep(context.Background(), client.SweepRequest{}); err == nil {
+		t.Fatal("failed submit reported success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("submit ran %d times, want exactly 1", calls.Load())
+	}
+}
+
+// TestRetryBackoffHonorsContext: cancelling mid-backoff aborts promptly
+// with the context error instead of sleeping out the schedule.
+func TestRetryBackoffHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(10, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Job(ctx, "j1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop slept %v past its context", elapsed)
+	}
+}
+
+// TestWaitHonorsContext: polling a never-finishing job stops with the
+// context.
+func TestWaitHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(client.Job{ID: "j1", State: client.JobRunning})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Wait(ctx, "j1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait returned %v, want deadline exceeded", err)
+	}
+}
+
+// TestAPIErrorEnvelope: the v2 envelope decodes into a typed APIError.
+func TestAPIErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":{"code":"not_found","message":"no such job","request_id":"rid-1"}}`))
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Job(context.Background(), "nope")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v", err)
+	}
+	if apiErr.Status != 404 || apiErr.Code != "not_found" || apiErr.RequestID != "rid-1" {
+		t.Fatalf("APIError %+v", apiErr)
+	}
+}
+
+func TestBadBaseURL(t *testing.T) {
+	for _, raw := range []string{"", "not a url", "localhost:8080"} {
+		if _, err := client.New(raw); err == nil {
+			t.Fatalf("New(%q) accepted a bad base URL", raw)
+		}
+	}
+}
+
+// TestNegativeRetriesStillRequests: a bogus negative retry count must
+// not zero out the attempt loop and fabricate empty successes.
+func TestNegativeRetriesStillRequests(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(client.Job{ID: "j1", State: client.JobSucceeded})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(-5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Job(context.Background(), "j1")
+	if err != nil || job.ID != "j1" {
+		t.Fatalf("job %+v, err %v", job, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d requests issued, want 1", calls.Load())
+	}
+}

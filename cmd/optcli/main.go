@@ -1,0 +1,295 @@
+// Command optcli is the command-line client for the optspeedd v2 job
+// API, built on the optspeed/client SDK.
+//
+// Usage:
+//
+//	optcli [-server URL] <command> [flags] [args]
+//
+// Commands:
+//
+//	optimize  -n N -stencil S -shape SH -machine TYPE [-snapped]
+//	          submit one optimize query, wait, and print its result
+//	submit    -f sweep.json ("-" = stdin)
+//	          submit a sweep job and print the accepted job
+//	status    JOB_ID        print a job's status and progress
+//	wait      JOB_ID        block until the job is terminal
+//	results   JOB_ID [-cursor C] [-limit N] [-follow]
+//	          print result pages as JSON lines; -follow tracks a
+//	          running job until it completes
+//	cancel    JOB_ID        request cancellation
+//	jobs                    list resident jobs
+//	stream    -f sweep.json ("-" = stdin)
+//	          stream results as they are computed, one JSON line each
+//
+// The sweep file is the API's sweep body, e.g.:
+//
+//	{"space":{"ns":[256,512],"stencils":["5-point"],"shapes":["square"],
+//	          "machines":[{"type":"sync-bus"}],"op":"speedup","procs":[2,4,8]}}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"optspeed/client"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "optspeedd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c, err := client.New(*server)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := run(ctx, c, cmd, args); err != nil {
+		fatal(err)
+	}
+}
+
+func run(ctx context.Context, c *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "optimize":
+		return cmdOptimize(ctx, c, args)
+	case "submit":
+		return cmdSubmit(ctx, c, args)
+	case "status":
+		return cmdStatus(ctx, c, args)
+	case "wait":
+		return cmdWait(ctx, c, args)
+	case "results":
+		return cmdResults(ctx, c, args)
+	case "cancel":
+		return cmdCancel(ctx, c, args)
+	case "jobs":
+		return cmdJobs(ctx, c)
+	case "stream":
+		return cmdStream(ctx, c, args)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: optcli [-server URL] {optimize|submit|status|wait|results|cancel|jobs|stream} ...")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "optcli: %v\n", err)
+	os.Exit(1)
+}
+
+// printJSON writes one indented JSON document to stdout.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// printLine writes one compact JSON line to stdout (NDJSON-friendly).
+func printLine(v any) error {
+	return json.NewEncoder(os.Stdout).Encode(v)
+}
+
+// readSweep loads the sweep body from -f (a path or "-" for stdin).
+func readSweep(args []string, cmd string) (client.SweepRequest, []string, error) {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	file := fs.String("f", "", "sweep request JSON file (\"-\" = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return client.SweepRequest{}, nil, err
+	}
+	if *file == "" {
+		return client.SweepRequest{}, nil, fmt.Errorf("%s: -f FILE is required", cmd)
+	}
+	var raw []byte
+	var err error
+	if *file == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		return client.SweepRequest{}, nil, err
+	}
+	var req client.SweepRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return client.SweepRequest{}, nil, fmt.Errorf("%s: parse %s: %w", cmd, *file, err)
+	}
+	return req, fs.Args(), nil
+}
+
+func jobID(args []string, cmd string) (string, error) {
+	if len(args) != 1 || args[0] == "" {
+		return "", fmt.Errorf("%s: exactly one JOB_ID argument expected", cmd)
+	}
+	return args[0], nil
+}
+
+func cmdOptimize(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	n := fs.Int("n", 512, "grid size")
+	st := fs.String("stencil", "5-point", "stencil name")
+	sh := fs.String("shape", "square", "partition shape (strip|square)")
+	machine := fs.String("machine", "sync-bus", "machine type or full machine-spec JSON")
+	snapped := fs.Bool("snapped", false, "snap squares to working rectangles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec client.MachineSpec
+	if len(*machine) > 0 && (*machine)[0] == '{' {
+		if err := json.Unmarshal([]byte(*machine), &spec); err != nil {
+			return fmt.Errorf("optimize: parse -machine: %w", err)
+		}
+	} else {
+		spec.Type = *machine
+	}
+	res, err := c.Optimize(ctx, client.OptimizeRequest{
+		N: *n, Stencil: *st, Shape: *sh, Machine: spec, Snapped: *snapped,
+	})
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+	req, _, err := readSweep(args, "submit")
+	if err != nil {
+		return err
+	}
+	job, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
+	id, err := jobID(args, "status")
+	if err != nil {
+		return err
+	}
+	job, err := c.Job(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func cmdWait(ctx context.Context, c *client.Client, args []string) error {
+	id, err := jobID(args, "wait")
+	if err != nil {
+		return err
+	}
+	job, err := c.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func cmdResults(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("results", flag.ContinueOnError)
+	cursor := fs.String("cursor", "", "resume cursor from a previous page")
+	limit := fs.Int("limit", 0, "page size (0 = server default)")
+	follow := fs.Bool("follow", false, "keep reading until the job is terminal and fully read")
+	// Accept "results JOB_ID -follow" as well as "results -follow JOB_ID":
+	// a leading non-flag argument is the job id.
+	var id string
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" {
+		var err error
+		id, err = jobID(fs.Args(), "results")
+		if err != nil {
+			return err
+		}
+	} else if len(fs.Args()) != 0 {
+		return fmt.Errorf("results: unexpected arguments %v", fs.Args())
+	}
+	if *follow {
+		if *limit != 0 {
+			return fmt.Errorf("results: -limit sizes one page and does not combine with -follow")
+		}
+		it := c.JobResultsFrom(ctx, id, *cursor)
+		for it.Next() {
+			if err := printLine(it.Result()); err != nil {
+				return err
+			}
+		}
+		return it.Err()
+	}
+	page, err := c.Results(ctx, id, *cursor, *limit)
+	if err != nil {
+		return err
+	}
+	for _, r := range page.Results {
+		if err := printLine(r); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "optcli: state=%s next_cursor=%s done=%v\n",
+		page.State, page.NextCursor, page.Done)
+	return nil
+}
+
+func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
+	id, err := jobID(args, "cancel")
+	if err != nil {
+		return err
+	}
+	job, err := c.Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func cmdJobs(ctx context.Context, c *client.Client) error {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(jobs)
+}
+
+func cmdStream(ctx context.Context, c *client.Client, args []string) error {
+	req, _, err := readSweep(args, "stream")
+	if err != nil {
+		return err
+	}
+	st, err := c.StreamSweep(ctx, req)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	for st.Next() {
+		if err := printLine(st.Result()); err != nil {
+			return err
+		}
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "optcli: stream done: %+v\n", *st.Stats())
+	return nil
+}

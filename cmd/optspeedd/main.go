@@ -1,20 +1,36 @@
 // Command optspeedd serves the Nicol-Willard optimal-speedup model over
-// HTTP: single queries (POST /v1/optimize), batched Cartesian sweeps
-// backed by the sharded sweep engine and its memoization cache
-// (POST /v1/sweep), and the machine catalog (GET /v1/architectures).
-// GET /v1/metrics exposes per-endpoint latency and cache statistics.
+// HTTP.
+//
+// The v1 surface is synchronous: single queries (POST /v1/optimize),
+// batched Cartesian sweeps backed by the sharded sweep engine and its
+// memoization cache (POST /v1/sweep), the machine catalog
+// (GET /v1/architectures), and per-endpoint latency plus cache
+// statistics (GET /v1/metrics).
+//
+// The v2 surface is job-oriented: POST /v2/jobs submits a sweep or
+// optimize job and returns immediately; the job is then polled
+// (GET /v2/jobs/{id}), paginated (GET /v2/jobs/{id}/results), or
+// cancelled (DELETE /v2/jobs/{id}). POST /v2/sweeps/stream streams
+// results as NDJSON while they are computed — that route clears its own
+// write deadline, so long streams are exempt from the blanket
+// -write-timeout below.
+//
+// Every response carries an X-Request-ID (honored from the request when
+// present), and each request is logged as one structured (slog) line.
 //
 // Usage:
 //
-//	optspeedd -addr :8080 -workers 8 -cache 8192
+//	optspeedd -addr :8080 -workers 8 -cache 8192 -job-ttl 15m
 //
-// Example query:
+// Example queries:
 //
 //	curl -s localhost:8080/v1/optimize -d \
 //	  '{"n":512,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}}'
+//	curl -s localhost:8080/v2/jobs -d \
+//	  '{"sweep":{"space":{"ns":[256,512],"stencils":["5-point"],"shapes":["square"],"machines":[{"type":"sync-bus"}]}}}'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain seconds.
+// requests for up to -drain seconds and cancelling resident jobs.
 package main
 
 import (
@@ -22,13 +38,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"optspeed/internal/jobs"
 	"optspeed/internal/service"
 	"optspeed/internal/sweep"
 )
@@ -39,12 +56,23 @@ func main() {
 		workers  = flag.Int("workers", 0, "evaluation pool size, shared across all requests (0 = GOMAXPROCS)")
 		cacheSz  = flag.Int("cache", sweep.DefaultCacheSize, "result cache capacity in specs")
 		maxSweep = flag.Int("max-sweep", service.DefaultMaxSweepSpecs, "max specs per sweep request")
+		jobCap   = flag.Int("job-capacity", jobs.DefaultCapacity, "max resident v2 jobs (running + retained)")
+		jobTTL   = flag.Duration("job-ttl", jobs.DefaultTTL, "retention of finished v2 jobs")
+		wTimeout = flag.Duration("write-timeout", 5*time.Minute, "response write timeout (streaming routes exempt themselves)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	engine := sweep.New(sweep.Options{Workers: *workers, CacheSize: *cacheSz})
-	srv := service.New(service.Config{Engine: engine, MaxSweepSpecs: *maxSweep})
+	srv := service.New(service.Config{
+		Engine:        engine,
+		MaxSweepSpecs: *maxSweep,
+		JobCapacity:   *jobCap,
+		JobTTL:        *jobTTL,
+		Logger:        logger,
+	})
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -53,9 +81,11 @@ func main() {
 		// Bound slow-body and idle connections so trickling clients
 		// cannot pin goroutines and file descriptors; writes get a
 		// generous ceiling since maximum-size sweeps take a while to
-		// evaluate and serialize.
+		// evaluate and serialize. The NDJSON streaming route clears its
+		// own write deadline via http.ResponseController, so it is not
+		// severed by this blanket timeout.
 		ReadTimeout:  time.Minute,
-		WriteTimeout: 5 * time.Minute,
+		WriteTimeout: *wTimeout,
 		IdleTimeout:  2 * time.Minute,
 	}
 
@@ -64,7 +94,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("optspeedd listening on %s", *addr)
+		logger.Info("optspeedd listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -75,7 +105,7 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("optspeedd: shutting down (draining up to %s)", *drain)
+		logger.Info("optspeedd shutting down", "drain", *drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -83,5 +113,5 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	log.Printf("optspeedd: stopped")
+	logger.Info("optspeedd stopped")
 }

@@ -1,68 +1,136 @@
-// Capacity planning with the paper's Fig. 7 machinery: you are buying a
-// shared-bus machine — how many processors can your workloads actually
-// exploit, and what is the smallest problem that justifies a given
-// machine size?
+// Capacity planning with the paper's Fig. 7 machinery, driven entirely
+// through the HTTP API and the optspeed/client SDK: the example starts
+// an in-process optspeedd server, submits a sweep job, follows its
+// results with the SDK iterator, and streams a second sweep over NDJSON
+// — the same workflow a remote capacity-planning client would run
+// against a shared daemon.
 //
 //	go run ./examples/capacityplan
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
-	"optspeed"
+	"optspeed/client"
+	"optspeed/internal/service"
 )
 
 func main() {
-	bus := optspeed.DefaultSyncBus(0)
+	// An in-process server: the same service cmd/optspeedd runs, on a
+	// loopback port. A real deployment would point the client at a
+	// shared daemon instead.
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
 
-	fmt.Println("Largest processor count each workload can gainfully use")
+	c, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// --- 1: an async job, polled and paginated through the SDK ---
+	//
+	// Optimal processor allocation per workload: how many processors
+	// does the speedup-maximizing allocation actually use on a shared
+	// bus with square partitions?
+	ns := []int{128, 256, 512, 1024}
+	stencils := []string{"5-point", "9-point"}
+	job, err := c.SubmitSweep(ctx, client.SweepRequest{Space: &client.Space{
+		Ns:       ns,
+		Stencils: stencils,
+		Shapes:   []string{"square"},
+		Machines: []client.MachineSpec{{Type: "sync-bus"}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted job %s (%s)\n", job.ID, job.State)
+	fin, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: %s (%d/%d specs, %d cache hits)\n\n",
+		fin.ID, fin.State, fin.Progress.Completed, fin.Progress.Total, fin.Progress.CacheHits)
+
+	// The space expands with stencils as the second axis, so Index
+	// decodes back to (n, stencil).
+	optProcs := map[[2]int]int{} // (nIdx, stencilIdx) -> procs
+	it := c.JobResults(ctx, job.ID)
+	for it.Next() {
+		r := it.Result()
+		if r.Error != "" {
+			log.Fatalf("spec %d failed: %s", r.Index, r.Error)
+		}
+		optProcs[[2]int{r.Index / len(stencils), r.Index % len(stencils)}] = r.Procs
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Optimal processor count per workload")
 	fmt.Println("(synchronous bus, square partitions):")
 	fmt.Println()
 	fmt.Println("workload             5-point  9-point")
-	for _, n := range []int{128, 256, 512, 1024} {
-		p5, err := optspeed.NewProblem(n, optspeed.FivePoint, optspeed.Square)
-		if err != nil {
-			log.Fatal(err)
-		}
-		max5, err := optspeed.MaxGainfulProcs(p5, bus)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p9, err := optspeed.NewProblem(n, optspeed.NinePoint, optspeed.Square)
-		if err != nil {
-			log.Fatal(err)
-		}
-		max9, err := optspeed.MaxGainfulProcs(p9, bus)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%4dx%-4d grid       %7d  %7d\n", n, n, max5, max9)
+	for i, n := range ns {
+		fmt.Printf("%4dx%-4d grid       %7d  %7d\n",
+			n, n, optProcs[[2]int{i, 0}], optProcs[[2]int{i, 1}])
 	}
 	fmt.Println()
 	fmt.Println("(The paper's anchors: 256x256 5-point -> 14, 9-point -> 22.)")
 	fmt.Println()
 
+	// --- 2: a live NDJSON stream, point by point ---
+	//
+	// Smallest grid that keeps an N-processor machine fully busy (the
+	// paper's Fig. 7 in table form). Results arrive in completion
+	// order; collect them by spec and print the table afterwards.
+	procs := []int{8, 16, 24, 32}
+	var specs []client.Spec
+	for _, p := range procs {
+		specs = append(specs,
+			client.Spec{Op: "min-grid", Stencil: "5-point", Shape: "strip",
+				Machine: client.MachineSpec{Type: "sync-bus"}, Procs: p},
+			client.Spec{Op: "min-grid", Stencil: "5-point", Shape: "strip",
+				Machine: client.MachineSpec{Type: "async-bus"}, Procs: p},
+			client.Spec{Op: "min-grid", Stencil: "5-point", Shape: "square",
+				Machine: client.MachineSpec{Type: "sync-bus"}, Procs: p},
+		)
+	}
+	st, err := c.StreamSweep(ctx, client.SweepRequest{Specs: specs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	grids := make([]int, len(specs))
+	streamed := 0
+	for st.Next() {
+		r := st.Result()
+		if r.Error != "" {
+			log.Fatalf("spec %d failed: %s", r.Index, r.Error)
+		}
+		grids[r.Index] = r.Grid
+		streamed++
+	}
+	if err := st.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d min-grid points (stats %+v)\n\n", streamed, *st.Stats())
+
 	fmt.Println("Smallest grid that keeps an N-processor machine fully busy:")
 	fmt.Println()
 	fmt.Println("N    strips(sync)  strips(async)  squares")
-	async := optspeed.DefaultAsyncBus(0)
-	for _, procs := range []int{8, 16, 24, 32} {
-		pStrip, _ := optspeed.NewProblem(16, optspeed.FivePoint, optspeed.Strip)
-		pSquare, _ := optspeed.NewProblem(16, optspeed.FivePoint, optspeed.Square)
-		nSync, err := optspeed.MinGridAllProcs(pStrip, bus, procs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		nAsync, err := optspeed.MinGridAllProcs(pStrip, async, procs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		nSq, err := optspeed.MinGridAllProcs(pSquare, bus, procs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-4d %-13d %-14d %d\n", procs, nSync, nAsync, nSq)
+	for i, p := range procs {
+		fmt.Printf("%-4d %-13d %-14d %d\n", p, grids[3*i], grids[3*i+1], grids[3*i+2])
 	}
 	fmt.Println()
 	fmt.Println("Squares need far smaller problems than strips to exploit the")

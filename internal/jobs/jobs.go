@@ -1,0 +1,220 @@
+// Package jobs makes sweep evaluations first-class resources: a job is
+// submitted once, runs asynchronously on the shared sweep engine, and
+// is then polled, paginated, streamed, or cancelled by id. The package
+// holds jobs in a bounded in-memory store with TTL garbage collection
+// of terminal jobs; live progress counters are fed from the engine's
+// incremental result stream, so a caller can watch a long sweep advance
+// point by point instead of holding one HTTP request open for its whole
+// runtime.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"optspeed/internal/sweep"
+)
+
+// State is a job's lifecycle position. Transitions are linear:
+// pending → running → one of the terminal states.
+type State string
+
+const (
+	// StatePending is a job accepted but not yet started.
+	StatePending State = "pending"
+	// StateRunning is a job currently evaluating specs.
+	StateRunning State = "running"
+	// StateSucceeded is a finished job; individual specs may still have
+	// failed (see Progress.Errors and each result's error).
+	StateSucceeded State = "succeeded"
+	// StateFailed is a finished job in which every spec failed, or whose
+	// request could not be opened at all (e.g. an overflowing space).
+	StateFailed State = "failed"
+	// StateCancelled is a job stopped by DELETE or store shutdown before
+	// completion.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// Kind names what a job evaluates.
+type Kind string
+
+const (
+	// KindSweep is a batch of specs or a Cartesian space.
+	KindSweep Kind = "sweep"
+	// KindOptimize is a single optimize query run through the same
+	// machinery (the v1 adapter path).
+	KindOptimize Kind = "optimize"
+)
+
+// Progress is a job's live counters. Completed = CacheHits + Errors +
+// fresh evaluations; it reaches Total exactly when the job succeeds.
+type Progress struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	CacheHits int `json:"cache_hits"`
+	Errors    int `json:"errors"`
+}
+
+// Request describes the work one job runs. Exactly one of Specs/Space
+// should be set: a Space keeps the engine's space-aware evaluation
+// (axis pre-resolution and the batched speedup fast path), a flat spec
+// list covers explicit and mixed submissions.
+type Request struct {
+	Kind  Kind
+	Specs []sweep.Spec
+	Space *sweep.Space
+}
+
+// Snapshot is a point-in-time copy of a job's externally visible state.
+type Snapshot struct {
+	ID              string
+	Kind            Kind
+	State           State
+	CancelRequested bool
+	Created         time.Time
+	Started         time.Time
+	Finished        time.Time
+	Progress        Progress
+	// Reason explains a failed or cancelled terminal state.
+	Reason string
+}
+
+// Job is one tracked evaluation. All fields behind mu; results grow in
+// completion order and are append-only, which is what makes concurrent
+// cursor reads cheap and stable.
+type Job struct {
+	id     string
+	kind   Kind
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal transition
+
+	mu              sync.Mutex
+	state           State
+	cancelRequested bool
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	expires         time.Time // zero until terminal
+	progress        Progress
+	results         []sweep.Result
+	reason          string
+}
+
+// NewID returns a 16-hex-char random id, shared by job records and the
+// service's request-ID middleware so the whole server has one id
+// format and one failure policy (a host without entropy is broken;
+// panic rather than hand out colliding ids).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func newJob(kind Kind, now time.Time, cancel context.CancelFunc) *Job {
+	return &Job{
+		id:      NewID(),
+		kind:    kind,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StatePending,
+		created: now,
+	}
+}
+
+// Snapshot copies the job's externally visible state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:              j.id,
+		Kind:            j.kind,
+		State:           j.state,
+		CancelRequested: j.cancelRequested,
+		Created:         j.created,
+		Started:         j.started,
+		Finished:        j.finished,
+		Progress:        j.progress,
+		Reason:          j.reason,
+	}
+}
+
+// start transitions pending → running and fixes the progress
+// denominator.
+func (j *Job) start(now time.Time, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = now
+	j.progress.Total = total
+}
+
+// append records one completed result, updating the live counters.
+func (j *Job) append(r sweep.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = append(j.results, r)
+	j.progress.Completed++
+	switch {
+	case r.Err != nil:
+		j.progress.Errors++
+	case r.CacheHit:
+		j.progress.CacheHits++
+	}
+}
+
+// finish performs the terminal transition and arms the TTL clock.
+func (j *Job) finish(now time.Time, ttl time.Duration, state State, reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.reason = reason
+	j.finished = now
+	j.expires = now.Add(ttl)
+	close(j.done)
+}
+
+// requestCancel asks a non-terminal job to stop. The runner performs
+// the actual terminal transition after draining the engine stream, so
+// the job may report running (with CancelRequested set) for a moment.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	if !terminal {
+		j.cancelRequested = true
+	}
+	j.mu.Unlock()
+	if !terminal {
+		j.cancel()
+	}
+}
+
+// expired reports whether the job's retention window has passed.
+func (j *Job) expired(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.expires.IsZero() && now.After(j.expires)
+}
+
+// finishedAt returns the terminal timestamp (zero if still live).
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return time.Time{}
+	}
+	return j.finished
+}

@@ -1,0 +1,390 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"optspeed/internal/sweep"
+)
+
+// Store errors, mapped by the service onto HTTP statuses.
+var (
+	ErrNotFound  = errors.New("jobs: no such job")
+	ErrStoreFull = errors.New("jobs: job store is full")
+	ErrClosed    = errors.New("jobs: store is closed")
+	ErrBadCursor = errors.New("jobs: invalid results cursor")
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultCapacity = 1024
+	DefaultTTL      = 15 * time.Minute
+	DefaultPageSize = 256
+	MaxPageSize     = 8192
+)
+
+// Options configures a Store. Zero values take defaults.
+type Options struct {
+	// Engine is the shared evaluation engine; nil builds a default one.
+	Engine *sweep.Engine
+	// Capacity bounds resident jobs (running + retained terminal).
+	Capacity int
+	// TTL is how long a terminal job stays readable.
+	TTL time.Duration
+	// GCInterval is the background expiry scan period; default TTL/4
+	// clamped to [1s, 1m]. Expiry is also enforced lazily on lookup, so
+	// the scan only bounds memory, not correctness.
+	GCInterval time.Duration
+	// Now is the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Store is a bounded in-memory job registry. Submitted jobs run on
+// their own goroutine against the shared engine; terminal jobs are
+// retained for TTL so clients can finish paginating, then garbage
+// collected. When the store is full, the oldest-finished terminal job
+// is evicted to admit a new one; if every resident job is still
+// running, submission fails with ErrStoreFull.
+type Store struct {
+	engine   *sweep.Engine
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	wg     sync.WaitGroup
+	stopGC chan struct{}
+}
+
+// NewStore builds a store and starts its GC loop; Close stops it.
+func NewStore(opts Options) *Store {
+	eng := opts.Engine
+	if eng == nil {
+		eng = sweep.New(sweep.Options{})
+	}
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	ttl := opts.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	gcEvery := opts.GCInterval
+	if gcEvery <= 0 {
+		gcEvery = ttl / 4
+		if gcEvery < time.Second {
+			gcEvery = time.Second
+		}
+		if gcEvery > time.Minute {
+			gcEvery = time.Minute
+		}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Store{
+		engine:   eng,
+		capacity: capacity,
+		ttl:      ttl,
+		now:      now,
+		jobs:     make(map[string]*Job),
+		stopGC:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.gcLoop(gcEvery)
+	return s
+}
+
+// Engine returns the store's evaluation engine.
+func (s *Store) Engine() *sweep.Engine { return s.engine }
+
+// Submit registers a job and starts it asynchronously, returning the
+// accepted snapshot immediately. The job runs under its own context —
+// detached from the submitter's — and stops only via Cancel or Close.
+func (s *Store) Submit(req Request) (Snapshot, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	if len(s.jobs) >= s.capacity && !s.evictOneLocked() {
+		s.mu.Unlock()
+		return Snapshot{}, ErrStoreFull
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := newJob(req.Kind, s.now(), cancel)
+	s.jobs[j.id] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.run(ctx, j, req)
+	}()
+	return j.Snapshot(), nil
+}
+
+// run drives one job to a terminal state, feeding its progress counters
+// from the engine's incremental stream.
+func (s *Store) run(ctx context.Context, j *Job, req Request) {
+	defer j.cancel() // release the context's resources
+	ch, total, err := s.Open(ctx, req)
+	if err != nil {
+		j.start(s.now(), 0)
+		j.finish(s.now(), s.ttl, StateFailed, err.Error())
+		return
+	}
+	j.start(s.now(), total)
+	for r := range ch {
+		j.append(r)
+	}
+	state, reason := terminalFor(j, ctx, total)
+	j.finish(s.now(), s.ttl, state, reason)
+}
+
+// terminalFor decides the terminal transition once the stream drains.
+// Completion is judged by what was actually produced, not by the
+// context: a cancel that lands after the last result must not mark a
+// fully-delivered job cancelled.
+func terminalFor(j *Job, ctx context.Context, total int) (State, string) {
+	j.mu.Lock()
+	completed, errs := j.progress.Completed, j.progress.Errors
+	j.mu.Unlock()
+	if completed < total {
+		if ctx.Err() != nil {
+			return StateCancelled, "cancelled before completion"
+		}
+		// The engine stream only closes short on cancellation; if that
+		// invariant ever breaks, report the truncation rather than lie.
+		return StateFailed, fmt.Sprintf("stream ended after %d of %d specs", completed, total)
+	}
+	if total > 0 && errs == total {
+		return StateFailed, fmt.Sprintf("all %d specs failed", total)
+	}
+	return StateSucceeded, ""
+}
+
+// Open starts a request's evaluation stream without registering a job
+// — the single definition of the request→engine dispatch, shared by
+// the job runner and the service's NDJSON streaming endpoint. Spaces
+// keep the engine's space-aware path (axis pre-resolution, batched
+// speedup groups); flat lists stream spec by spec. The int is the
+// total spec count (the progress denominator).
+func (s *Store) Open(ctx context.Context, req Request) (<-chan sweep.Result, int, error) {
+	if req.Space != nil {
+		return s.engine.StreamSpace(ctx, *req.Space)
+	}
+	return s.engine.Stream(ctx, req.Specs), len(req.Specs), nil
+}
+
+// RunSync runs one request synchronously, bound to the caller's
+// context and never registered in the store — the v1 compatibility
+// path: the request blocks until completion and leaves no resident job
+// behind. It shares the Submit path's request mapping but collects on
+// the engine's own submission-order collectors, avoiding a throwaway
+// job record. Results come back in submission (Index) order; a non-nil
+// error means the context died (or, for a space, that its axis product
+// overflowed).
+func (s *Store) RunSync(ctx context.Context, req Request) ([]sweep.Result, error) {
+	if req.Space != nil {
+		return s.engine.RunSpace(ctx, *req.Space)
+	}
+	return s.engine.Run(ctx, req.Specs)
+}
+
+// Get returns a job's snapshot.
+func (s *Store) Get(id string) (Snapshot, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return j.Snapshot(), nil
+}
+
+// List snapshots every resident, unexpired job.
+func (s *Store) List() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	out := make([]Snapshot, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.expired(now) {
+			delete(s.jobs, id)
+			continue
+		}
+		out = append(out, j.Snapshot())
+	}
+	return out
+}
+
+// Cancel asks a job to stop and returns its (possibly still draining)
+// snapshot. Cancelling a terminal job is a no-op that reports the
+// final state.
+func (s *Store) Cancel(id string) (Snapshot, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	j.requestCancel()
+	return j.Snapshot(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx dies.
+func (s *Store) Wait(ctx context.Context, id string) (Snapshot, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	select {
+	case <-j.done:
+		return j.Snapshot(), nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Page is one cursor read of a job's results. Results are in completion
+// order (each carries its submission Index); the sequence is append-only,
+// so NextCursor from one page is always a valid cursor for the next.
+// Done reports that the job is terminal and the cursor has reached the
+// end — no further results will ever appear.
+type Page struct {
+	Results    []sweep.Result
+	NextCursor int
+	State      State
+	Done       bool
+}
+
+// Results reads up to limit results starting at cursor (0 = from the
+// beginning; limit <= 0 = DefaultPageSize, capped at MaxPageSize).
+func (s *Store) Results(id string, cursor, limit int) (Page, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return Page{}, err
+	}
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < 0 || cursor > len(j.results) {
+		return Page{}, fmt.Errorf("%w: %d not in [0, %d]", ErrBadCursor, cursor, len(j.results))
+	}
+	end := cursor + limit
+	if end > len(j.results) {
+		end = len(j.results)
+	}
+	page := make([]sweep.Result, end-cursor)
+	copy(page, j.results[cursor:end])
+	return Page{
+		Results:    page,
+		NextCursor: end,
+		State:      j.state,
+		Done:       j.state.Terminal() && end == len(j.results),
+	}, nil
+}
+
+// lookup finds a live job, enforcing TTL expiry lazily so a reader can
+// never see a job past its retention window even between GC scans.
+func (s *Store) lookup(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.expired(s.now()) {
+		delete(s.jobs, id)
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// evictOneLocked frees one slot by dropping the oldest-finished
+// terminal job. Running jobs are never evicted.
+func (s *Store) evictOneLocked() bool {
+	var victim string
+	var oldest time.Time
+	for id, j := range s.jobs {
+		ft := j.finishedAt()
+		if ft.IsZero() {
+			continue
+		}
+		if victim == "" || ft.Before(oldest) {
+			victim, oldest = id, ft
+		}
+	}
+	if victim == "" {
+		return false
+	}
+	delete(s.jobs, victim)
+	return true
+}
+
+// gcLoop periodically drops expired terminal jobs.
+func (s *Store) gcLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopGC:
+			return
+		case <-t.C:
+			s.GC()
+		}
+	}
+}
+
+// GC drops expired jobs now and reports how many were collected.
+func (s *Store) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	n := 0
+	for id, j := range s.jobs {
+		if j.expired(now) {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of resident jobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Close stops the GC loop, cancels every running job, and waits for
+// their runners to drain. The store rejects submissions afterwards.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stopGC)
+	running := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		running = append(running, j)
+	}
+	s.mu.Unlock()
+	for _, j := range running {
+		j.requestCancel()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,43 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"optspeed/internal/core"
+	"optspeed/internal/stencil"
+	"optspeed/internal/sweep"
+)
+
+// ArchitecturesResponse is the machine/stencil/shape catalog.
+type ArchitecturesResponse struct {
+	Architectures []core.CatalogEntry `json:"architectures"`
+	Stencils      []string            `json:"stencils"`
+	Shapes        []string            `json:"shapes"`
+}
+
+func (s *Server) handleArchitectures(w http.ResponseWriter, _ *http.Request) {
+	resp := ArchitecturesResponse{
+		Architectures: core.Catalog(),
+		Shapes:        []string{"strip", "square"},
+	}
+	for _, st := range stencil.Builtins() {
+		resp.Stencils = append(resp.Stencils, st.Name())
+	}
+	writeJSONPretty(w, http.StatusOK, resp)
+}
+
+// MetricsResponse reports per-endpoint latency and engine counters.
+type MetricsResponse struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Engine        sweep.Stats                 `json:"engine"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSONPretty(w, http.StatusOK, MetricsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Endpoints:     s.metrics.snapshot(),
+		Engine:        s.engine.Stats(),
+	})
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current server output")
+
+// goldenCases are fixed /v1 request bodies whose exact response bytes
+// are pinned in testdata/. They are the compatibility contract: the v1
+// handlers may be re-plumbed freely (and were, onto the jobs core), but
+// for these bodies the wire bytes must never change. Each case runs
+// against a fresh server so cache state cannot leak between cases;
+// bodies avoid duplicate specs so cache_hit flags are deterministic.
+var goldenCases = []struct {
+	name   string
+	method string
+	path   string
+	body   string
+	status int
+}{
+	{
+		name:   "optimize_syncbus",
+		method: http.MethodPost,
+		path:   "/v1/optimize",
+		body:   `{"n":512,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}}`,
+		status: http.StatusOK,
+	},
+	{
+		name:   "optimize_snapped_banyan",
+		method: http.MethodPost,
+		path:   "/v1/optimize",
+		body:   `{"n":256,"stencil":"9-point","shape":"square","machine":{"type":"banyan"},"snapped":true}`,
+		status: http.StatusOK,
+	},
+	{
+		name:   "optimize_bad_stencil",
+		method: http.MethodPost,
+		path:   "/v1/optimize",
+		body:   `{"n":512,"stencil":"7-point","shape":"square","machine":{"type":"sync-bus"}}`,
+		status: http.StatusBadRequest,
+	},
+	{
+		name:   "optimize_bad_machine",
+		method: http.MethodPost,
+		path:   "/v1/optimize",
+		body:   `{"n":512,"stencil":"5-point","shape":"square","machine":{"type":"quantum"}}`,
+		status: http.StatusBadRequest,
+	},
+	{
+		name:   "sweep_space_only",
+		method: http.MethodPost,
+		path:   "/v1/sweep",
+		body: `{"space":{"ns":[64,128],"stencils":["5-point","9-point"],` +
+			`"shapes":["strip","square"],"machines":[{"type":"sync-bus"},{"type":"hypercube"}]}}`,
+		status: http.StatusOK,
+	},
+	{
+		name:   "sweep_space_speedup_procs",
+		method: http.MethodPost,
+		path:   "/v1/sweep",
+		body: `{"space":{"op":"speedup","ns":[128,256],"stencils":["5-point"],` +
+			`"shapes":["square"],"machines":[{"type":"mesh"}],"procs":[4,16,64]}}`,
+		status: http.StatusOK,
+	},
+	{
+		name:   "sweep_explicit_with_error",
+		method: http.MethodPost,
+		path:   "/v1/sweep",
+		body: `{"specs":[` +
+			`{"op":"min-grid","n":16,"stencil":"5-point","shape":"strip","machine":{"type":"sync-bus"},"procs":8},` +
+			`{"n":128,"stencil":"bogus","shape":"square","machine":{"type":"sync-bus"}},` +
+			`{"op":"scaled","n":256,"stencil":"5-point","shape":"square","machine":{"type":"hypercube"},"points_per_proc":64}]}`,
+		status: http.StatusOK,
+	},
+	{
+		name:   "sweep_mixed_specs_and_space",
+		method: http.MethodPost,
+		path:   "/v1/sweep",
+		body: `{"specs":[{"n":96,"stencil":"9-point","shape":"strip","machine":{"type":"async-bus"}}],` +
+			`"space":{"ns":[192],"stencils":["5-point"],"shapes":["square"],"machines":[{"type":"banyan"}]}}`,
+		status: http.StatusOK,
+	},
+	{
+		name:   "sweep_empty",
+		method: http.MethodPost,
+		path:   "/v1/sweep",
+		body:   `{}`,
+		status: http.StatusBadRequest,
+	},
+	{
+		name:   "architectures",
+		method: http.MethodGet,
+		path:   "/v1/architectures",
+		status: http.StatusOK,
+	},
+}
+
+func TestV1GoldenBytes(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := New(Config{})
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d; body %s", resp.StatusCode, tc.status, buf.Bytes())
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("response bytes diverged from golden %s:\n got: %s\nwant: %s",
+					path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"optspeed/internal/jobs"
+)
+
+// JobSubmitRequest is the body of POST /v2/jobs: exactly one of Sweep
+// or Optimize carries the work. Kind is optional and, when present,
+// must match the payload ("sweep" or "optimize").
+type JobSubmitRequest struct {
+	Kind     string           `json:"kind,omitempty"`
+	Sweep    *SweepRequest    `json:"sweep,omitempty"`
+	Optimize *OptimizeRequest `json:"optimize,omitempty"`
+}
+
+// ProgressJSON is the wire form of a job's live counters. Evaluated is
+// derived: completed minus cache hits minus errors.
+type ProgressJSON struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Evaluated int `json:"evaluated"`
+	CacheHits int `json:"cache_hits"`
+	Errors    int `json:"errors"`
+}
+
+// JobJSON is the wire form of one job resource.
+type JobJSON struct {
+	ID              string       `json:"id"`
+	Kind            string       `json:"kind"`
+	State           string       `json:"state"`
+	CancelRequested bool         `json:"cancel_requested,omitempty"`
+	CreatedAt       time.Time    `json:"created_at"`
+	StartedAt       *time.Time   `json:"started_at,omitempty"`
+	FinishedAt      *time.Time   `json:"finished_at,omitempty"`
+	Progress        ProgressJSON `json:"progress"`
+	Reason          string       `json:"reason,omitempty"`
+}
+
+func jobJSON(snap jobs.Snapshot) JobJSON {
+	j := JobJSON{
+		ID:              snap.ID,
+		Kind:            string(snap.Kind),
+		State:           string(snap.State),
+		CancelRequested: snap.CancelRequested,
+		CreatedAt:       snap.Created,
+		Progress: ProgressJSON{
+			Total:     snap.Progress.Total,
+			Completed: snap.Progress.Completed,
+			Evaluated: snap.Progress.Completed - snap.Progress.CacheHits - snap.Progress.Errors,
+			CacheHits: snap.Progress.CacheHits,
+			Errors:    snap.Progress.Errors,
+		},
+		Reason: snap.Reason,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		j.StartedAt = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		j.FinishedAt = &t
+	}
+	return j
+}
+
+// storeProblem maps job-store errors onto v2 wire errors.
+func storeProblem(err error) *requestProblem {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		return &requestProblem{status: http.StatusNotFound, code: codeNotFound, msg: "no such job"}
+	case errors.Is(err, jobs.ErrBadCursor):
+		return &requestProblem{status: http.StatusBadRequest, code: codeInvalidRequest, msg: err.Error()}
+	case errors.Is(err, jobs.ErrStoreFull):
+		return &requestProblem{status: http.StatusTooManyRequests, code: codeStoreFull,
+			msg: "job store is full; retry after resident jobs finish"}
+	case errors.Is(err, jobs.ErrClosed):
+		return &requestProblem{status: http.StatusServiceUnavailable, code: codeUnavailable,
+			msg: "server is shutting down"}
+	default:
+		return &requestProblem{status: http.StatusInternalServerError, code: codeInternal, msg: "internal error"}
+	}
+}
+
+// handleJobSubmit accepts a sweep or optimize job and returns 202 with
+// the pending job resource immediately; evaluation proceeds detached
+// from this request.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobSubmitRequest
+	if prob := s.decodeBody(r, w, &req); prob != nil {
+		prob.writeV2(w, r)
+		return
+	}
+	var jreq jobs.Request
+	switch {
+	case req.Sweep != nil && req.Optimize != nil:
+		writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+			"provide exactly one of sweep or optimize")
+		return
+	case req.Sweep != nil:
+		if req.Kind != "" && req.Kind != string(jobs.KindSweep) {
+			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+				"kind %q does not match the sweep payload", req.Kind)
+			return
+		}
+		var prob *requestProblem
+		jreq, prob = s.sweepJobRequest(*req.Sweep)
+		if prob != nil {
+			prob.writeV2(w, r)
+			return
+		}
+	case req.Optimize != nil:
+		if req.Kind != "" && req.Kind != string(jobs.KindOptimize) {
+			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+				"kind %q does not match the optimize payload", req.Kind)
+			return
+		}
+		jreq = optimizeJobRequest(*req.Optimize)
+	default:
+		writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+			"provide a sweep or optimize payload")
+		return
+	}
+	snap, err := s.store.Submit(jreq)
+	if err != nil {
+		storeProblem(err).writeV2(w, r)
+		return
+	}
+	w.Header().Set("Location", "/v2/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, jobJSON(snap))
+}
+
+// handleJobGet reports one job's status and live progress.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		storeProblem(err).writeV2(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(snap))
+}
+
+// JobListResponse is the body of GET /v2/jobs.
+type JobListResponse struct {
+	Jobs []JobJSON `json:"jobs"`
+}
+
+// handleJobList lists resident jobs, newest first.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.store.List()
+	sort.Slice(snaps, func(i, k int) bool {
+		if !snaps[i].Created.Equal(snaps[k].Created) {
+			return snaps[i].Created.After(snaps[k].Created)
+		}
+		return snaps[i].ID < snaps[k].ID
+	})
+	resp := JobListResponse{Jobs: make([]JobJSON, len(snaps))}
+	for i, snap := range snaps {
+		resp.Jobs[i] = jobJSON(snap)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// JobResultsResponse is one cursor page of a job's results. Results are
+// in completion order (each carries its submission index); NextCursor
+// resumes where this page ended, and Done means the job is terminal and
+// fully read — polling the same cursor again will never yield more.
+type JobResultsResponse struct {
+	JobID      string            `json:"job_id"`
+	State      string            `json:"state"`
+	Results    []SweepResultJSON `json:"results"`
+	NextCursor string            `json:"next_cursor"`
+	Done       bool              `json:"done"`
+}
+
+// handleJobResults serves cursor-paginated reads of a job's results,
+// usable while the job is still running: a page may be short (or
+// empty); Done tells the reader when to stop.
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cursor := 0
+	if raw := q.Get("cursor"); raw != "" {
+		var err error
+		cursor, err = strconv.Atoi(raw)
+		if err != nil {
+			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+				"invalid cursor %q", raw)
+			return
+		}
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		var err error
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 0 {
+			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+				"invalid limit %q", raw)
+			return
+		}
+	}
+	page, err := s.store.Results(r.PathValue("id"), cursor, limit)
+	if err != nil {
+		storeProblem(err).writeV2(w, r)
+		return
+	}
+	resp := JobResultsResponse{
+		JobID:      r.PathValue("id"),
+		State:      string(page.State),
+		Results:    make([]SweepResultJSON, len(page.Results)),
+		NextCursor: strconv.Itoa(page.NextCursor),
+		Done:       page.Done,
+	}
+	for i, res := range page.Results {
+		resp.Results[i] = sweepResultJSON(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobCancel requests cancellation and returns the job resource,
+// which may report running with cancel_requested while the engine
+// drains. Cancelling a terminal job is a no-op.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Cancel(r.PathValue("id"))
+	if err != nil {
+		storeProblem(err).writeV2(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(snap))
+}

@@ -75,7 +75,8 @@ func (m *metricsRegistry) snapshot() map[string]EndpointSnapshot {
 	return out
 }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics and the
+// access log.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -85,6 +86,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush/SetWriteDeadline through the recorder — the streaming
+// endpoint depends on both.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a handler with latency recording under name.
 func (m *metricsRegistry) instrument(name string, h http.HandlerFunc) http.HandlerFunc {

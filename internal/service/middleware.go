@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"optspeed/internal/jobs"
+)
+
+// requestIDHeader is honored on requests and echoed on every response.
+const requestIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFrom returns the request id assigned by the middleware, or
+// "" outside a request context.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// validRequestID accepts client-supplied ids that are safe to echo into
+// headers and logs: short and limited to URL-ish token characters.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID honors an incoming X-Request-ID (when well-formed) or
+// generates one, echoes it on the response, and stashes it in the
+// request context for the error envelope and the access log.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = jobs.NewID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// withAccessLog emits one structured line per request. A nil logger
+// disables the log without disturbing the middleware chain.
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	if s.logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", RequestIDFrom(r.Context())),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}

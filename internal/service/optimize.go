@@ -1,0 +1,78 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+
+	"optspeed/internal/core"
+	"optspeed/internal/sweep"
+)
+
+// OptimizeRequest is one model query. Machine fields left zero take the
+// calibrated defaults; Snapped selects working-rectangle snapping.
+type OptimizeRequest struct {
+	N       int              `json:"n"`
+	Stencil string           `json:"stencil"`
+	Shape   string           `json:"shape"`
+	Machine core.MachineSpec `json:"machine"`
+	Snapped bool             `json:"snapped,omitempty"`
+}
+
+// OptimizeResponse reports the optimal allocation.
+type OptimizeResponse struct {
+	N         int     `json:"n"`
+	Stencil   string  `json:"stencil"`
+	Shape     string  `json:"shape"`
+	Arch      string  `json:"arch"`
+	Procs     int     `json:"procs"`
+	Area      float64 `json:"area"`
+	CycleTime float64 `json:"cycle_time"`
+	Speedup   float64 `json:"speedup"`
+	UsedAll   bool    `json:"used_all"`
+	Single    bool    `json:"single"`
+	Interior  bool    `json:"interior"`
+	CacheHit  bool    `json:"cache_hit"`
+}
+
+// handleOptimize is the v1 synchronous adapter: the query runs as a
+// single-spec request through the same jobs core as v2, bound to the
+// request context and never retained.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if prob := s.decodeBody(r, w, &req); prob != nil {
+		prob.writeV1(w)
+		return
+	}
+	results, err := s.store.RunSync(r.Context(), optimizeJobRequest(req))
+	if err != nil {
+		// A dead request context: nobody reads the response, but metrics
+		// should see the abort, not a 200.
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	}
+	res := results[0]
+	if res.Err != nil {
+		// A recovered panic is a server defect: 500, without the panic
+		// text. Everything else is a bad spec.
+		if errors.Is(res.Err, sweep.ErrEvaluationPanic) {
+			writeError(w, http.StatusInternalServerError, "internal evaluation error")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		N:         req.N,
+		Stencil:   req.Stencil,
+		Shape:     req.Shape,
+		Arch:      res.Alloc.Arch,
+		Procs:     res.Alloc.Procs,
+		Area:      res.Alloc.Area,
+		CycleTime: res.Alloc.CycleTime,
+		Speedup:   res.Alloc.Speedup,
+		UsedAll:   res.Alloc.UsedAll,
+		Single:    res.Alloc.Single,
+		Interior:  res.Alloc.Interior,
+		CacheHit:  res.CacheHit,
+	})
+}

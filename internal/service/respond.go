@@ -1,0 +1,88 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// writeJSON emits compact JSON: sweep responses at the request limit run
+// to tens of MB, where indentation is pure wire overhead.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONPretty indents the small human-facing catalog and metrics
+// payloads.
+func writeJSONPretty(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorResponse is the v1 error envelope. Its shape is part of the
+// byte-for-byte v1 compatibility contract and must not change.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError emits a v1-style error.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// v2 error codes. Stable machine-readable strings; the human text in
+// Message may change freely.
+const (
+	codeInvalidRequest = "invalid_request"
+	codeNotFound       = "not_found"
+	codeTooLarge       = "too_large"
+	codeStoreFull      = "store_full"
+	codeUnavailable    = "unavailable"
+	codeInternal       = "internal"
+)
+
+// apiErrorBody is the v2 error payload: a stable code, a human
+// message, and the request id so one client-side line is enough to
+// correlate with the server's access log.
+type apiErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// v2ErrorResponse is the uniform v2 error envelope.
+type v2ErrorResponse struct {
+	Error apiErrorBody `json:"error"`
+}
+
+// writeV2Error emits a v2 error envelope, stamping the request id from
+// the request context.
+func writeV2Error(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	writeJSON(w, status, v2ErrorResponse{Error: apiErrorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: RequestIDFrom(r.Context()),
+	}})
+}
+
+// requestProblem is a validation failure carried between the shared
+// validation layer and the version-specific error writers: v1 renders
+// it as {"error": msg}, v2 as the code/message envelope.
+type requestProblem struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (p *requestProblem) writeV1(w http.ResponseWriter) {
+	writeError(w, p.status, "%s", p.msg)
+}
+
+func (p *requestProblem) writeV2(w http.ResponseWriter, r *http.Request) {
+	writeV2Error(w, r, p.status, p.code, "%s", p.msg)
+}

@@ -1,5 +1,7 @@
 // Package service exposes the sweep engine as an HTTP JSON API — the
-// cmd/optspeedd server. Endpoints:
+// cmd/optspeedd server.
+//
+// The v1 surface is synchronous (one request, one full response):
 //
 //	POST /v1/optimize       one model query (optimal allocation)
 //	POST /v1/sweep          batch evaluation of spec lists / spec spaces
@@ -7,23 +9,34 @@
 //	GET  /v1/metrics        per-endpoint latency and engine cache stats
 //	GET  /healthz           liveness probe
 //
+// The v2 surface makes evaluations first-class job resources, so a
+// large sweep no longer holds one request open for its whole runtime:
+//
+//	POST   /v2/jobs               submit a sweep or optimize job (202)
+//	GET    /v2/jobs               list resident jobs
+//	GET    /v2/jobs/{id}          job status + live progress counters
+//	GET    /v2/jobs/{id}/results  cursor-paginated result pages
+//	DELETE /v2/jobs/{id}          cancel
+//	POST   /v2/sweeps/stream      NDJSON results straight off the engine
+//
 // All evaluation flows through a shared sweep.Engine, so repeated and
-// concurrent identical requests coalesce in its memoization cache.
+// concurrent identical requests coalesce in its memoization cache; the
+// v1 handlers are thin synchronous adapters over the same jobs core
+// that backs v2, and their wire output is pinned byte-for-byte by
+// golden tests.
 package service
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
-	"optspeed/internal/core"
-	"optspeed/internal/stencil"
+	"optspeed/internal/jobs"
 	"optspeed/internal/sweep"
 )
 
-// DefaultMaxSweepSpecs bounds one /v1/sweep request's expanded size. It
+// DefaultMaxSweepSpecs bounds one sweep request's expanded size. It
 // equals the engine's default cache capacity by construction, so a
 // maximum-size sweep stays fully resident and an identical repeat is
 // answered from cache.
@@ -46,19 +59,31 @@ type Config struct {
 	MaxSweepSpecs int
 	// MaxBodyBytes caps one request body; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// JobCapacity bounds resident v2 jobs; 0 means jobs.DefaultCapacity.
+	JobCapacity int
+	// JobTTL is how long terminal v2 jobs stay readable; 0 means
+	// jobs.DefaultTTL.
+	JobTTL time.Duration
+	// Logger receives the structured per-request access log; nil
+	// disables access logging (request IDs are still assigned).
+	Logger *slog.Logger
 }
 
-// Server is the HTTP facade over the sweep engine.
+// Server is the HTTP facade over the sweep engine and the job store.
 type Server struct {
 	engine   *sweep.Engine
+	store    *jobs.Store
 	metrics  *metricsRegistry
 	mux      *http.ServeMux
+	handler  http.Handler
 	maxSpecs int
 	maxBody  int64
+	logger   *slog.Logger
 	started  time.Time
 }
 
-// New builds a server and its routing table.
+// New builds a server, its job store, and its routing table. Call Close
+// when done to stop the store's GC loop and cancel resident jobs.
 func New(cfg Config) *Server {
 	eng := cfg.Engine
 	if eng == nil {
@@ -73,307 +98,58 @@ func New(cfg Config) *Server {
 		maxBody = DefaultMaxBodyBytes
 	}
 	s := &Server{
-		engine:   eng,
+		engine: eng,
+		store: jobs.NewStore(jobs.Options{
+			Engine:   eng,
+			Capacity: cfg.JobCapacity,
+			TTL:      cfg.JobTTL,
+		}),
 		metrics:  newMetricsRegistry(),
 		mux:      http.NewServeMux(),
 		maxSpecs: maxSpecs,
 		maxBody:  maxBody,
+		logger:   cfg.Logger,
 		started:  time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/optimize", s.metrics.instrument("optimize", s.handleOptimize))
-	s.mux.HandleFunc("POST /v1/sweep", s.metrics.instrument("sweep", s.handleSweep))
-	s.mux.HandleFunc("GET /v1/architectures", s.metrics.instrument("architectures", s.handleArchitectures))
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.routes()
+	// Middleware order (outermost first): request IDs are assigned
+	// before the access log runs, so every log line carries one.
+	s.handler = s.withRequestID(s.withAccessLog(s.mux))
+	return s
+}
+
+func (s *Server) routes() {
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.metrics.instrument(name, h))
+	}
+	// v1: synchronous adapters over the jobs core.
+	handle("POST /v1/optimize", "optimize", s.handleOptimize)
+	handle("POST /v1/sweep", "sweep", s.handleSweep)
+	handle("GET /v1/architectures", "architectures", s.handleArchitectures)
+	handle("GET /v1/metrics", "metrics", s.handleMetrics)
+	// v2: jobs as resources.
+	handle("POST /v2/jobs", "jobs_submit", s.handleJobSubmit)
+	handle("GET /v2/jobs", "jobs_list", s.handleJobList)
+	handle("GET /v2/jobs/{id}", "jobs_get", s.handleJobGet)
+	handle("GET /v2/jobs/{id}/results", "jobs_results", s.handleJobResults)
+	handle("DELETE /v2/jobs/{id}", "jobs_cancel", s.handleJobCancel)
+	handle("POST /v2/sweeps/stream", "sweep_stream", s.handleSweepStream)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return s
 }
 
-// Handler returns the server's root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's root handler (mux plus middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Engine returns the underlying engine (shared cache), for embedding the
 // server next to library sweeps.
 func (s *Server) Engine() *sweep.Engine { return s.engine }
 
-// writeJSON emits compact JSON: sweep responses at the request limit run
-// to tens of MB, where indentation is pure wire overhead.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
+// Jobs returns the server's job store.
+func (s *Server) Jobs() *jobs.Store { return s.store }
 
-// writeJSONPretty indents the small human-facing catalog and metrics
-// payloads.
-func writeJSONPretty(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", s.maxBody)
-			return false
-		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
-	}
-	return true
-}
-
-// --- /v1/optimize ---
-
-// OptimizeRequest is one model query. Machine fields left zero take the
-// calibrated defaults; Snapped selects working-rectangle snapping.
-type OptimizeRequest struct {
-	N       int              `json:"n"`
-	Stencil string           `json:"stencil"`
-	Shape   string           `json:"shape"`
-	Machine core.MachineSpec `json:"machine"`
-	Snapped bool             `json:"snapped,omitempty"`
-}
-
-// OptimizeResponse reports the optimal allocation.
-type OptimizeResponse struct {
-	N         int     `json:"n"`
-	Stencil   string  `json:"stencil"`
-	Shape     string  `json:"shape"`
-	Arch      string  `json:"arch"`
-	Procs     int     `json:"procs"`
-	Area      float64 `json:"area"`
-	CycleTime float64 `json:"cycle_time"`
-	Speedup   float64 `json:"speedup"`
-	UsedAll   bool    `json:"used_all"`
-	Single    bool    `json:"single"`
-	Interior  bool    `json:"interior"`
-	CacheHit  bool    `json:"cache_hit"`
-}
-
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	var req OptimizeRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	op := sweep.OpOptimize
-	if req.Snapped {
-		op = sweep.OpOptimizeSnapped
-	}
-	spec := sweep.Spec{Op: op, N: req.N, Stencil: req.Stencil, Shape: req.Shape, Machine: req.Machine}
-	res, err := s.engine.Evaluate(r.Context(), spec)
-	if err != nil {
-		// A dead request context surfaces either as its own error or as
-		// ErrWaitCancelled from a coalesced in-flight wait; nobody reads
-		// the response, but metrics should see the abort, not a 200.
-		if errors.Is(err, sweep.ErrWaitCancelled) ||
-			(r.Context().Err() != nil && errors.Is(err, r.Context().Err())) {
-			w.WriteHeader(statusClientClosedRequest)
-			return
-		}
-		// A recovered panic is a server defect: 500, without the panic
-		// text. Everything else is a bad spec.
-		if errors.Is(err, sweep.ErrEvaluationPanic) {
-			writeError(w, http.StatusInternalServerError, "internal evaluation error")
-			return
-		}
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{
-		N:         req.N,
-		Stencil:   req.Stencil,
-		Shape:     req.Shape,
-		Arch:      res.Alloc.Arch,
-		Procs:     res.Alloc.Procs,
-		Area:      res.Alloc.Area,
-		CycleTime: res.Alloc.CycleTime,
-		Speedup:   res.Alloc.Speedup,
-		UsedAll:   res.Alloc.UsedAll,
-		Single:    res.Alloc.Single,
-		Interior:  res.Alloc.Interior,
-		CacheHit:  res.CacheHit,
-	})
-}
-
-// --- /v1/sweep ---
-
-// SweepRequest carries explicit specs, a Cartesian space, or both
-// (the space is expanded and appended after the explicit specs).
-type SweepRequest struct {
-	Specs []sweep.Spec `json:"specs,omitempty"`
-	Space *sweep.Space `json:"space,omitempty"`
-}
-
-// SweepResultJSON is the wire form of one evaluated spec. The payload
-// fields mirror sweep.Result: allocation fields for the optimize ops,
-// Grid for the grid searches, Value for scalar ops, and ProcsUsed (a
-// real-valued processor count, plus CycleTime/Speedup) for scaled
-// points, where the machine grows fractionally with the problem.
-type SweepResultJSON struct {
-	Index     int        `json:"index"`
-	Spec      sweep.Spec `json:"spec"`
-	CacheHit  bool       `json:"cache_hit"`
-	Procs     int        `json:"procs,omitempty"`
-	ProcsUsed float64    `json:"procs_used,omitempty"`
-	Area      float64    `json:"area,omitempty"`
-	CycleTime float64    `json:"cycle_time,omitempty"`
-	Speedup   float64    `json:"speedup,omitempty"`
-	Grid      int        `json:"grid,omitempty"`
-	Value     float64    `json:"value,omitempty"`
-	Error     string     `json:"error,omitempty"`
-}
-
-// SweepStats summarizes one sweep request's cache interaction.
-type SweepStats struct {
-	Specs     int `json:"specs"`
-	CacheHits int `json:"cache_hits"`
-	Evaluated int `json:"evaluated"`
-	Errors    int `json:"errors"`
-}
-
-// SweepResponse is the body of a completed sweep.
-type SweepResponse struct {
-	Results []SweepResultJSON `json:"results"`
-	Stats   SweepStats        `json:"stats"`
-}
-
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	specs := req.Specs
-	spaceOnly := false
-	if req.Space != nil {
-		// Size() saturates at math.MaxInt on overflowing axis products,
-		// and the two-step comparison avoids overflowing the sum, so a
-		// crafted space cannot slip past the limit into Expand.
-		size := req.Space.Size()
-		if size > s.maxSpecs || len(specs) > s.maxSpecs-size {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				"sweep of %d+%d specs exceeds the limit of %d", len(specs), size, s.maxSpecs)
-			return
-		}
-		spaceOnly = len(specs) == 0 && size > 0
-		if !spaceOnly {
-			specs = append(specs, req.Space.Expand()...)
-		}
-	}
-	if len(specs) == 0 && !spaceOnly {
-		writeError(w, http.StatusBadRequest, "empty sweep: provide specs or a space")
-		return
-	}
-	if len(specs) > s.maxSpecs {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			"sweep of %d specs exceeds the limit of %d", len(specs), s.maxSpecs)
-		return
-	}
-	var results []sweep.Result
-	var err error
-	if spaceOnly {
-		// A pure space request keeps its Cartesian structure, so the
-		// engine can pre-resolve each axis value once and batch the
-		// speedup-over-procs fast path (RunSpace); mixed requests fall
-		// back to the flat spec list.
-		results, err = s.engine.RunSpace(r.Context(), *req.Space)
-	} else {
-		results, err = s.engine.Run(r.Context(), specs)
-	}
-	if err != nil {
-		// Cancelled by the client; nobody reads the response, but the
-		// abort should be visible in metrics.
-		w.WriteHeader(statusClientClosedRequest)
-		return
-	}
-	resp := SweepResponse{Results: make([]SweepResultJSON, len(results))}
-	resp.Stats.Specs = len(results)
-	for i, res := range results {
-		jr := SweepResultJSON{
-			Index:    res.Index,
-			Spec:     res.Spec,
-			CacheHit: res.CacheHit,
-			Grid:     res.Grid,
-			Value:    res.Value,
-		}
-		if res.Alloc.Procs > 0 {
-			jr.Procs = res.Alloc.Procs
-			jr.Area = res.Alloc.Area
-			jr.CycleTime = res.Alloc.CycleTime
-			jr.Speedup = res.Alloc.Speedup
-		}
-		if res.Spec.Op == sweep.OpScaled && res.Err == nil {
-			jr.ProcsUsed = res.Scaled.Procs
-			jr.CycleTime = res.Scaled.CycleTime
-			jr.Speedup = res.Scaled.Speedup
-		}
-		if res.Err != nil {
-			if errors.Is(res.Err, sweep.ErrEvaluationPanic) {
-				jr.Error = "internal evaluation error"
-			} else {
-				jr.Error = res.Err.Error()
-			}
-			resp.Stats.Errors++
-		} else if res.CacheHit {
-			resp.Stats.CacheHits++
-		} else {
-			resp.Stats.Evaluated++
-		}
-		resp.Results[i] = jr
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// --- /v1/architectures ---
-
-// ArchitecturesResponse is the machine/stencil/shape catalog.
-type ArchitecturesResponse struct {
-	Architectures []core.CatalogEntry `json:"architectures"`
-	Stencils      []string            `json:"stencils"`
-	Shapes        []string            `json:"shapes"`
-}
-
-func (s *Server) handleArchitectures(w http.ResponseWriter, _ *http.Request) {
-	resp := ArchitecturesResponse{
-		Architectures: core.Catalog(),
-		Shapes:        []string{"strip", "square"},
-	}
-	for _, st := range stencil.Builtins() {
-		resp.Stencils = append(resp.Stencils, st.Name())
-	}
-	writeJSONPretty(w, http.StatusOK, resp)
-}
-
-// --- /v1/metrics ---
-
-// MetricsResponse reports per-endpoint latency and engine counters.
-type MetricsResponse struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
-	Engine        sweep.Stats                 `json:"engine"`
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSONPretty(w, http.StatusOK, MetricsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Endpoints:     s.metrics.snapshot(),
-		Engine:        s.engine.Stats(),
-	})
-}
+// Close stops the job store: its GC loop ends and resident running
+// jobs are cancelled and drained.
+func (s *Server) Close() { s.store.Close() }

@@ -17,8 +17,12 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(Config{}).Handler())
-	t.Cleanup(ts.Close)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return ts
 }
 
@@ -221,6 +225,7 @@ func TestSweepExplicitSpecsAndErrors(t *testing.T) {
 
 func TestSweepRequestLimits(t *testing.T) {
 	srv := New(Config{MaxSweepSpecs: 4})
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -252,6 +257,7 @@ func TestSweepRequestLimits(t *testing.T) {
 
 func TestBodySizeLimit(t *testing.T) {
 	srv := New(Config{MaxBodyBytes: 256})
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	huge := `{"n":512,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}` +
@@ -349,6 +355,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestCancelledRequestRecordedNotAsSuccess(t *testing.T) {
 	srv := New(Config{})
+	defer srv.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest(http.MethodPost, "/v1/optimize",
@@ -379,6 +386,7 @@ func TestHealthz(t *testing.T) {
 func TestServerSharesEngine(t *testing.T) {
 	eng := sweep.New(sweep.Options{})
 	srv := New(Config{Engine: eng})
+	defer srv.Close()
 	if srv.Engine() != eng {
 		t.Fatal("server did not adopt the provided engine")
 	}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"optspeed/internal/sweep"
+)
+
+// SweepRequest carries explicit specs, a Cartesian space, or both
+// (the space is expanded and appended after the explicit specs). It is
+// the shared sweep body of v1 /sweep, v2 job submission, and v2
+// streaming.
+type SweepRequest struct {
+	Specs []sweep.Spec `json:"specs,omitempty"`
+	Space *sweep.Space `json:"space,omitempty"`
+}
+
+// SweepResultJSON is the wire form of one evaluated spec. The payload
+// fields mirror sweep.Result: allocation fields for the optimize ops,
+// Grid for the grid searches, Value for scalar ops, and ProcsUsed (a
+// real-valued processor count, plus CycleTime/Speedup) for scaled
+// points, where the machine grows fractionally with the problem.
+type SweepResultJSON struct {
+	Index     int        `json:"index"`
+	Spec      sweep.Spec `json:"spec"`
+	CacheHit  bool       `json:"cache_hit"`
+	Procs     int        `json:"procs,omitempty"`
+	ProcsUsed float64    `json:"procs_used,omitempty"`
+	Area      float64    `json:"area,omitempty"`
+	CycleTime float64    `json:"cycle_time,omitempty"`
+	Speedup   float64    `json:"speedup,omitempty"`
+	Grid      int        `json:"grid,omitempty"`
+	Value     float64    `json:"value,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// sweepResultJSON converts one engine result to its wire form. A
+// recovered evaluation panic is reported without the panic text.
+func sweepResultJSON(res sweep.Result) SweepResultJSON {
+	jr := SweepResultJSON{
+		Index:    res.Index,
+		Spec:     res.Spec,
+		CacheHit: res.CacheHit,
+		Grid:     res.Grid,
+		Value:    res.Value,
+	}
+	if res.Alloc.Procs > 0 {
+		jr.Procs = res.Alloc.Procs
+		jr.Area = res.Alloc.Area
+		jr.CycleTime = res.Alloc.CycleTime
+		jr.Speedup = res.Alloc.Speedup
+	}
+	if res.Spec.Op == sweep.OpScaled && res.Err == nil {
+		jr.ProcsUsed = res.Scaled.Procs
+		jr.CycleTime = res.Scaled.CycleTime
+		jr.Speedup = res.Scaled.Speedup
+	}
+	if res.Err != nil {
+		if errors.Is(res.Err, sweep.ErrEvaluationPanic) {
+			jr.Error = "internal evaluation error"
+		} else {
+			jr.Error = res.Err.Error()
+		}
+	}
+	return jr
+}
+
+// SweepStats summarizes one sweep's cache interaction.
+type SweepStats struct {
+	Specs     int `json:"specs"`
+	CacheHits int `json:"cache_hits"`
+	Evaluated int `json:"evaluated"`
+	Errors    int `json:"errors"`
+}
+
+// observe counts one result.
+func (st *SweepStats) observe(res sweep.Result) {
+	st.Specs++
+	switch {
+	case res.Err != nil:
+		st.Errors++
+	case res.CacheHit:
+		st.CacheHits++
+	default:
+		st.Evaluated++
+	}
+}
+
+// SweepResponse is the body of a completed v1 sweep.
+type SweepResponse struct {
+	Results []SweepResultJSON `json:"results"`
+	Stats   SweepStats        `json:"stats"`
+}
+
+// handleSweep is the v1 synchronous adapter: the batch runs through the
+// same jobs core as v2 — bound to the request context, never retained —
+// and the full response is returned at once.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if prob := s.decodeBody(r, w, &req); prob != nil {
+		prob.writeV1(w)
+		return
+	}
+	jreq, prob := s.sweepJobRequest(req)
+	if prob != nil {
+		prob.writeV1(w)
+		return
+	}
+	results, err := s.store.RunSync(r.Context(), jreq)
+	if err != nil {
+		// Cancelled by the client; nobody reads the response, but the
+		// abort should be visible in metrics.
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	}
+	resp := SweepResponse{Results: make([]SweepResultJSON, len(results))}
+	for i, res := range results {
+		resp.Results[i] = sweepResultJSON(res)
+		resp.Stats.observe(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StreamLine is one NDJSON line of POST /v2/sweeps/stream: result lines
+// carry Result; the final line carries Done plus the run's Stats.
+type StreamLine struct {
+	Result *SweepResultJSON `json:"result,omitempty"`
+	Done   bool             `json:"done,omitempty"`
+	Stats  *SweepStats      `json:"stats,omitempty"`
+}
+
+// handleSweepStream streams results straight off the engine channel as
+// NDJSON, flushing per result so clients see points as they are
+// computed. The response clears the connection's write deadline for its
+// own duration, exempting long streams from the daemon's blanket
+// WriteTimeout.
+func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if prob := s.decodeBody(r, w, &req); prob != nil {
+		prob.writeV2(w, r)
+		return
+	}
+	jreq, prob := s.sweepJobRequest(req)
+	if prob != nil {
+		prob.writeV2(w, r)
+		return
+	}
+	// The jobs core owns the request→engine dispatch (space fast path
+	// vs flat specs); the stream endpoint just doesn't register a job.
+	ch, _, err := s.store.Open(r.Context(), jreq)
+	if err != nil {
+		writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		return
+	}
+
+	rc := http.NewResponseController(w)
+	// A stream's lifetime is the sweep's, not the server's WriteTimeout;
+	// the zero time clears the per-connection deadline for this response
+	// only (ignored by writers that don't support deadlines, such as
+	// httptest recorders).
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	var stats SweepStats
+	for res := range ch {
+		stats.observe(res)
+		jr := sweepResultJSON(res)
+		if err := enc.Encode(StreamLine{Result: &jr}); err != nil {
+			return // client gone; the engine stream stops with the context
+		}
+		_ = rc.Flush()
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	_ = enc.Encode(StreamLine{Done: true, Stats: &stats})
+	_ = rc.Flush()
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"optspeed/internal/jobs"
+	"optspeed/internal/sweep"
+)
+
+// decodeBody decodes a JSON request body with the configured size cap,
+// rejecting unknown fields. It reports the failure as a requestProblem
+// so v1 and v2 handlers render it in their own envelope.
+func (s *Server) decodeBody(r *http.Request, w http.ResponseWriter, v any) *requestProblem {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &requestProblem{
+				status: http.StatusRequestEntityTooLarge,
+				code:   codeTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", s.maxBody),
+			}
+		}
+		return &requestProblem{
+			status: http.StatusBadRequest,
+			code:   codeInvalidRequest,
+			msg:    fmt.Sprintf("bad request body: %v", err),
+		}
+	}
+	return nil
+}
+
+// sweepJobRequest is the single validation layer for every surface that
+// accepts a sweep body (v1 /sweep, v2 job submission, v2 streaming): it
+// enforces the expanded-size limit — including against adversarial
+// spaces whose axis product overflows — and maps the wire request onto
+// a jobs.Request, preserving the space-only fast path. The error
+// messages are part of the v1 byte-compatibility contract.
+func (s *Server) sweepJobRequest(req SweepRequest) (jobs.Request, *requestProblem) {
+	specs := req.Specs
+	spaceOnly := false
+	if req.Space != nil {
+		// Size() saturates at math.MaxInt on overflowing axis products,
+		// and the two-step comparison avoids overflowing the sum, so a
+		// crafted space cannot slip past the limit into Expand.
+		size := req.Space.Size()
+		if size > s.maxSpecs || len(specs) > s.maxSpecs-size {
+			return jobs.Request{}, &requestProblem{
+				status: http.StatusRequestEntityTooLarge,
+				code:   codeTooLarge,
+				msg:    fmt.Sprintf("sweep of %d+%d specs exceeds the limit of %d", len(specs), size, s.maxSpecs),
+			}
+		}
+		spaceOnly = len(specs) == 0 && size > 0
+		if !spaceOnly {
+			specs = append(specs, req.Space.Expand()...)
+		}
+	}
+	if len(specs) == 0 && !spaceOnly {
+		return jobs.Request{}, &requestProblem{
+			status: http.StatusBadRequest,
+			code:   codeInvalidRequest,
+			msg:    "empty sweep: provide specs or a space",
+		}
+	}
+	if len(specs) > s.maxSpecs {
+		return jobs.Request{}, &requestProblem{
+			status: http.StatusRequestEntityTooLarge,
+			code:   codeTooLarge,
+			msg:    fmt.Sprintf("sweep of %d specs exceeds the limit of %d", len(specs), s.maxSpecs),
+		}
+	}
+	if spaceOnly {
+		// A pure space request keeps its Cartesian structure, so the
+		// engine can pre-resolve each axis value once and batch the
+		// speedup-over-procs fast path; mixed requests fall back to the
+		// flat spec list.
+		return jobs.Request{Kind: jobs.KindSweep, Space: req.Space}, nil
+	}
+	return jobs.Request{Kind: jobs.KindSweep, Specs: specs}, nil
+}
+
+// optimizeJobRequest maps one optimize query onto a single-spec
+// jobs.Request — the same core that v1 /optimize runs synchronously.
+func optimizeJobRequest(req OptimizeRequest) jobs.Request {
+	op := sweep.OpOptimize
+	if req.Snapped {
+		op = sweep.OpOptimizeSnapped
+	}
+	return jobs.Request{Kind: jobs.KindOptimize, Specs: []sweep.Spec{{
+		Op: op, N: req.N, Stencil: req.Stencil, Shape: req.Shape, Machine: req.Machine,
+	}}}
+}

@@ -269,9 +269,16 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 
 // run is Run with optional pre-resolved specs.
 func (e *Engine) run(ctx context.Context, specs []Spec, pre []preResolved) ([]Result, error) {
+	return collect(ctx, specs, e.stream(ctx, specs, pre))
+}
+
+// collect drains a result stream into submission order. On cancellation
+// the unfinished entries keep their submitted Spec and an Err of
+// ctx.Err(), and the context error is returned.
+func collect(ctx context.Context, specs []Spec, ch <-chan Result) ([]Result, error) {
 	results := make([]Result, len(specs))
 	done := make([]bool, len(specs))
-	for r := range e.stream(ctx, specs, pre) {
+	for r := range ch {
 		results[r.Index] = r
 		done[r.Index] = true
 	}
@@ -303,6 +310,26 @@ func (e *Engine) RunSpace(ctx context.Context, sp Space) ([]Result, error) {
 		return e.runSpeedupBatched(ctx, len(sp.Procs), specs, pre)
 	}
 	return e.run(ctx, specs, pre)
+}
+
+// StreamSpace expands a Cartesian space and streams results as they
+// complete, with the same space-aware evaluation as RunSpace: axis
+// values are pre-resolved once per space, and an OpSpeedup space with a
+// processor axis keeps the batched fast path (whole groups stream as
+// each completes). It returns the expanded spec count alongside the
+// channel — the progress denominator for callers tracking completion,
+// such as the jobs subsystem. A space whose axis product overflows is
+// rejected up front.
+func (e *Engine) StreamSpace(ctx context.Context, sp Space) (<-chan Result, int, error) {
+	if sp.Size() == math.MaxInt {
+		return nil, 0, fmt.Errorf("sweep: space axis product overflows; refusing to expand")
+	}
+	specs := sp.Expand()
+	pre := preResolveSpace(sp, specs)
+	if sp.Op == OpSpeedup && len(sp.Procs) > 1 {
+		return e.streamSpeedupBatched(ctx, len(sp.Procs), specs, pre), len(specs), nil
+	}
+	return e.stream(ctx, specs, pre), len(specs), nil
 }
 
 // preResolveSpace materializes each distinct axis value of the space
@@ -377,15 +404,22 @@ func preResolveSpace(sp Space, specs []Spec) []preResolved {
 }
 
 // runSpeedupBatched evaluates an OpSpeedup space whose processor axis
+// has length groupLen, collecting the batched stream into submission
+// order.
+func (e *Engine) runSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved) ([]Result, error) {
+	return collect(ctx, specs, e.streamSpeedupBatched(ctx, groupLen, specs, pre))
+}
+
+// streamSpeedupBatched streams an OpSpeedup space whose processor axis
 // has length groupLen. Expand keeps the procs axis innermost, so specs
 // come in contiguous groups sharing one (problem, machine) pair; each
 // group probes the cache for all members, then computes the absentees
 // with a single validated batch (core.SpeedupBatch — one serial-time
 // and one cycle-curve evaluation per group) instead of |Procs|
-// independent evaluations, and fans the results out.
-func (e *Engine) runSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved) ([]Result, error) {
-	results := make([]Result, len(specs))
-	done := make([]bool, len(specs))
+// independent evaluations, and fans the results out onto the channel as
+// each group completes.
+func (e *Engine) streamSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved) <-chan Result {
+	out := make(chan Result, e.workers)
 	groups := len(specs) / groupLen
 	var wg sync.WaitGroup
 	var cursor atomic.Int64
@@ -403,30 +437,25 @@ func (e *Engine) runSpeedupBatched(ctx context.Context, groupLen int, specs []Sp
 					return
 				}
 				base := g * groupLen
-				out := e.evalSpeedupGroup(ctx.Done(), specs[base:base+groupLen], pre[base:base+groupLen], base)
-				if out == nil {
+				rs := e.evalSpeedupGroup(ctx.Done(), specs[base:base+groupLen], pre[base:base+groupLen], base)
+				if rs == nil {
 					return // cancelled mid-group
 				}
-				// Groups own disjoint index ranges, so no lock is
-				// needed; wg.Wait orders these writes before the reads
-				// below.
-				for i, r := range out {
-					results[base+i] = r
-					done[base+i] = true
+				for _, r := range rs {
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}
 		}()
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		for i := range results {
-			if !done[i] {
-				results[i] = Result{Index: i, Spec: specs[i], Err: err}
-			}
-		}
-		return results, err
-	}
-	return results, nil
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
 }
 
 // evalSpeedupGroup answers one contiguous procs group. It returns nil

@@ -574,3 +574,83 @@ func machineSpecFor(t *testing.T, arch core.Architecture) core.MachineSpec {
 	}
 	return spec
 }
+
+func TestStreamSpaceMatchesRunSpace(t *testing.T) {
+	spaces := []Space{
+		testSpace(),
+		{
+			// Procs axis of length >1 exercises the batched streaming path.
+			Op:       OpSpeedup,
+			Ns:       []int{128, 256},
+			Stencils: []string{"5-point"},
+			Shapes:   []string{"square"},
+			Machines: []core.MachineSpec{{Type: "mesh"}, {Type: "sync-bus"}},
+			Procs:    []int{2, 8, 32},
+		},
+	}
+	for _, sp := range spaces {
+		want, err := New(Options{}).RunSpace(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, total, err := New(Options{}).StreamSpace(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != sp.Size() {
+			t.Fatalf("StreamSpace total %d, want %d", total, sp.Size())
+		}
+		got := make([]Result, total)
+		seen := 0
+		for r := range ch {
+			got[r.Index] = r
+			seen++
+		}
+		if seen != total {
+			t.Fatalf("streamed %d results, want %d", seen, total)
+		}
+		for i := range want {
+			if got[i].Value != want[i].Value || got[i].Grid != want[i].Grid ||
+				(got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("result %d diverges: stream %+v vs run %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamSpaceOverflowRejected(t *testing.T) {
+	axis := make([]int, 1<<13)
+	names := make([]string, 1<<13)
+	machines := make([]core.MachineSpec, 1<<13)
+	sp := Space{Ns: axis, Stencils: names, Shapes: names, Machines: machines, Procs: axis}
+	if _, _, err := New(Options{}).StreamSpace(context.Background(), sp); err == nil {
+		t.Fatal("StreamSpace expanded an overflowing space")
+	}
+}
+
+func TestStreamSpaceCancellation(t *testing.T) {
+	sp := Space{
+		Ns:       []int{64, 128, 256, 512, 1024},
+		Stencils: []string{"5-point", "9-point", "9-star", "13-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{{Type: "sync-bus"}, {Type: "banyan"}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, total, err := New(Options{Workers: 2}).StreamSpace(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for range ch {
+		got++
+		if got == 3 {
+			cancel()
+		}
+	}
+	// The channel must close promptly after cancellation without
+	// delivering the full space.
+	if got >= total {
+		t.Fatalf("cancelled stream delivered all %d results", total)
+	}
+}
