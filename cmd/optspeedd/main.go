@@ -22,6 +22,10 @@
 //
 //	optspeedd -addr :8080 -workers 8 -cache 8192 -job-ttl 15m
 //
+// Passing -pprof localhost:6060 additionally serves net/http/pprof on
+// that address (its own listener, never the API mux), so serving
+// hotspots can be profiled in place; it is off by default.
+//
 // Example queries:
 //
 //	curl -s localhost:8080/v1/optimize -d \
@@ -40,6 +44,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,10 +65,28 @@ func main() {
 		jobTTL   = flag.Duration("job-ttl", jobs.DefaultTTL, "retention of finished v2 jobs")
 		wTimeout = flag.Duration("write-timeout", 5*time.Minute, "response write timeout (streaming routes exempt themselves)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *pprofOn != "" {
+		// Profiling rides its own listener and mux, so the debug surface
+		// is never exposed on the API address and the API mux carries no
+		// pprof routes unless explicitly asked for.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, pmux); err != nil {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
 	engine := sweep.New(sweep.Options{Workers: *workers, CacheSize: *cacheSz})
 	srv := service.New(service.Config{
 		Engine:        engine,

@@ -88,9 +88,18 @@ type Snapshot struct {
 	Reason string
 }
 
+// SlabSize is the fixed capacity of one result slab. It equals
+// DefaultPageSize by construction, so a default-size cursor page is
+// exactly one slab subslice.
+const SlabSize = 256
+
 // Job is one tracked evaluation. All fields behind mu; results grow in
-// completion order and are append-only, which is what makes concurrent
-// cursor reads cheap and stable.
+// completion order into append-only fixed-size slabs: a million-result
+// job costs O(results/SlabSize) allocations instead of the amortized
+// doubling copies of one flat slice, cursor reads hand out subslices of
+// filled slab prefixes without copying (append-only means a handed-out
+// subslice is never rewritten), and eviction or TTL expiry frees whole
+// slabs at once with the job.
 type Job struct {
 	id     string
 	kind   Kind
@@ -105,7 +114,8 @@ type Job struct {
 	finished        time.Time
 	expires         time.Time // zero until terminal
 	progress        Progress
-	results         []sweep.Result
+	slabs           [][]sweep.Result // each cap SlabSize; only the last is unfilled
+	count           int              // total stored results
 	reason          string
 }
 
@@ -159,18 +169,70 @@ func (j *Job) start(now time.Time, total int) {
 	j.progress.Total = total
 }
 
-// append records one completed result, updating the live counters.
-func (j *Job) append(r sweep.Result) {
+// appendChunk copies one streamed chunk of results into the slabs and
+// updates the live counters under a single lock. The chunk's backing
+// buffer belongs to the engine's pool and is recycled by the caller
+// right after this returns, which is safe exactly because the results
+// are copied here — the slabs are the job's own storage.
+func (j *Job) appendChunk(rs []sweep.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.results = append(j.results, r)
-	j.progress.Completed++
-	switch {
-	case r.Err != nil:
-		j.progress.Errors++
-	case r.CacheHit:
-		j.progress.CacheHits++
+	for _, r := range rs {
+		j.progress.Completed++
+		switch {
+		case r.Err != nil:
+			j.progress.Errors++
+		case r.CacheHit:
+			j.progress.CacheHits++
+		}
 	}
+	for len(rs) > 0 {
+		if len(j.slabs) == 0 || len(j.slabs[len(j.slabs)-1]) == SlabSize {
+			j.slabs = append(j.slabs, make([]sweep.Result, 0, SlabSize))
+		}
+		last := len(j.slabs) - 1
+		n := SlabSize - len(j.slabs[last])
+		if n > len(rs) {
+			n = len(rs)
+		}
+		j.slabs[last] = append(j.slabs[last], rs[:n]...)
+		rs = rs[n:]
+		j.count += n
+	}
+}
+
+// page returns the stored results in [cursor, cursor+limit). A page
+// that fits inside one slab — every page at the default limit, since
+// DefaultPageSize equals SlabSize and default reads stay slab-aligned
+// — is a zero-copy subslice of that slab; the append-only slab
+// discipline is what makes handing out the subslice safe (later
+// appends only ever write indices past every previously returned
+// page). A larger limit spans slabs and is stitched into a fresh
+// slice, preserving the exact limit semantics pre-slab clients were
+// written against. Caller holds j.mu.
+func (j *Job) page(cursor, limit int) []sweep.Result {
+	end := cursor + limit
+	if end > j.count {
+		end = j.count
+	}
+	if end <= cursor {
+		return nil
+	}
+	si, off := cursor/SlabSize, cursor%SlabSize
+	if boundary := (si + 1) * SlabSize; end <= boundary {
+		return j.slabs[si][off : off+(end-cursor)]
+	}
+	out := make([]sweep.Result, 0, end-cursor)
+	for cursor < end {
+		si, off = cursor/SlabSize, cursor%SlabSize
+		stop := end - si*SlabSize
+		if stop > SlabSize {
+			stop = SlabSize
+		}
+		out = append(out, j.slabs[si][off:stop]...)
+		cursor += stop - off
+	}
+	return out
 }
 
 // finish performs the terminal transition and arms the TTL clock.

@@ -18,11 +18,14 @@ var (
 	ErrBadCursor = errors.New("jobs: invalid results cursor")
 )
 
-// Defaults for Options zero values.
+// Defaults for Options zero values. DefaultPageSize equals SlabSize so
+// a default-size page is exactly one zero-copy slab subslice;
+// MaxPageSize is the ceiling on the limit parameter (larger pages span
+// slabs and are stitched with one copy).
 const (
 	DefaultCapacity = 1024
 	DefaultTTL      = 15 * time.Minute
-	DefaultPageSize = 256
+	DefaultPageSize = SlabSize
 	MaxPageSize     = 8192
 )
 
@@ -132,7 +135,10 @@ func (s *Store) Submit(req Request) (Snapshot, error) {
 }
 
 // run drives one job to a terminal state, feeding its progress counters
-// from the engine's incremental stream.
+// from the engine's incremental chunk stream. Each chunk is copied into
+// the job's slabs under one lock and its buffer handed straight back to
+// the engine's pool, so the store adds no per-result allocation of its
+// own to the pipeline.
 func (s *Store) run(ctx context.Context, j *Job, req Request) {
 	defer j.cancel() // release the context's resources
 	ch, total, err := s.Open(ctx, req)
@@ -142,8 +148,9 @@ func (s *Store) run(ctx context.Context, j *Job, req Request) {
 		return
 	}
 	j.start(s.now(), total)
-	for r := range ch {
-		j.append(r)
+	for c := range ch {
+		j.appendChunk(c.Results)
+		s.engine.Recycle(c)
 	}
 	state, reason := terminalFor(j, ctx, total)
 	j.finish(s.now(), s.ttl, state, reason)
@@ -175,13 +182,14 @@ func terminalFor(j *Job, ctx context.Context, total int) (State, string) {
 // — the single definition of the request→engine dispatch, shared by
 // the job runner and the service's NDJSON streaming endpoint. Spaces
 // keep the engine's space-aware path (axis pre-resolution, batched
-// speedup groups); flat lists stream spec by spec. The int is the
-// total spec count (the progress denominator).
-func (s *Store) Open(ctx context.Context, req Request) (<-chan sweep.Result, int, error) {
+// speedup groups); flat lists stream spec by spec. Results arrive in
+// reusable chunks that the consumer returns via Engine.Recycle. The
+// int is the total spec count (the progress denominator).
+func (s *Store) Open(ctx context.Context, req Request) (<-chan *sweep.Chunk, int, error) {
 	if req.Space != nil {
-		return s.engine.StreamSpace(ctx, *req.Space)
+		return s.engine.StreamSpaceChunks(ctx, *req.Space)
 	}
-	return s.engine.Stream(ctx, req.Specs), len(req.Specs), nil
+	return s.engine.StreamChunks(ctx, req.Specs), len(req.Specs), nil
 }
 
 // RunSync runs one request synchronously, bound to the caller's
@@ -255,6 +263,14 @@ func (s *Store) Wait(ctx context.Context, id string) (Snapshot, error) {
 // so NextCursor from one page is always a valid cursor for the next.
 // Done reports that the job is terminal and the cursor has reached the
 // end — no further results will ever appear.
+//
+// Results that fit inside one storage slab — every default-limit read
+// — are a zero-copy subslice of it, valid after the lock is released
+// (the slab prefix a page covers is never rewritten) and even after
+// the job expires (the slab lives as long as the page references it);
+// limits beyond SlabSize span slabs and are stitched into a fresh
+// slice, so the limit semantics are unchanged from the flat-slice
+// store.
 type Page struct {
 	Results    []sweep.Result
 	NextCursor int
@@ -263,7 +279,9 @@ type Page struct {
 }
 
 // Results reads up to limit results starting at cursor (0 = from the
-// beginning; limit <= 0 = DefaultPageSize, capped at MaxPageSize).
+// beginning; limit <= 0 = DefaultPageSize, capped at MaxPageSize). The
+// returned page is a read-only view into the job's slab storage —
+// copied only when the range spans more than one slab (see Page).
 func (s *Store) Results(id string, cursor, limit int) (Page, error) {
 	j, err := s.lookup(id)
 	if err != nil {
@@ -277,20 +295,15 @@ func (s *Store) Results(id string, cursor, limit int) (Page, error) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if cursor < 0 || cursor > len(j.results) {
-		return Page{}, fmt.Errorf("%w: %d not in [0, %d]", ErrBadCursor, cursor, len(j.results))
+	if cursor < 0 || cursor > j.count {
+		return Page{}, fmt.Errorf("%w: %d not in [0, %d]", ErrBadCursor, cursor, j.count)
 	}
-	end := cursor + limit
-	if end > len(j.results) {
-		end = len(j.results)
-	}
-	page := make([]sweep.Result, end-cursor)
-	copy(page, j.results[cursor:end])
+	page := j.page(cursor, limit)
 	return Page{
 		Results:    page,
-		NextCursor: end,
+		NextCursor: cursor + len(page),
 		State:      j.state,
-		Done:       j.state.Terminal() && end == len(j.results),
+		Done:       j.state.Terminal() && cursor+len(page) == j.count,
 	}, nil
 }
 

@@ -16,7 +16,7 @@ type ArchitecturesResponse struct {
 	Shapes        []string            `json:"shapes"`
 }
 
-func (s *Server) handleArchitectures(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleArchitectures(w http.ResponseWriter, r *http.Request) {
 	resp := ArchitecturesResponse{
 		Architectures: core.Catalog(),
 		Shapes:        []string{"strip", "square"},
@@ -24,7 +24,7 @@ func (s *Server) handleArchitectures(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range stencil.Builtins() {
 		resp.Stencils = append(resp.Stencils, st.Name())
 	}
-	writeJSONPretty(w, http.StatusOK, resp)
+	s.writeJSONPretty(w, r, http.StatusOK, resp)
 }
 
 // MetricsResponse reports per-endpoint latency and engine counters.
@@ -34,8 +34,8 @@ type MetricsResponse struct {
 	Engine        sweep.Stats                 `json:"engine"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSONPretty(w, http.StatusOK, MetricsResponse{
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSONPretty(w, r, http.StatusOK, MetricsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Endpoints:     s.metrics.snapshot(),
 		Engine:        s.engine.Stats(),

@@ -1,0 +1,316 @@
+// Hand-rolled JSON wire encoders for the hot result types. The generic
+// encoding/json path reflects over every value and allocates per
+// result; a maximum-size sweep response re-marshals tens of thousands
+// of results per request, which made serialization the dominant cost of
+// the serving path once the engine itself went allocation-free. These
+// appenders write the exact bytes encoding/json would produce
+// (including its HTML escaping and float formatting quirks — pinned by
+// the byte-identity tests in encode_test.go) into pooled buffers, so
+// NDJSON streaming and cursor pages cost at most one amortized
+// allocation per result.
+package service
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"optspeed/internal/sweep"
+)
+
+// bufPool holds response build buffers. Buffers that grew beyond
+// maxPooledBuf (a pathological single response) are dropped instead of
+// pinning their memory in the pool.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+const maxPooledBuf = 1 << 20
+
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string exactly as encoding/json
+// does with its default HTML escaping: printable ASCII except
+// ", \, <, > and & passes through; \n, \r, \t use short escapes; other
+// control bytes (and <, >, &) become \u00xx; invalid UTF-8 becomes
+// �; and U+2028/U+2029 are escaped for JS embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= ' ' && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json formats a float64:
+// shortest representation, fixed notation inside [1e-6, 1e21),
+// exponent notation outside it with a single-digit exponent left
+// unpadded (e-7, not e-07). NaN and infinities are not representable in
+// JSON — encoding/json fails the whole marshal; the model only emits
+// finite values on success paths, and the byte-identity tests pin the
+// finite behavior — so they encode as null here rather than corrupting
+// the payload mid-write.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, matching encoding/json.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendSpec appends one sweep.Spec with the field order and omitempty
+// behavior of its struct tags.
+func appendSpec(dst []byte, s *sweep.Spec) []byte {
+	dst = append(dst, '{')
+	if s.Op != "" {
+		dst = append(dst, `"op":`...)
+		dst = appendJSONString(dst, string(s.Op))
+		dst = append(dst, ',')
+	}
+	dst = append(dst, `"n":`...)
+	dst = strconv.AppendInt(dst, int64(s.N), 10)
+	dst = append(dst, `,"stencil":`...)
+	dst = appendJSONString(dst, s.Stencil)
+	dst = append(dst, `,"shape":`...)
+	dst = appendJSONString(dst, s.Shape)
+	dst = append(dst, `,"machine":{"type":`...)
+	dst = appendJSONString(dst, s.Machine.Type)
+	if s.Machine.Procs != 0 {
+		dst = append(dst, `,"procs":`...)
+		dst = strconv.AppendInt(dst, int64(s.Machine.Procs), 10)
+	}
+	if s.Machine.Tflp != 0 {
+		dst = append(dst, `,"tflp":`...)
+		dst = appendJSONFloat(dst, s.Machine.Tflp)
+	}
+	if s.Machine.BusCycle != 0 {
+		dst = append(dst, `,"b":`...)
+		dst = appendJSONFloat(dst, s.Machine.BusCycle)
+	}
+	if s.Machine.BusOverhead != 0 {
+		dst = append(dst, `,"c":`...)
+		dst = appendJSONFloat(dst, s.Machine.BusOverhead)
+	}
+	if s.Machine.Alpha != 0 {
+		dst = append(dst, `,"alpha":`...)
+		dst = appendJSONFloat(dst, s.Machine.Alpha)
+	}
+	if s.Machine.Beta != 0 {
+		dst = append(dst, `,"beta":`...)
+		dst = appendJSONFloat(dst, s.Machine.Beta)
+	}
+	if s.Machine.PacketWords != 0 {
+		dst = append(dst, `,"packet":`...)
+		dst = appendJSONFloat(dst, s.Machine.PacketWords)
+	}
+	if s.Machine.SwitchTime != 0 {
+		dst = append(dst, `,"w":`...)
+		dst = appendJSONFloat(dst, s.Machine.SwitchTime)
+	}
+	if s.Machine.ReadsOnly {
+		dst = append(dst, `,"reads_only":true`...)
+	}
+	if s.Machine.ConvHW {
+		dst = append(dst, `,"convergence_hardware":true`...)
+	}
+	dst = append(dst, '}')
+	if s.Procs != 0 {
+		dst = append(dst, `,"procs":`...)
+		dst = strconv.AppendInt(dst, int64(s.Procs), 10)
+	}
+	if s.Target != 0 {
+		dst = append(dst, `,"target":`...)
+		dst = appendJSONFloat(dst, s.Target)
+	}
+	if s.PointsPerProc != 0 {
+		dst = append(dst, `,"points_per_proc":`...)
+		dst = appendJSONFloat(dst, s.PointsPerProc)
+	}
+	return append(dst, '}')
+}
+
+// appendSweepResult appends one SweepResultJSON.
+func appendSweepResult(dst []byte, r *SweepResultJSON) []byte {
+	dst = append(dst, `{"index":`...)
+	dst = strconv.AppendInt(dst, int64(r.Index), 10)
+	dst = append(dst, `,"spec":`...)
+	dst = appendSpec(dst, &r.Spec)
+	dst = append(dst, `,"cache_hit":`...)
+	dst = appendBool(dst, r.CacheHit)
+	if r.Procs != 0 {
+		dst = append(dst, `,"procs":`...)
+		dst = strconv.AppendInt(dst, int64(r.Procs), 10)
+	}
+	if r.ProcsUsed != 0 {
+		dst = append(dst, `,"procs_used":`...)
+		dst = appendJSONFloat(dst, r.ProcsUsed)
+	}
+	if r.Area != 0 {
+		dst = append(dst, `,"area":`...)
+		dst = appendJSONFloat(dst, r.Area)
+	}
+	if r.CycleTime != 0 {
+		dst = append(dst, `,"cycle_time":`...)
+		dst = appendJSONFloat(dst, r.CycleTime)
+	}
+	if r.Speedup != 0 {
+		dst = append(dst, `,"speedup":`...)
+		dst = appendJSONFloat(dst, r.Speedup)
+	}
+	if r.Grid != 0 {
+		dst = append(dst, `,"grid":`...)
+		dst = strconv.AppendInt(dst, int64(r.Grid), 10)
+	}
+	if r.Value != 0 {
+		dst = append(dst, `,"value":`...)
+		dst = appendJSONFloat(dst, r.Value)
+	}
+	if r.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, r.Error)
+	}
+	return append(dst, '}')
+}
+
+// appendSweepStats appends one SweepStats object.
+func appendSweepStats(dst []byte, st *SweepStats) []byte {
+	dst = append(dst, `{"specs":`...)
+	dst = strconv.AppendInt(dst, int64(st.Specs), 10)
+	dst = append(dst, `,"cache_hits":`...)
+	dst = strconv.AppendInt(dst, int64(st.CacheHits), 10)
+	dst = append(dst, `,"evaluated":`...)
+	dst = strconv.AppendInt(dst, int64(st.Evaluated), 10)
+	dst = append(dst, `,"errors":`...)
+	dst = strconv.AppendInt(dst, int64(st.Errors), 10)
+	return append(dst, '}')
+}
+
+// appendStreamResultLine appends one NDJSON result line of
+// POST /v2/sweeps/stream — {"result":{...}} plus the newline
+// json.Encoder.Encode used to emit.
+func appendStreamResultLine(dst []byte, r *SweepResultJSON) []byte {
+	dst = append(dst, `{"result":`...)
+	dst = appendSweepResult(dst, r)
+	return append(dst, '}', '\n')
+}
+
+// appendStreamDoneLine appends the final NDJSON line —
+// {"done":true,"stats":{...}} plus newline.
+func appendStreamDoneLine(dst []byte, st *SweepStats) []byte {
+	dst = append(dst, `{"done":true,"stats":`...)
+	dst = appendSweepStats(dst, st)
+	return append(dst, '}', '\n')
+}
+
+// appendSweepResponse appends the full v1 /sweep body straight from the
+// engine results — {"results":[...],"stats":{...}} plus newline —
+// without materializing the intermediate []SweepResultJSON.
+func appendSweepResponse(dst []byte, results []sweep.Result, st *SweepStats) []byte {
+	dst = append(dst, `{"results":[`...)
+	for i := range results {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		jr := sweepResultJSON(results[i])
+		dst = appendSweepResult(dst, &jr)
+	}
+	dst = append(dst, `],"stats":`...)
+	dst = appendSweepStats(dst, st)
+	return append(dst, '}', '\n')
+}
+
+// appendJobResultsPage appends the full GET /v2/jobs/{id}/results body
+// — the JobResultsResponse shape — straight from a zero-copy slab page.
+func appendJobResultsPage(dst []byte, jobID, state string, results []sweep.Result, nextCursor int, done bool) []byte {
+	dst = append(dst, `{"job_id":`...)
+	dst = appendJSONString(dst, jobID)
+	dst = append(dst, `,"state":`...)
+	dst = appendJSONString(dst, state)
+	dst = append(dst, `,"results":[`...)
+	for i := range results {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		jr := sweepResultJSON(results[i])
+		dst = appendSweepResult(dst, &jr)
+	}
+	dst = append(dst, `],"next_cursor":"`...)
+	dst = strconv.AppendInt(dst, int64(nextCursor), 10)
+	dst = append(dst, `","done":`...)
+	dst = appendBool(dst, done)
+	return append(dst, '}', '\n')
+}

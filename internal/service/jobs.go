@@ -93,56 +93,56 @@ func storeProblem(err error) *requestProblem {
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobSubmitRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
-		prob.writeV2(w, r)
+		prob.writeV2(s, w, r)
 		return
 	}
 	var jreq jobs.Request
 	switch {
 	case req.Sweep != nil && req.Optimize != nil:
-		writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+		s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
 			"provide exactly one of sweep or optimize")
 		return
 	case req.Sweep != nil:
 		if req.Kind != "" && req.Kind != string(jobs.KindSweep) {
-			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+			s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
 				"kind %q does not match the sweep payload", req.Kind)
 			return
 		}
 		var prob *requestProblem
 		jreq, prob = s.sweepJobRequest(*req.Sweep)
 		if prob != nil {
-			prob.writeV2(w, r)
+			prob.writeV2(s, w, r)
 			return
 		}
 	case req.Optimize != nil:
 		if req.Kind != "" && req.Kind != string(jobs.KindOptimize) {
-			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+			s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
 				"kind %q does not match the optimize payload", req.Kind)
 			return
 		}
 		jreq = optimizeJobRequest(*req.Optimize)
 	default:
-		writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+		s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
 			"provide a sweep or optimize payload")
 		return
 	}
 	snap, err := s.store.Submit(jreq)
 	if err != nil {
-		storeProblem(err).writeV2(w, r)
+		storeProblem(err).writeV2(s, w, r)
 		return
 	}
 	w.Header().Set("Location", "/v2/jobs/"+snap.ID)
-	writeJSON(w, http.StatusAccepted, jobJSON(snap))
+	s.writeJSON(w, r, http.StatusAccepted, jobJSON(snap))
 }
 
 // handleJobGet reports one job's status and live progress.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.store.Get(r.PathValue("id"))
 	if err != nil {
-		storeProblem(err).writeV2(w, r)
+		storeProblem(err).writeV2(s, w, r)
 		return
 	}
-	writeJSON(w, http.StatusOK, jobJSON(snap))
+	s.writeJSON(w, r, http.StatusOK, jobJSON(snap))
 }
 
 // JobListResponse is the body of GET /v2/jobs.
@@ -163,7 +163,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	for i, snap := range snaps {
 		resp.Jobs[i] = jobJSON(snap)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // JobResultsResponse is one cursor page of a job's results. Results are
@@ -188,7 +188,7 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		var err error
 		cursor, err = strconv.Atoi(raw)
 		if err != nil {
-			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+			s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
 				"invalid cursor %q", raw)
 			return
 		}
@@ -198,27 +198,24 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		var err error
 		limit, err = strconv.Atoi(raw)
 		if err != nil || limit < 0 {
-			writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
+			s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest,
 				"invalid limit %q", raw)
 			return
 		}
 	}
 	page, err := s.store.Results(r.PathValue("id"), cursor, limit)
 	if err != nil {
-		storeProblem(err).writeV2(w, r)
+		storeProblem(err).writeV2(s, w, r)
 		return
 	}
-	resp := JobResultsResponse{
-		JobID:      r.PathValue("id"),
-		State:      string(page.State),
-		Results:    make([]SweepResultJSON, len(page.Results)),
-		NextCursor: strconv.Itoa(page.NextCursor),
-		Done:       page.Done,
-	}
-	for i, res := range page.Results {
-		resp.Results[i] = sweepResultJSON(res)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// The page is a zero-copy subslice of the job's slab storage; the
+	// AppendJSON encoder serializes it straight into a pooled buffer, so
+	// a results read allocates nothing per result end to end.
+	buf := getBuf()
+	*buf = appendJobResultsPage(*buf, r.PathValue("id"), string(page.State),
+		page.Results, page.NextCursor, page.Done)
+	s.writeRaw(w, r, http.StatusOK, *buf)
+	putBuf(buf)
 }
 
 // handleJobCancel requests cancellation and returns the job resource,
@@ -227,8 +224,8 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.store.Cancel(r.PathValue("id"))
 	if err != nil {
-		storeProblem(err).writeV2(w, r)
+		storeProblem(err).writeV2(s, w, r)
 		return
 	}
-	writeJSON(w, http.StatusOK, jobJSON(snap))
+	s.writeJSON(w, r, http.StatusOK, jobJSON(snap))
 }

@@ -40,7 +40,7 @@ type OptimizeResponse struct {
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
-		prob.writeV1(w)
+		prob.writeV1(s, w, r)
 		return
 	}
 	results, err := s.store.RunSync(r.Context(), optimizeJobRequest(req))
@@ -55,13 +55,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// A recovered panic is a server defect: 500, without the panic
 		// text. Everything else is a bad spec.
 		if errors.Is(res.Err, sweep.ErrEvaluationPanic) {
-			writeError(w, http.StatusInternalServerError, "internal evaluation error")
+			s.writeError(w, r, http.StatusInternalServerError, "internal evaluation error")
 			return
 		}
-		writeError(w, http.StatusBadRequest, "%v", res.Err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", res.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{
+	s.writeJSON(w, r, http.StatusOK, OptimizeResponse{
 		N:         req.N,
 		Stencil:   req.Stencil,
 		Shape:     req.Shape,

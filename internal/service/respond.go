@@ -3,25 +3,56 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 )
 
+// logEncodeError records a response-encoding or response-write failure
+// at error level, tagged with the middleware's request id so the access
+// log line and the failure correlate. Encode errors were previously
+// discarded, which hid both marshal bugs (unrepresentable values) and
+// mid-body client disconnects on large sweep responses.
+func (s *Server) logEncodeError(r *http.Request, err error) {
+	if s.logger == nil || err == nil {
+		return
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelError, "response encode failed",
+		slog.String("request_id", RequestIDFrom(r.Context())),
+		slog.String("path", r.URL.Path),
+		slog.String("error", err.Error()),
+	)
+}
+
 // writeJSON emits compact JSON: sweep responses at the request limit run
 // to tens of MB, where indentation is pure wire overhead.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logEncodeError(r, err)
+	}
 }
 
 // writeJSONPretty indents the small human-facing catalog and metrics
 // payloads.
-func writeJSONPretty(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSONPretty(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logEncodeError(r, err)
+	}
+}
+
+// writeRaw emits a pre-encoded JSON body built by the AppendJSON
+// encoders (already newline-terminated, matching json.Encoder output).
+func (s *Server) writeRaw(w http.ResponseWriter, r *http.Request, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		s.logEncodeError(r, err)
+	}
 }
 
 // errorResponse is the v1 error envelope. Its shape is part of the
@@ -31,8 +62,8 @@ type errorResponse struct {
 }
 
 // writeError emits a v1-style error.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	s.writeJSON(w, r, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // v2 error codes. Stable machine-readable strings; the human text in
@@ -62,8 +93,8 @@ type v2ErrorResponse struct {
 
 // writeV2Error emits a v2 error envelope, stamping the request id from
 // the request context.
-func writeV2Error(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
-	writeJSON(w, status, v2ErrorResponse{Error: apiErrorBody{
+func (s *Server) writeV2Error(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	s.writeJSON(w, r, status, v2ErrorResponse{Error: apiErrorBody{
 		Code:      code,
 		Message:   fmt.Sprintf(format, args...),
 		RequestID: RequestIDFrom(r.Context()),
@@ -79,10 +110,10 @@ type requestProblem struct {
 	msg    string
 }
 
-func (p *requestProblem) writeV1(w http.ResponseWriter) {
-	writeError(w, p.status, "%s", p.msg)
+func (p *requestProblem) writeV1(s *Server, w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, r, p.status, "%s", p.msg)
 }
 
-func (p *requestProblem) writeV2(w http.ResponseWriter, r *http.Request) {
-	writeV2Error(w, r, p.status, p.code, "%s", p.msg)
+func (p *requestProblem) writeV2(s *Server, w http.ResponseWriter, r *http.Request) {
+	s.writeV2Error(w, r, p.status, p.code, "%s", p.msg)
 }

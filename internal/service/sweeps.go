@@ -1,7 +1,6 @@
 package service
 
 import (
-	"encoding/json"
 	"errors"
 	"net/http"
 	"time"
@@ -23,6 +22,11 @@ type SweepRequest struct {
 // Grid for the grid searches, Value for scalar ops, and ProcsUsed (a
 // real-valued processor count, plus CycleTime/Speedup) for scaled
 // points, where the machine grows fractionally with the problem.
+//
+// On the hot paths (v1 /sweep bodies, results pages, NDJSON lines) the
+// wire bytes are produced by the AppendJSON encoders in encode.go, not
+// encoding/json; the struct tags here remain the contract the encoders
+// are held to byte-for-byte by the encode_test.go identity tests.
 type SweepResultJSON struct {
 	Index     int        `json:"index"`
 	Spec      sweep.Spec `json:"spec"`
@@ -77,7 +81,7 @@ type SweepStats struct {
 }
 
 // observe counts one result.
-func (st *SweepStats) observe(res sweep.Result) {
+func (st *SweepStats) observe(res *sweep.Result) {
 	st.Specs++
 	switch {
 	case res.Err != nil:
@@ -89,7 +93,9 @@ func (st *SweepStats) observe(res sweep.Result) {
 	}
 }
 
-// SweepResponse is the body of a completed v1 sweep.
+// SweepResponse is the body of a completed v1 sweep. The hot path
+// encodes this shape through appendSweepResponse; the struct remains
+// for clients and the encoder-identity tests.
 type SweepResponse struct {
 	Results []SweepResultJSON `json:"results"`
 	Stats   SweepStats        `json:"stats"`
@@ -97,16 +103,18 @@ type SweepResponse struct {
 
 // handleSweep is the v1 synchronous adapter: the batch runs through the
 // same jobs core as v2 — bound to the request context, never retained —
-// and the full response is returned at once.
+// and the full response is serialized once into a pooled buffer by the
+// AppendJSON encoder (byte-identical to the old encoding/json output,
+// without its per-result reflection and allocation).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
-		prob.writeV1(w)
+		prob.writeV1(s, w, r)
 		return
 	}
 	jreq, prob := s.sweepJobRequest(req)
 	if prob != nil {
-		prob.writeV1(w)
+		prob.writeV1(s, w, r)
 		return
 	}
 	results, err := s.store.RunSync(r.Context(), jreq)
@@ -116,43 +124,48 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(statusClientClosedRequest)
 		return
 	}
-	resp := SweepResponse{Results: make([]SweepResultJSON, len(results))}
-	for i, res := range results {
-		resp.Results[i] = sweepResultJSON(res)
-		resp.Stats.observe(res)
+	var stats SweepStats
+	for i := range results {
+		stats.observe(&results[i])
 	}
-	writeJSON(w, http.StatusOK, resp)
+	buf := getBuf()
+	*buf = appendSweepResponse(*buf, results, &stats)
+	s.writeRaw(w, r, http.StatusOK, *buf)
+	putBuf(buf)
 }
 
 // StreamLine is one NDJSON line of POST /v2/sweeps/stream: result lines
-// carry Result; the final line carries Done plus the run's Stats.
+// carry Result; the final line carries Done plus the run's Stats. The
+// wire bytes come from appendStreamResultLine/appendStreamDoneLine.
 type StreamLine struct {
 	Result *SweepResultJSON `json:"result,omitempty"`
 	Done   bool             `json:"done,omitempty"`
 	Stats  *SweepStats      `json:"stats,omitempty"`
 }
 
-// handleSweepStream streams results straight off the engine channel as
-// NDJSON, flushing per result so clients see points as they are
-// computed. The response clears the connection's write deadline for its
-// own duration, exempting long streams from the daemon's blanket
-// WriteTimeout.
+// handleSweepStream streams results straight off the engine's chunk
+// channel as NDJSON — one line per result, encoded into a pooled
+// buffer, flushed once per chunk (per result when the engine is the
+// bottleneck, batched under backpressure) — and hands each chunk
+// buffer back to the engine's pool. The response clears the
+// connection's write deadline for its own duration, exempting long
+// streams from the daemon's blanket WriteTimeout.
 func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
-		prob.writeV2(w, r)
+		prob.writeV2(s, w, r)
 		return
 	}
 	jreq, prob := s.sweepJobRequest(req)
 	if prob != nil {
-		prob.writeV2(w, r)
+		prob.writeV2(s, w, r)
 		return
 	}
 	// The jobs core owns the request→engine dispatch (space fast path
 	// vs flat specs); the stream endpoint just doesn't register a job.
 	ch, _, err := s.store.Open(r.Context(), jreq)
 	if err != nil {
-		writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		s.writeV2Error(w, r, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
 
@@ -164,12 +177,19 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	_ = rc.SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
+	buf := getBuf()
+	defer putBuf(buf)
+	engine := s.store.Engine()
 	var stats SweepStats
-	for res := range ch {
-		stats.observe(res)
-		jr := sweepResultJSON(res)
-		if err := enc.Encode(StreamLine{Result: &jr}); err != nil {
+	for c := range ch {
+		*buf = (*buf)[:0]
+		for i := range c.Results {
+			stats.observe(&c.Results[i])
+			jr := sweepResultJSON(c.Results[i])
+			*buf = appendStreamResultLine(*buf, &jr)
+		}
+		engine.Recycle(c)
+		if _, err := w.Write(*buf); err != nil {
 			return // client gone; the engine stream stops with the context
 		}
 		_ = rc.Flush()
@@ -177,6 +197,10 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	if r.Context().Err() != nil {
 		return
 	}
-	_ = enc.Encode(StreamLine{Done: true, Stats: &stats})
+	*buf = appendStreamDoneLine((*buf)[:0], &stats)
+	if _, err := w.Write(*buf); err != nil {
+		s.logEncodeError(r, err)
+		return
+	}
 	_ = rc.Flush()
 }

@@ -1,7 +1,6 @@
 package sweep
 
 import (
-	"container/list"
 	"errors"
 	"sync"
 )
@@ -16,6 +15,16 @@ var ErrWaitCancelled = errors.New("sweep: cancelled while waiting for an in-flig
 // so the configured capacity stays exact.
 const maxCacheShards = 16
 
+// closedCh is the shared pre-closed done channel of every entry
+// inserted already complete (put/putBatch): completed entries never
+// need a private channel, which keeps a bulk insert at one slab
+// allocation for the whole batch.
+var closedCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // cache is a sharded, bounded LRU memoization table with in-flight
 // coalescing: struct keys hash to one of up to maxCacheShards
 // independent shards, so concurrent lookups from the worker pool
@@ -24,29 +33,43 @@ const maxCacheShards = 16
 // for the same key block on the entry instead of recomputing (the
 // request-coalescing behavior the HTTP service relies on when
 // identical per-spec sweeps arrive concurrently). The batched speedup
-// path uses peek/put instead and trades that per-key coalescing for
-// whole-group batching: concurrent identical cold batched sweeps may
-// duplicate a group computation (the first put wins), but completed
-// entries still serve everyone afterwards. Failed computations are not
-// retained, so a transient error never poisons the cache.
+// path uses peek/putBatch instead and trades that per-key coalescing
+// for whole-group batching: concurrent identical cold batched sweeps
+// may duplicate a group computation (the first insert wins), but
+// completed entries still serve everyone afterwards. Failed
+// computations are not retained, so a transient error never poisons
+// the cache.
 type cache struct {
 	shards []*cacheShard
 }
 
-// cacheShard is one independently locked LRU.
+// cacheShard is one independently locked LRU over intrusively linked
+// entries: the list pointers live inside centry, so inserting an entry
+// costs no container node beyond the entry itself, and a batch insert
+// of n entries costs one []centry slab.
 type cacheShard struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used; values are *centry
-	idx map[specKey]*list.Element
+	mu   sync.Mutex
+	cap  int
+	n    int     // resident entries
+	head *centry // most recently used
+	tail *centry // least recently used
+	idx  map[specKey]*centry
 }
 
-// centry is one cache slot. done is closed once out is populated;
-// waiters hold the pointer, so eviction never races a fill.
+// centry is one cache slot. done is closed once out is populated
+// (entries inserted complete share the closedCh sentinel); waiters
+// hold the pointer, so eviction never races a fill. prev/next are the
+// shard's intrusive LRU links, owned by the shard lock; an evicted
+// entry's links are cleared but the entry stays valid for any waiter
+// still holding it. Entries inserted by putBatch live in a shared slab
+// ([]centry), so an evicted slab member keeps its slab reachable until
+// every member is gone — acceptable, because a batch's members enter
+// together and age out of the LRU together.
 type centry struct {
-	key  specKey
-	done chan struct{}
-	out  outcome
+	key        specKey
+	done       chan struct{}
+	out        outcome
+	prev, next *centry
 }
 
 func newCache(capacity int) *cache {
@@ -71,16 +94,65 @@ func newCache(capacity int) *cache {
 	if per < 1 {
 		per = 1
 	}
+	// The index maps start empty and grow with residency: specKey is a
+	// wide struct, so presizing buckets for the configured capacity
+	// would charge every engine construction hundreds of KB up front —
+	// the wrong trade for the common small sweep.
 	for i := range c.shards {
-		c.shards[i] = &cacheShard{cap: per, ll: list.New(), idx: make(map[specKey]*list.Element)}
+		c.shards[i] = &cacheShard{cap: per, idx: make(map[specKey]*centry)}
 	}
 	return c
 }
 
-// shardFor picks the key's shard from the struct key's inline hash (no
-// allocation on the per-spec hot path).
-func (c *cache) shardFor(key specKey) *cacheShard {
-	return c.shards[key.hash()%uint64(len(c.shards))]
+// --- intrusive LRU plumbing (all under the shard lock) ---
+
+// pushFront links a fresh entry as most recently used.
+func (s *cacheShard) pushFront(e *centry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	s.n++
+}
+
+// unlink removes an entry from the LRU list without touching the index.
+func (s *cacheShard) unlink(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	s.n--
+}
+
+// moveToFront marks an entry most recently used.
+func (s *cacheShard) moveToFront(e *centry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// evictOver drops least-recently-used entries until the shard is within
+// capacity.
+func (s *cacheShard) evictOver() {
+	for s.n > s.cap {
+		oldest := s.tail
+		s.unlink(oldest)
+		delete(s.idx, oldest.key)
+	}
 }
 
 // getOrCompute returns the outcome for key, computing it with fn on a
@@ -94,11 +166,16 @@ func (c *cache) getOrCompute(cancel <-chan struct{}, key specKey, fn func() outc
 	return c.shardFor(key).getOrCompute(cancel, key, fn)
 }
 
+// shardFor picks the key's shard from the struct key's inline hash (no
+// allocation on the per-spec hot path).
+func (c *cache) shardFor(key specKey) *cacheShard {
+	return c.shards[key.hash()%uint64(len(c.shards))]
+}
+
 func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key specKey, fn func() outcome) (outcome, bool) {
 	s.mu.Lock()
-	if el, ok := s.idx[key]; ok {
-		s.ll.MoveToFront(el)
-		e := el.Value.(*centry)
+	if e, ok := s.idx[key]; ok {
+		s.moveToFront(e)
 		s.mu.Unlock()
 		select {
 		case <-e.done:
@@ -111,23 +188,19 @@ func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key specKey, fn func()
 		}
 	}
 	e := &centry{key: key, done: make(chan struct{})}
-	el := s.ll.PushFront(e)
-	s.idx[key] = el
-	for s.ll.Len() > s.cap {
-		oldest := s.ll.Back()
-		s.ll.Remove(oldest)
-		delete(s.idx, oldest.Value.(*centry).key)
-	}
+	s.pushFront(e)
+	s.idx[key] = e
+	s.evictOver()
 	s.mu.Unlock()
 
 	e.out = fn()
 	close(e.done)
 	if e.out.err != nil {
 		s.mu.Lock()
-		// The element may already have been evicted; only remove it if
+		// The entry may already have been evicted; only remove it if
 		// the index still maps the key to this entry.
-		if cur, ok := s.idx[key]; ok && cur.Value.(*centry) == e {
-			s.ll.Remove(cur)
+		if cur, ok := s.idx[key]; ok && cur == e {
+			s.unlink(cur)
 			delete(s.idx, key)
 		}
 		s.mu.Unlock()
@@ -143,13 +216,12 @@ func (s *cacheShard) getOrCompute(cancel <-chan struct{}, key specKey, fn func()
 func (c *cache) peek(cancel <-chan struct{}, key specKey) (outcome, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	el, ok := s.idx[key]
+	e, ok := s.idx[key]
 	if !ok {
 		s.mu.Unlock()
 		return outcome{}, false
 	}
-	s.ll.MoveToFront(el)
-	e := el.Value.(*centry)
+	s.moveToFront(e)
 	s.mu.Unlock()
 	select {
 	case <-e.done:
@@ -168,21 +240,52 @@ func (c *cache) put(key specKey, out outcome) {
 		return
 	}
 	s := c.shardFor(key)
-	e := &centry{key: key, done: make(chan struct{}), out: out}
-	close(e.done)
+	e := &centry{key: key, done: closedCh, out: out}
 	s.mu.Lock()
 	if _, ok := s.idx[key]; ok {
 		s.mu.Unlock()
 		return
 	}
-	el := s.ll.PushFront(e)
-	s.idx[key] = el
-	for s.ll.Len() > s.cap {
-		oldest := s.ll.Back()
-		s.ll.Remove(oldest)
-		delete(s.idx, oldest.Value.(*centry).key)
-	}
+	s.pushFront(e)
+	s.idx[key] = e
+	s.evictOver()
 	s.mu.Unlock()
+}
+
+// putBatch inserts the successful members of one batched group in a
+// single slab: one []centry allocation covers every inserted entry, and
+// the shared closedCh stands in for the per-entry done channel, so a
+// 64-member procs group costs one allocation instead of three per
+// member. keys and outs are parallel; errored outcomes are skipped
+// (never cached), and an existing resident entry wins, exactly as put.
+func (c *cache) putBatch(keys []specKey, outs []outcome) {
+	n := 0
+	for _, o := range outs {
+		if o.err == nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	slab := make([]centry, 0, n)
+	for i, o := range outs {
+		if o.err != nil {
+			continue
+		}
+		slab = append(slab, centry{key: keys[i], done: closedCh, out: o})
+		e := &slab[len(slab)-1]
+		s := c.shardFor(e.key)
+		s.mu.Lock()
+		if _, ok := s.idx[e.key]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		s.pushFront(e)
+		s.idx[e.key] = e
+		s.evictOver()
+		s.mu.Unlock()
+	}
 }
 
 // len returns the number of resident entries across all shards.
@@ -190,7 +293,7 @@ func (c *cache) len() int {
 	total := 0
 	for _, s := range c.shards {
 		s.mu.Lock()
-		total += s.ll.Len()
+		total += s.n
 		s.mu.Unlock()
 	}
 	return total

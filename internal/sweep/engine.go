@@ -110,6 +110,110 @@ type preResolved struct {
 	err error
 }
 
+// --- zero-copy result pipeline: pooled chunks and scratch ---
+
+// Chunk is one reusable batch of streamed results. Chunks flow out of
+// the chunked streaming APIs in place of one channel send per Result;
+// a consumer that has copied or encoded a chunk's Results hands the
+// buffer back via Engine.Recycle, after which the slice must not be
+// touched — the backing array is reused for a later chunk.
+type Chunk struct {
+	Results []Result
+}
+
+// chunkCap is the default chunk capacity: big enough to amortize the
+// channel send and the consumer's per-chunk work, small enough that a
+// slow sweep still shows progress at a useful granularity.
+const chunkCap = 64
+
+// The pools are package-level: pooled buffers carry no engine state, so
+// engines share them, and a service that builds short-lived engines
+// (tests, benchmarks) still reuses warm buffers.
+var (
+	chunkPool   sync.Pool // *Chunk
+	prePool     sync.Pool // *[]preResolved
+	specsPool   sync.Pool // *[]Spec
+	scratchPool sync.Pool // *groupScratch
+)
+
+// getChunk returns a chunk with at least capHint capacity and zero
+// length.
+func getChunk(capHint int) *Chunk {
+	if capHint < chunkCap {
+		capHint = chunkCap
+	}
+	if v := chunkPool.Get(); v != nil {
+		c := v.(*Chunk)
+		if cap(c.Results) < capHint {
+			c.Results = make([]Result, 0, capHint)
+		}
+		return c
+	}
+	return &Chunk{Results: make([]Result, 0, capHint)}
+}
+
+// Recycle returns a chunk received from StreamChunks or
+// StreamSpaceChunks to the buffer pool. The chunk's Results slice must
+// not be used afterwards; results that need to outlive the chunk must
+// be copied out first (they are plain values — a copy shares only
+// immutable strings).
+func (e *Engine) Recycle(c *Chunk) {
+	if c == nil {
+		return
+	}
+	c.Results = c.Results[:0]
+	chunkPool.Put(c)
+}
+
+// getPre returns a pooled pre-resolution buffer of length n. Entries
+// are stale from previous use; preResolveSpace overwrites every slot.
+func getPre(n int) []preResolved {
+	if v := prePool.Get(); v != nil {
+		p := *(v.(*[]preResolved))
+		if cap(p) >= n {
+			return p[:n]
+		}
+	}
+	return make([]preResolved, n)
+}
+
+func putPre(p []preResolved) {
+	prePool.Put(&p)
+}
+
+// getSpecs returns a pooled zero-length spec buffer with at least
+// capHint capacity.
+func getSpecs(capHint int) []Spec {
+	if v := specsPool.Get(); v != nil {
+		s := *(v.(*[]Spec))
+		if cap(s) >= capHint {
+			return s[:0]
+		}
+	}
+	return make([]Spec, 0, capHint)
+}
+
+func putSpecs(s []Spec) {
+	specsPool.Put(&s)
+}
+
+// groupScratch holds the per-group working slices of the batched
+// speedup path, pooled so a steady stream of groups allocates nothing
+// beyond the cache slab per group.
+type groupScratch struct {
+	missIdx []int
+	procs   []int
+	keys    []specKey
+	outs    []outcome
+}
+
+func getScratch() *groupScratch {
+	if v := scratchPool.Get(); v != nil {
+		return v.(*groupScratch)
+	}
+	return &groupScratch{}
+}
+
 // eval answers one spec through the cache, resolving it first.
 func (e *Engine) eval(cancel <-chan struct{}, s Spec) (outcome, bool) {
 	r, err := s.resolve()
@@ -204,6 +308,16 @@ func (e *Engine) Stream(ctx context.Context, specs []Spec) <-chan Result {
 	return e.stream(ctx, specs, nil)
 }
 
+// StreamChunks is Stream with results delivered in reusable batches: a
+// consumer receives a *Chunk, reads or copies its Results, and hands
+// the buffer back via Recycle. When the consumer keeps up, chunks stay
+// small (the workers flush opportunistically per result); under
+// backpressure they grow toward chunkCap, amortizing channel sends and
+// downstream locking exactly when throughput matters.
+func (e *Engine) StreamChunks(ctx context.Context, specs []Spec) <-chan *Chunk {
+	return e.streamChunks(ctx, specs, nil, nil)
+}
+
 // stream is Stream with optional pre-resolved specs (pre parallel to
 // specs, or nil to resolve per spec on the worker).
 func (e *Engine) stream(ctx context.Context, specs []Spec, pre []preResolved) <-chan Result {
@@ -257,6 +371,84 @@ func (e *Engine) stream(ctx context.Context, specs []Spec, pre []preResolved) <-
 	return out
 }
 
+// streamChunks runs the same worker pool as stream but accumulates
+// results into pooled chunks. onDone, if non-nil, runs after every
+// worker has exited (the hook that returns pooled pre-resolution and
+// spec buffers once nothing can touch them).
+func (e *Engine) streamChunks(ctx context.Context, specs []Spec, pre []preResolved, onDone func()) <-chan *Chunk {
+	out := make(chan *Chunk, e.workers)
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+	workers := e.workers
+	if len(specs) < workers {
+		workers = len(specs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chunk := getChunk(chunkCap)
+			// flush hands the current chunk to the consumer; it reports
+			// false when the context died (the chunk is recycled and the
+			// worker must stop).
+			flush := func() bool {
+				select {
+				case out <- chunk:
+					chunk = getChunk(chunkCap)
+					return true
+				case <-ctx.Done():
+					e.Recycle(chunk)
+					return false
+				}
+			}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(specs) || ctx.Err() != nil {
+					break
+				}
+				var o outcome
+				var hit bool
+				if pre != nil {
+					o, hit = e.evalResolved(ctx.Done(), specs[i], pre[i].r, pre[i].err)
+				} else {
+					o, hit = e.eval(ctx.Done(), specs[i])
+				}
+				if errors.Is(o.err, ErrWaitCancelled) {
+					break
+				}
+				chunk.Results = append(chunk.Results, result(i, specs[i], o, hit))
+				if len(chunk.Results) >= chunkCap {
+					if !flush() {
+						return
+					}
+					continue
+				}
+				// Opportunistic flush: hand over the partial chunk only
+				// if the consumer is ready right now, so a live consumer
+				// sees per-result progress while a busy one gets batches.
+				select {
+				case out <- chunk:
+					chunk = getChunk(chunkCap)
+				default:
+				}
+			}
+			if len(chunk.Results) > 0 {
+				flush()
+			} else {
+				e.Recycle(chunk)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		if onDone != nil {
+			onDone()
+		}
+		close(out)
+	}()
+	return out
+}
+
 // Run evaluates the specs and returns results ordered by Index (the
 // submission order), making sweeps deterministic end to end. Per-spec
 // model errors are reported in Result.Err, not as the returned error; a
@@ -264,23 +456,22 @@ func (e *Engine) stream(ctx context.Context, specs []Spec, pre []preResolved) <-
 // hold only the completed entries (unevaluated ones keep their
 // submitted Spec and an Err of ctx.Err()).
 func (e *Engine) Run(ctx context.Context, specs []Spec) ([]Result, error) {
-	return e.run(ctx, specs, nil)
+	return e.collect(ctx, specs, e.streamChunks(ctx, specs, nil, nil))
 }
 
-// run is Run with optional pre-resolved specs.
-func (e *Engine) run(ctx context.Context, specs []Spec, pre []preResolved) ([]Result, error) {
-	return collect(ctx, specs, e.stream(ctx, specs, pre))
-}
-
-// collect drains a result stream into submission order. On cancellation
-// the unfinished entries keep their submitted Spec and an Err of
-// ctx.Err(), and the context error is returned.
-func collect(ctx context.Context, specs []Spec, ch <-chan Result) ([]Result, error) {
+// collect drains a chunked result stream into submission order,
+// recycling each chunk as it lands. On cancellation the unfinished
+// entries keep their submitted Spec and an Err of ctx.Err(), and the
+// context error is returned.
+func (e *Engine) collect(ctx context.Context, specs []Spec, ch <-chan *Chunk) ([]Result, error) {
 	results := make([]Result, len(specs))
 	done := make([]bool, len(specs))
-	for r := range ch {
-		results[r.Index] = r
-		done[r.Index] = true
+	for c := range ch {
+		for _, r := range c.Results {
+			results[r.Index] = r
+			done[r.Index] = true
+		}
+		e.Recycle(c)
 	}
 	if err := ctx.Err(); err != nil {
 		for i := range results {
@@ -301,15 +492,16 @@ func collect(ctx context.Context, specs []Spec, ch <-chan Result) ([]Result, err
 // results out. A space whose axis product overflows (Size() saturated)
 // cannot be materialized and is rejected up front.
 func (e *Engine) RunSpace(ctx context.Context, sp Space) ([]Result, error) {
-	if sp.Size() == math.MaxInt {
-		return nil, fmt.Errorf("sweep: space axis product overflows; refusing to expand")
+	ch, specs, err := e.streamSpaceChunks(ctx, sp, false)
+	if err != nil {
+		return nil, err
 	}
-	specs := sp.Expand()
-	pre := preResolveSpace(sp, specs)
-	if sp.Op == OpSpeedup && len(sp.Procs) > 1 {
-		return e.runSpeedupBatched(ctx, len(sp.Procs), specs, pre)
-	}
-	return e.run(ctx, specs, pre)
+	results, runErr := e.collect(ctx, specs, ch)
+	// The expanded spec buffer is pooled; collect has finished reading
+	// it (including the cancellation backfill), and the results hold
+	// value copies, so it can be reused now.
+	putSpecs(specs)
+	return results, runErr
 }
 
 // StreamSpace expands a Cartesian space and streams results as they
@@ -321,15 +513,60 @@ func (e *Engine) RunSpace(ctx context.Context, sp Space) ([]Result, error) {
 // such as the jobs subsystem. A space whose axis product overflows is
 // rejected up front.
 func (e *Engine) StreamSpace(ctx context.Context, sp Space) (<-chan Result, int, error) {
+	ch, total, err := e.StreamSpaceChunks(ctx, sp)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(chan Result, e.workers)
+	go func() {
+		defer close(out)
+		for c := range ch {
+			for i := range c.Results {
+				select {
+				case out <- c.Results[i]:
+				case <-ctx.Done():
+					e.Recycle(c)
+					return
+				}
+			}
+			e.Recycle(c)
+		}
+	}()
+	return out, total, nil
+}
+
+// StreamSpaceChunks is StreamSpace with results delivered in reusable
+// batches (see StreamChunks); the batched speedup fast path emits one
+// chunk per procs group. Consumers return chunks via Recycle.
+func (e *Engine) StreamSpaceChunks(ctx context.Context, sp Space) (<-chan *Chunk, int, error) {
+	ch, specs, err := e.streamSpaceChunks(ctx, sp, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ch, len(specs), nil
+}
+
+// streamSpaceChunks expands and pre-resolves a space and starts its
+// chunked stream. The pooled pre-resolution buffer is always recycled
+// once the workers are done; recycleSpecs additionally recycles the
+// expanded spec buffer there (callers that keep reading specs after the
+// stream closes — RunSpace's collector — recycle it themselves).
+func (e *Engine) streamSpaceChunks(ctx context.Context, sp Space, recycleSpecs bool) (<-chan *Chunk, []Spec, error) {
 	if sp.Size() == math.MaxInt {
-		return nil, 0, fmt.Errorf("sweep: space axis product overflows; refusing to expand")
+		return nil, nil, fmt.Errorf("sweep: space axis product overflows; refusing to expand")
 	}
-	specs := sp.Expand()
-	pre := preResolveSpace(sp, specs)
+	specs := sp.appendSpecs(getSpecs(sp.Size()))
+	pre := preResolveSpace(sp, specs, getPre(len(specs)))
+	onDone := func() {
+		putPre(pre)
+		if recycleSpecs {
+			putSpecs(specs)
+		}
+	}
 	if sp.Op == OpSpeedup && len(sp.Procs) > 1 {
-		return e.streamSpeedupBatched(ctx, len(sp.Procs), specs, pre), len(specs), nil
+		return e.streamSpeedupBatched(ctx, len(sp.Procs), specs, pre, onDone), specs, nil
 	}
-	return e.stream(ctx, specs, pre), len(specs), nil
+	return e.streamChunks(ctx, specs, pre, onDone), specs, nil
 }
 
 // preResolveSpace materializes each distinct axis value of the space
@@ -337,8 +574,10 @@ func (e *Engine) StreamSpace(ctx context.Context, sp Space) (<-chan Result, int,
 // the problem is built once per (n, stencil, shape) triple — and
 // composes the per-spec resolutions in Expand order through the same
 // resolvedFromParts helper as Spec.resolve, so RunSpace reports the
-// same errors, with the same precedence, as Run.
-func preResolveSpace(sp Space, specs []Spec) []preResolved {
+// same errors, with the same precedence, as Run. pre is the destination
+// buffer (len(specs), possibly pooled with stale entries); every slot
+// is overwritten.
+func preResolveSpace(sp Space, specs []Spec, pre []preResolved) []preResolved {
 	type stRes struct {
 		st   stencil.Stencil
 		code uint8
@@ -368,7 +607,6 @@ func preResolveSpace(sp Space, specs []Spec) []preResolved {
 	if procsLen == 0 {
 		procsLen = 1
 	}
-	pre := make([]preResolved, len(specs))
 	idx := 0
 	for range sp.Ns {
 		for si := range sp.Stencils {
@@ -389,7 +627,7 @@ func preResolveSpace(sp Space, specs []Spec) []preResolved {
 					for q := 0; q < procsLen; q++ {
 						p := &pre[idx]
 						if axisErr != nil {
-							p.err = axisErr
+							*p = preResolved{err: axisErr}
 						} else {
 							p.r, p.err = resolvedFromParts(specs[idx], prob, probErr,
 								stencils[si].code, shapeVal[hi], machines[mi])
@@ -403,23 +641,16 @@ func preResolveSpace(sp Space, specs []Spec) []preResolved {
 	return pre
 }
 
-// runSpeedupBatched evaluates an OpSpeedup space whose processor axis
-// has length groupLen, collecting the batched stream into submission
-// order.
-func (e *Engine) runSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved) ([]Result, error) {
-	return collect(ctx, specs, e.streamSpeedupBatched(ctx, groupLen, specs, pre))
-}
-
 // streamSpeedupBatched streams an OpSpeedup space whose processor axis
-// has length groupLen. Expand keeps the procs axis innermost, so specs
-// come in contiguous groups sharing one (problem, machine) pair; each
-// group probes the cache for all members, then computes the absentees
-// with a single validated batch (core.SpeedupBatch — one serial-time
-// and one cycle-curve evaluation per group) instead of |Procs|
-// independent evaluations, and fans the results out onto the channel as
-// each group completes.
-func (e *Engine) streamSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved) <-chan Result {
-	out := make(chan Result, e.workers)
+// has length groupLen, one chunk per group. Expand keeps the procs axis
+// innermost, so specs come in contiguous groups sharing one
+// (problem, machine) pair; each group probes the cache for all members,
+// then computes the absentees with a single validated batch
+// (core.SpeedupBatch — one serial-time and one cycle-curve evaluation
+// per group) instead of |Procs| independent evaluations, and hands the
+// whole group to the consumer as one reusable chunk.
+func (e *Engine) streamSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved, onDone func()) <-chan *Chunk {
+	out := make(chan *Chunk, e.workers)
 	groups := len(specs) / groupLen
 	var wg sync.WaitGroup
 	var cursor atomic.Int64
@@ -437,45 +668,56 @@ func (e *Engine) streamSpeedupBatched(ctx context.Context, groupLen int, specs [
 					return
 				}
 				base := g * groupLen
-				rs := e.evalSpeedupGroup(ctx.Done(), specs[base:base+groupLen], pre[base:base+groupLen], base)
-				if rs == nil {
+				c := e.evalSpeedupGroup(ctx.Done(), specs[base:base+groupLen], pre[base:base+groupLen], base)
+				if c == nil {
 					return // cancelled mid-group
 				}
-				for _, r := range rs {
-					select {
-					case out <- r:
-					case <-ctx.Done():
-						return
-					}
+				select {
+				case out <- c:
+				case <-ctx.Done():
+					e.Recycle(c)
+					return
 				}
 			}
 		}()
 	}
 	go func() {
 		wg.Wait()
+		if onDone != nil {
+			onDone()
+		}
 		close(out)
 	}()
 	return out
 }
 
-// evalSpeedupGroup answers one contiguous procs group. It returns nil
-// if the caller's cancel fired while probing or computing; otherwise
-// one Result per member. Cache hits are served individually; the
-// misses share one batched computation under a single semaphore slot
-// and are inserted into the cache so later sweeps hit.
-func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []preResolved, base int) []Result {
-	out := make([]Result, len(specs))
-	missIdx := make([]int, 0, len(specs))
+// evalSpeedupGroup answers one contiguous procs group as a pooled
+// chunk. It returns nil if the caller's cancel fired while probing or
+// computing; otherwise a chunk with one Result per member. Cache hits
+// are served individually; the misses share one batched computation
+// under a single semaphore slot and are inserted into the cache as one
+// slab (putBatch) so later sweeps hit. All per-group working slices
+// come from the scratch pool, so a steady stream of groups costs one
+// allocation per group — the cache slab — plus whatever
+// core.SpeedupBatch builds internally.
+func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []preResolved, base int) *Chunk {
+	c := getChunk(len(specs))
+	rs := c.Results[:len(specs)]
+	sc := getScratch()
+	defer scratchPool.Put(sc)
+	missIdx := sc.missIdx[:0]
 	for i, s := range specs {
 		if pre[i].err != nil {
 			e.keyErrors.Add(1)
-			out[i] = result(base+i, s, outcome{err: pre[i].err}, false)
+			rs[i] = result(base+i, s, outcome{err: pre[i].err}, false)
 			continue
 		}
 		o, found := e.cache.peek(cancel, pre[i].r.key)
 		if found && errors.Is(o.err, ErrWaitCancelled) {
 			select {
 			case <-cancel:
+				sc.missIdx = missIdx
+				e.Recycle(c)
 				return nil
 			default:
 				// Another caller's cancellation poisoned the entry we
@@ -488,13 +730,15 @@ func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []pr
 			if o.err == nil {
 				e.hits.Add(1)
 			}
-			out[i] = result(base+i, s, o, o.err == nil)
+			rs[i] = result(base+i, s, o, o.err == nil)
 			continue
 		}
 		missIdx = append(missIdx, i)
 	}
+	sc.missIdx = missIdx
 	if len(missIdx) == 0 {
-		return out
+		c.Results = rs
+		return c
 	}
 	// One semaphore slot covers the whole batched group: the group is a
 	// single fused model computation, which keeps the Workers cap the
@@ -502,15 +746,18 @@ func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []pr
 	select {
 	case e.sem <- struct{}{}:
 	case <-cancel:
+		e.Recycle(c)
 		return nil
 	}
 	r := pre[missIdx[0]].r
-	procs := make([]int, len(missIdx))
-	for j, i := range missIdx {
-		procs[j] = specs[i].Procs
+	procs := sc.procs[:0]
+	for _, i := range missIdx {
+		procs = append(procs, specs[i].Procs)
 	}
+	sc.procs = procs
 	vals, errs, batchErr := core.SpeedupBatch(r.problem, r.arch, procs)
 	<-e.sem
+	keys, outs := sc.keys[:0], sc.outs[:0]
 	for j, i := range missIdx {
 		var o outcome
 		switch {
@@ -524,10 +771,13 @@ func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []pr
 		e.evals.Add(1)
 		if o.err != nil {
 			e.errors.Add(1)
-		} else {
-			e.cache.put(pre[i].r.key, o)
 		}
-		out[i] = result(base+i, specs[i], o, false)
+		keys = append(keys, pre[i].r.key)
+		outs = append(outs, o)
+		rs[i] = result(base+i, specs[i], o, false)
 	}
-	return out
+	sc.keys, sc.outs = keys, outs
+	e.cache.putBatch(keys, outs)
+	c.Results = rs
+	return c
 }

@@ -294,15 +294,21 @@ func (sp Space) Size() int {
 // whose axis product overflows (Size() saturated) cannot be
 // materialized and expands to nil; RunSpace turns that into an error.
 func (sp Space) Expand() []Spec {
-	procsAxis := sp.Procs
-	if len(procsAxis) == 0 {
-		procsAxis = []int{0}
-	}
 	size := sp.Size()
 	if size == math.MaxInt {
 		return nil
 	}
-	out := make([]Spec, 0, size)
+	return sp.appendSpecs(make([]Spec, 0, size))
+}
+
+// appendSpecs enumerates the space onto out (typically a pooled
+// buffer), in the same fixed order as Expand. The caller has already
+// rejected overflowing spaces.
+func (sp Space) appendSpecs(out []Spec) []Spec {
+	procsAxis := sp.Procs
+	if len(procsAxis) == 0 {
+		procsAxis = []int{0}
+	}
 	for _, n := range sp.Ns {
 		for _, st := range sp.Stencils {
 			for _, sh := range sp.Shapes {
