@@ -1,0 +1,48 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// PeerStatus is one worker's health entry in a coordinator's cluster
+// report.
+type PeerStatus struct {
+	URL          string     `json:"url"`
+	Healthy      bool       `json:"healthy"`
+	ProbeMs      float64    `json:"probe_ms"`
+	ShardsOK     int        `json:"shards_ok"`
+	ShardsFailed int        `json:"shards_failed"`
+	LastError    string     `json:"last_error,omitempty"`
+	LastErrorAt  *time.Time `json:"last_error_at,omitempty"`
+}
+
+// ShardStats are the coordinator's scatter counters.
+type ShardStats struct {
+	ShardsPlanned  int `json:"shards_planned"`
+	ShardsRetried  int `json:"shards_retried"`
+	ShardsFallback int `json:"shards_fallback"`
+}
+
+// ClusterStatus is the body of GET /v2/cluster: "single" mode for a
+// plain daemon, "coordinator" with per-peer health for a sharding one.
+type ClusterStatus struct {
+	Mode      string       `json:"mode"`
+	ShardSize int          `json:"shard_size"`
+	Peers     []PeerStatus `json:"peers"`
+	Shards    ShardStats   `json:"shards"`
+}
+
+// Coordinator reports whether the server scatters sweeps across peers.
+func (cs *ClusterStatus) Coordinator() bool { return cs.Mode == "coordinator" }
+
+// Cluster fetches the server's cluster status: its mode, a live health
+// probe of every configured peer, and the shard scatter counters.
+func (c *Client) Cluster(ctx context.Context) (*ClusterStatus, error) {
+	var st ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v2/cluster", nil, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -52,13 +52,16 @@ func (s JobState) Terminal() bool {
 	return s == JobSucceeded || s == JobFailed || s == JobCancelled
 }
 
-// Progress is a job's live counters.
+// Progress is a job's live counters. Shards/ShardsDone appear only for
+// jobs a coordinator scattered across worker peers.
 type Progress struct {
-	Total     int `json:"total"`
-	Completed int `json:"completed"`
-	Evaluated int `json:"evaluated"`
-	CacheHits int `json:"cache_hits"`
-	Errors    int `json:"errors"`
+	Total      int `json:"total"`
+	Completed  int `json:"completed"`
+	Evaluated  int `json:"evaluated"`
+	CacheHits  int `json:"cache_hits"`
+	Errors     int `json:"errors"`
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
 }
 
 // Job is one job resource.

@@ -7,11 +7,16 @@
 // It runs a fixed-duration closed-loop load: -c workers each issue a
 // deterministic weighted mix of workloads against the target —
 //
-//	optimize  POST /v1/optimize       one model query per request
-//	sweep     POST /v1/sweep          a batch body (space expansion,
-//	                                  batched speedup path, big response)
-//	jobs      POST /v2/jobs + polls   submit, poll to terminal, then
-//	                                  page /v2/jobs/{id}/results
+//	optimize   POST /v1/optimize       one model query per request
+//	sweep      POST /v1/sweep          a batch body (space expansion,
+//	                                   batched speedup path, big response)
+//	jobs       POST /v2/jobs + polls   submit, poll to terminal, then
+//	                                   page /v2/jobs/{id}/results
+//	sweepcold  POST /v1/sweep          a large always-fresh space (the n
+//	                                   axis rotates per request), so every
+//	                                   request is evaluation-bound — the
+//	                                   workload distributed sharding exists
+//	                                   for
 //
 // — and reports per-workload requests, errors, RPS, and p50/p95/p99
 // latency, plus the aggregate, as BENCH_http.json (committed per PR by
@@ -24,10 +29,23 @@
 //	optload -addr http://host:8080     # drive a running daemon
 //	optload -c 16 -duration 30s -mix optimize=4,sweep=2,jobs=1
 //	optload -o - -quick                # small CI smoke run to stdout
+//	optload -cluster 3 -workers 2      # coordinator over 3 in-process
+//	                                   # worker daemons, vs. a single-node
+//	                                   # baseline with the same per-node
+//	                                   # worker budget
 //
 // With no -addr, optload starts an in-process server on a loopback
 // listener and drives it through the full HTTP stack — same handlers,
 // same wire bytes, no network variance — which is what CI runs.
+//
+// With -cluster N, optload builds the whole topology in process — N
+// worker daemons plus a coordinator whose dispatcher shards sweeps
+// across them — and measures two phases with identical load: a
+// single-node baseline (one daemon, the same -workers engine budget),
+// then the coordinator. The report's top level is the coordinator
+// phase, Baseline nests the single-node phase, and ClusterSpeedup is
+// the sweepcold RPS ratio between them — the throughput-scaling
+// headline for a fixed per-node worker budget.
 package main
 
 import (
@@ -44,8 +62,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"optspeed/internal/dispatch"
 	"optspeed/internal/service"
 	"optspeed/internal/sweep"
 )
@@ -69,20 +89,26 @@ type WorkloadReport struct {
 	MaxMs    float64 `json:"max_ms"`
 }
 
-// Report is the BENCH_http.json schema.
+// Report is the BENCH_http.json schema. The cluster fields appear only
+// for -cluster runs: the top level is then the coordinator phase and
+// Baseline the single-node phase under identical load.
 type Report struct {
-	GoVersion     string           `json:"go_version"`
-	GoOS          string           `json:"goos"`
-	GoArch        string           `json:"goarch"`
-	GOMAXPROCS    int              `json:"gomaxprocs"`
-	InProcess     bool             `json:"in_process"`
-	Concurrency   int              `json:"concurrency"`
-	Mix           string           `json:"mix"`
-	DurationSec   float64          `json:"duration_sec"`
-	TotalRequests int              `json:"total_requests"`
-	TotalErrors   int              `json:"total_errors"`
-	RPS           float64          `json:"rps"`
-	Workloads     []WorkloadReport `json:"workloads"`
+	GoVersion      string           `json:"go_version"`
+	GoOS           string           `json:"goos"`
+	GoArch         string           `json:"goarch"`
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	InProcess      bool             `json:"in_process"`
+	Concurrency    int              `json:"concurrency"`
+	Mix            string           `json:"mix"`
+	DurationSec    float64          `json:"duration_sec"`
+	TotalRequests  int              `json:"total_requests"`
+	TotalErrors    int              `json:"total_errors"`
+	RPS            float64          `json:"rps"`
+	ClusterWorkers int              `json:"cluster_workers,omitempty"`
+	ShardSize      int              `json:"shard_size,omitempty"`
+	ClusterSpeedup float64          `json:"cluster_speedup,omitempty"`
+	Workloads      []WorkloadReport `json:"workloads"`
+	Baseline       *Report          `json:"baseline,omitempty"`
 }
 
 // optimizeBodies rotate the single-query workload across machines and
@@ -113,6 +139,31 @@ var sweepBodies = []string{
 const jobsBody = `{"sweep":{"space":{"ns":[64,128],"stencils":["5-point"],"shapes":["strip","square"],` +
 	`"machines":[{"type":"sync-bus"}]}}}`
 
+// coldSeq rotates the sweepcold n axis so no two requests (across all
+// load workers) share a cache key: the workload measures evaluation
+// throughput, not memoization.
+var coldSeq atomic.Int64
+
+// coldSweepBody builds one always-fresh optimize space — a 48-value n
+// run (advancing per request) × 2 stencils × 2 shapes × 4 machines =
+// 768 specs — so a coordinator shards each request into many
+// sub-spaces while a single node grinds it on one engine: the
+// distributed-vs-local comparison the -cluster mode reports.
+func coldSweepBody() string {
+	base := 64 + 48*coldSeq.Add(1)
+	var sb strings.Builder
+	sb.WriteString(`{"space":{"ns":[`)
+	for i := int64(0); i < 48; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(base+i, 10))
+	}
+	sb.WriteString(`],"stencils":["5-point","9-point"],"shapes":["strip","square"],` +
+		`"machines":[{"type":"sync-bus"},{"type":"hypercube"},{"type":"mesh"},{"type":"banyan"}]}}`)
+	return sb.String()
+}
+
 // parseMix expands "optimize=4,sweep=2,jobs=1" into a request deck.
 func parseMix(mix string) ([]string, error) {
 	var deck []string
@@ -131,9 +182,9 @@ func parseMix(mix string) ([]string, error) {
 			weight = w
 		}
 		switch name {
-		case "optimize", "sweep", "jobs":
+		case "optimize", "sweep", "jobs", "sweepcold":
 		default:
-			return nil, fmt.Errorf("unknown workload %q (want optimize, sweep, jobs)", name)
+			return nil, fmt.Errorf("unknown workload %q (want optimize, sweep, jobs, sweepcold)", name)
 		}
 		for i := 0; i < weight; i++ {
 			deck = append(deck, name)
@@ -163,6 +214,8 @@ func (w *worker) run(ctx context.Context) {
 			w.post(ctx, "optimize", "/v1/optimize", optimizeBodies[w.seq%len(optimizeBodies)])
 		case "sweep":
 			w.post(ctx, "sweep", "/v1/sweep", sweepBodies[w.seq%len(sweepBodies)])
+		case "sweepcold":
+			w.post(ctx, "sweepcold", "/v1/sweep", coldSweepBody())
 		case "jobs":
 			w.jobRound(ctx)
 		}
@@ -298,57 +351,47 @@ func aggregate(name string, samples []sample, elapsed time.Duration) WorkloadRep
 	return rep
 }
 
-func main() {
-	var (
-		addr     = flag.String("addr", "", "base URL of a running daemon (e.g. http://localhost:8080); empty runs an in-process server")
-		conc     = flag.Int("c", 8, "concurrent load workers")
-		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
-		mix      = flag.String("mix", "optimize=4,sweep=2,jobs=1", "weighted workload mix")
-		out      = flag.String("o", "BENCH_http.json", "output path (\"-\" for stdout)")
-		workers  = flag.Int("workers", 0, "in-process engine workers (0 = GOMAXPROCS)")
-		quick    = flag.Bool("quick", false, "CI smoke: 3s at -c 4 unless overridden")
-	)
-	flag.Parse()
-	if *quick {
-		if *duration == 10*time.Second {
-			*duration = 3 * time.Second
-		}
-		if *conc == 8 {
-			*conc = 4
-		}
+// startServer runs one in-process daemon (a worker, or a coordinator
+// when peers are given), returning its base URL; the caller runs the
+// cleanup when done.
+func startServer(workers int, peers []string, shardSize int) (string, func()) {
+	eng := sweep.New(sweep.Options{Workers: workers})
+	cfg := service.Config{Engine: eng}
+	if len(peers) > 0 {
+		cfg.Dispatcher = dispatch.New(dispatch.Options{
+			Engine:    eng,
+			Peers:     peers,
+			ShardSize: shardSize,
+		})
 	}
-	deck, err := parseMix(*mix)
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-
-	base := *addr
-	inProcess := base == ""
-	if inProcess {
-		srv := service.New(service.Config{Engine: sweep.New(sweep.Options{Workers: *workers})})
-		defer srv.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fatal(err)
-		}
-		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
-		defer hs.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "optload: in-process server at %s\n", base)
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		hs.Close()
+		srv.Close()
 	}
-	base = strings.TrimRight(base, "/")
+}
 
+// runPhase warms the target, drives the deck at the given concurrency
+// for the duration, and aggregates one report.
+func runPhase(label, base, mix string, deck []string, conc int, duration time.Duration, inProcess bool) Report {
 	client := &http.Client{
 		Transport: &http.Transport{
-			MaxIdleConns:        *conc * 2,
-			MaxIdleConnsPerHost: *conc * 2,
+			MaxIdleConns:        conc * 2,
+			MaxIdleConnsPerHost: conc * 2,
 		},
 		Timeout: time.Minute,
 	}
 	// One warmup pass per workload primes the engine cache and the
 	// connection pool, so the measured window reflects steady-state
 	// serving throughput rather than first-touch model evaluation.
+	// sweepcold is deliberately not warmed — staying evaluation-bound
+	// is its whole point.
 	warm := &worker{id: 0, base: base, client: client, deck: deck}
 	warmCtx, cancelWarm := context.WithTimeout(context.Background(), time.Minute)
 	warm.post(warmCtx, "optimize", "/v1/optimize", optimizeBodies[0])
@@ -358,9 +401,9 @@ func main() {
 	warm.jobRound(warmCtx)
 	cancelWarm()
 
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
-	ws := make([]*worker, *conc)
+	ws := make([]*worker, conc)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := range ws {
@@ -385,14 +428,15 @@ func main() {
 		GoArch:        runtime.GOARCH,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		InProcess:     inProcess,
-		Concurrency:   *conc,
-		Mix:           *mix,
+		Concurrency:   conc,
+		Mix:           mix,
 		DurationSec:   elapsed.Seconds(),
 		TotalRequests: total.Requests,
 		TotalErrors:   total.Errors,
 		RPS:           total.RPS,
 	}
-	for _, name := range []string{"optimize", "sweep", "jobs"} {
+	fmt.Fprintf(os.Stderr, "--- %s\n", label)
+	for _, name := range []string{"optimize", "sweep", "sweepcold", "jobs"} {
 		rep := aggregate(name, all, elapsed)
 		if rep.Requests == 0 {
 			continue
@@ -403,20 +447,117 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%-9s %7d req %4d err %9.1f rps\n", "total",
 		report.TotalRequests, report.TotalErrors, report.RPS)
+	return report
+}
 
+// workloadRPS picks one workload's RPS out of a report (0 if absent).
+func workloadRPS(r Report, name string) float64 {
+	for _, w := range r.Workloads {
+		if w.Name == name {
+			return w.RPS
+		}
+	}
+	return 0
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running daemon (e.g. http://localhost:8080); empty runs an in-process server")
+		conc     = flag.Int("c", 8, "concurrent load workers")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		mix      = flag.String("mix", "", "weighted workload mix (default optimize=4,sweep=2,jobs=1; cluster mode adds sweepcold=4)")
+		out      = flag.String("o", "BENCH_http.json", "output path (\"-\" for stdout)")
+		workers  = flag.Int("workers", 0, "in-process engine workers per node (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "CI smoke: 3s at -c 4 unless overridden")
+		cluster  = flag.Int("cluster", 0, "in-process cluster: N worker daemons behind a coordinator, measured against a single-node baseline")
+		shardSz  = flag.Int("shard-size", 96, "coordinator shard size in specs (cluster mode)")
+	)
+	flag.Parse()
+	if *quick {
+		if *duration == 10*time.Second {
+			*duration = 3 * time.Second
+		}
+		if *conc == 8 {
+			*conc = 4
+		}
+	}
+	if *mix == "" {
+		if *cluster > 0 {
+			*mix = "optimize=4,sweep=2,jobs=1,sweepcold=4"
+		} else {
+			*mix = "optimize=4,sweep=2,jobs=1"
+		}
+	}
+	deck, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *cluster > 0 {
+		if *addr != "" {
+			fatal(fmt.Errorf("-cluster builds its own in-process topology; drop -addr"))
+		}
+		// Phase 1: single node with the same per-node engine budget.
+		singleBase, stopSingle := startServer(*workers, nil, 0)
+		baseline := runPhase(fmt.Sprintf("single node (workers=%d)", *workers),
+			singleBase, *mix, deck, *conc, *duration, true)
+		stopSingle()
+		// Phase 2: N workers behind a coordinator.
+		var peers []string
+		var stops []func()
+		for i := 0; i < *cluster; i++ {
+			base, stop := startServer(*workers, nil, 0)
+			peers = append(peers, base)
+			stops = append(stops, stop)
+		}
+		coordBase, stopCoord := startServer(*workers, peers, *shardSz)
+		report := runPhase(fmt.Sprintf("coordinator (%d workers × workers=%d, shard=%d)",
+			*cluster, *workers, *shardSz), coordBase, *mix, deck, *conc, *duration, true)
+		stopCoord()
+		for _, stop := range stops {
+			stop()
+		}
+		report.ClusterWorkers = *cluster
+		report.ShardSize = *shardSz
+		report.Baseline = &baseline
+		if base := workloadRPS(baseline, "sweepcold"); base > 0 {
+			report.ClusterSpeedup = workloadRPS(report, "sweepcold") / base
+		} else if baseline.RPS > 0 {
+			report.ClusterSpeedup = report.RPS / baseline.RPS
+		}
+		fmt.Fprintf(os.Stderr, "cluster speedup (sweepcold rps vs single node): %.2fx\n", report.ClusterSpeedup)
+		writeReport(*out, report)
+		return
+	}
+
+	base := *addr
+	inProcess := base == ""
+	var stop func()
+	if inProcess {
+		base, stop = startServer(*workers, nil, 0)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "optload: in-process server at %s\n", base)
+	}
+	base = strings.TrimRight(base, "/")
+	report := runPhase("load", base, *mix, deck, *conc, *duration, inProcess)
+	writeReport(*out, report)
+}
+
+// writeReport emits the report as indented JSON to the path or stdout.
+func writeReport(out string, report Report) {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }
 
 func fatal(err error) {

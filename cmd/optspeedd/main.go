@@ -26,6 +26,15 @@
 // that address (its own listener, never the API mux), so serving
 // hotspots can be profiled in place; it is off by default.
 //
+// Passing -peers http://w1:8080,http://w2:8080 turns the daemon into a
+// cluster coordinator: sweeps larger than -shard-size are partitioned
+// into contiguous shards, scattered to the worker daemons over their
+// v2 streaming API, and gathered back in deterministic spec order —
+// with failed shards reassigned to the remaining peers and, as a last
+// resort, evaluated locally. Workers are plain optspeedd processes; no
+// extra configuration. GET /v2/cluster reports peer health and shard
+// counters (see docs/cluster.md).
+//
 // Example queries:
 //
 //	curl -s localhost:8080/v1/optimize -d \
@@ -47,9 +56,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/service"
 	"optspeed/internal/sweep"
@@ -66,6 +77,8 @@ func main() {
 		wTimeout = flag.Duration("write-timeout", 5*time.Minute, "response write timeout (streaming routes exempt themselves)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		peers    = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://w1:8080,http://w2:8080); enables coordinator mode")
+		shardSz  = flag.Int("shard-size", dispatch.DefaultShardSize, "max specs per distributed shard")
 	)
 	flag.Parse()
 
@@ -88,8 +101,24 @@ func main() {
 		}()
 	}
 	engine := sweep.New(sweep.Options{Workers: *workers, CacheSize: *cacheSz})
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	dispatcher := dispatch.New(dispatch.Options{
+		Engine:    engine,
+		Peers:     peerList,
+		ShardSize: *shardSz,
+		Logger:    logger,
+	})
+	if len(peerList) > 0 {
+		logger.Info("coordinator mode", "peers", len(peerList), "shard_size", *shardSz)
+	}
 	srv := service.New(service.Config{
 		Engine:        engine,
+		Dispatcher:    dispatcher,
 		MaxSweepSpecs: *maxSweep,
 		JobCapacity:   *jobCap,
 		JobTTL:        *jobTTL,

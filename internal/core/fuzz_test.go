@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMachine hammers the JSON → Architecture path with arbitrary
+// bytes. Two invariants: ParseMachine never panics, and a machine it
+// accepts is actually usable — Validate passes and the spec round-trips
+// through SpecFor to an equivalent canonical form, since the sweep
+// cache keys on that canonicalization.
+func FuzzParseMachine(f *testing.F) {
+	seeds := []string{
+		`{"type":"hypercube"}`,
+		`{"type":"mesh","procs":256,"tflp":1e-7}`,
+		`{"type":"sync-bus","b":5e-7,"c":1e-6,"reads_only":true}`,
+		`{"type":"async-bus","procs":64}`,
+		`{"type":"full-async-bus","tflp":2e-7,"b":1e-6}`,
+		`{"type":"banyan","w":5e-8,"procs":1024}`,
+		`{"type":"mesh","convergence_hardware":true,"alpha":1e-6,"beta":1e-7,"packet":4}`,
+		`{"type":""}`,
+		`{"type":"hypercube","procs":-1}`,
+		`{"type":"banyan","w":-5}`,
+		`{"type":"sync-bus","b":"fast"}`,
+		`not json at all`,
+		`{}`,
+		`{"type":"hypercube","procs":9007199254740993}`,
+		`{"type":"mesh","tflp":1e309}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		arch, err := ParseMachine(data)
+		if err != nil {
+			return
+		}
+		if arch == nil {
+			t.Fatalf("ParseMachine(%q): nil architecture with nil error", data)
+		}
+		if verr := arch.Validate(); verr != nil {
+			t.Fatalf("ParseMachine(%q) accepted an invalid machine: %v", data, verr)
+		}
+		spec, err := SpecFor(arch)
+		if err != nil {
+			t.Fatalf("ParseMachine(%q): no canonical spec for accepted machine: %v", data, err)
+		}
+		if strings.TrimSpace(spec.Type) == "" {
+			t.Fatalf("ParseMachine(%q): canonical spec lost its type", data)
+		}
+		// The canonical spec must itself materialize: canonicalization
+		// is a fixed point, not a one-way trip.
+		if _, err := spec.Machine(); err != nil {
+			t.Fatalf("ParseMachine(%q): canonical spec %+v does not materialize: %v", data, spec, err)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// Property-based model invariants, sampled over randomized problems on
+// every builtin architecture. A note on the "speedup ≥ 1" folklore:
+// it does NOT hold pointwise — forcing all P processors onto a small
+// grid can be slower than running serially (bus saturation pushes S(P)
+// well below 1), which is precisely the paper's motivation for
+// optimizing the processor count. What the model does guarantee, and
+// what these tests pin, is:
+//
+//	S(1) = 1                                  (one processor is serial)
+//	S(P) ≤ P                                  (no superlinear speedup)
+//	S_opt = max over admissible P of S(P) ≥ 1 (P = 1 is admissible)
+//	S(P)/P non-increasing in P                (efficiency decays)
+//
+// Tolerances are relative 1e-9: every comparison is between closed-form
+// float evaluations of the same model, so violations beyond rounding
+// noise are genuine model bugs.
+
+const propertyTol = 1e-9
+
+// propertyProblems yields a deterministic random sample of valid
+// problems across all stencils and shapes.
+func propertyProblems(t *testing.T, rng *rand.Rand, count int) []Problem {
+	t.Helper()
+	var shapes = []partition.Shape{partition.Strip, partition.Square}
+	var probs []Problem
+	for i := 0; i < count; i++ {
+		st := stencil.Builtins()[rng.Intn(len(stencil.Builtins()))]
+		n := 4 + rng.Intn(253) // [4, 256]
+		p, err := NewProblem(n, st, shapes[rng.Intn(2)])
+		if err != nil {
+			t.Fatalf("NewProblem(n=%d): %v", n, err)
+		}
+		probs = append(probs, p)
+	}
+	return probs
+}
+
+// propertyMachines returns each catalog default plus a few perturbed
+// variants, so the invariants are checked off the calibrated point too.
+func propertyMachines(t *testing.T) []Architecture {
+	t.Helper()
+	var archs []Architecture
+	for _, entry := range Catalog() {
+		arch, err := entry.Default.Machine()
+		if err != nil {
+			t.Fatalf("catalog default %s: %v", entry.Type, err)
+		}
+		archs = append(archs, arch)
+		perturbed := entry.Default
+		perturbed.Tflp = 3e-7
+		perturbed.Procs = 128
+		arch, err = perturbed.Machine()
+		if err != nil {
+			t.Fatalf("perturbed %s: %v", entry.Type, err)
+		}
+		archs = append(archs, arch)
+	}
+	return archs
+}
+
+// sampleProcs returns a deterministic sample of admissible processor
+// counts for the problem: the endpoints always, plus random interior
+// points (the exhaustive 1..MaxProcs scan is quadratic in n and too
+// slow for 256² squares).
+func sampleProcs(rng *rand.Rand, maxProcs, interior int) []int {
+	procs := []int{1, maxProcs}
+	for i := 0; i < interior; i++ {
+		procs = append(procs, 1+rng.Intn(maxProcs))
+	}
+	return procs
+}
+
+func TestPropertySpeedupBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	machines := propertyMachines(t)
+	for _, p := range propertyProblems(t, rng, 40) {
+		for _, arch := range machines {
+			one, err := Speedup(p, arch, 1)
+			if err != nil {
+				t.Fatalf("%v on %s: Speedup(1): %v", p, arch.Name(), err)
+			}
+			if one < 1-propertyTol || one > 1+propertyTol {
+				t.Errorf("%v on %s: S(1) = %g, want 1", p, arch.Name(), one)
+			}
+			for _, procs := range sampleProcs(rng, p.MaxProcs(), 12) {
+				s, err := Speedup(p, arch, procs)
+				if err != nil {
+					t.Fatalf("%v on %s: Speedup(%d): %v", p, arch.Name(), procs, err)
+				}
+				if s <= 0 {
+					t.Errorf("%v on %s: S(%d) = %g, want > 0", p, arch.Name(), procs, s)
+				}
+				if s > float64(procs)*(1+propertyTol) {
+					t.Errorf("%v on %s: S(%d) = %g exceeds P (superlinear)", p, arch.Name(), procs, s)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyOptimalDominatesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	machines := propertyMachines(t)
+	for _, p := range propertyProblems(t, rng, 25) {
+		for _, arch := range machines {
+			opt, err := OptimalSpeedup(p, arch)
+			if err != nil {
+				t.Fatalf("%v on %s: OptimalSpeedup: %v", p, arch.Name(), err)
+			}
+			if opt < 1-propertyTol {
+				t.Errorf("%v on %s: S_opt = %g < 1, but P = 1 is admissible", p, arch.Name(), opt)
+			}
+			// The optimize ops respect the machine's processor cap; the
+			// pointwise comparison must sample the same admissible range.
+			maxProcs := p.MaxProcs()
+			if cap := arch.Procs(); cap > 0 && cap < maxProcs {
+				maxProcs = cap
+			}
+			for _, procs := range sampleProcs(rng, maxProcs, 10) {
+				s, err := Speedup(p, arch, procs)
+				if err != nil {
+					t.Fatalf("%v on %s: Speedup(%d): %v", p, arch.Name(), procs, err)
+				}
+				if s > opt*(1+propertyTol) {
+					t.Errorf("%v on %s: S(%d) = %g exceeds S_opt = %g", p, arch.Name(), procs, s, opt)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyEfficiencyNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	machines := propertyMachines(t)
+	for _, p := range propertyProblems(t, rng, 15) {
+		// An ordered dense prefix plus the tail endpoint: monotonicity
+		// violations in these convex models show up between adjacent
+		// small counts if anywhere.
+		limit := p.MaxProcs()
+		dense := 64
+		if dense > limit {
+			dense = limit
+		}
+		for _, arch := range machines {
+			prev := -1.0
+			prevProcs := 0
+			check := func(procs int) {
+				eff, err := Efficiency(p, arch, procs)
+				if err != nil {
+					t.Fatalf("%v on %s: Efficiency(%d): %v", p, arch.Name(), procs, err)
+				}
+				if prev >= 0 && eff > prev*(1+propertyTol) {
+					t.Errorf("%v on %s: efficiency rose from %g at P=%d to %g at P=%d",
+						p, arch.Name(), prev, prevProcs, eff, procs)
+				}
+				prev, prevProcs = eff, procs
+			}
+			for procs := 1; procs <= dense; procs++ {
+				check(procs)
+			}
+			if limit > dense {
+				check(limit)
+			}
+		}
+		_ = rng
+	}
+}

@@ -1,0 +1,105 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PeerStatus is one peer's health snapshot: the rolling shard ledger
+// plus a live /healthz probe taken at snapshot time.
+type PeerStatus struct {
+	URL string `json:"url"`
+	// Healthy reports the live probe's verdict.
+	Healthy bool `json:"healthy"`
+	// ProbeMs is the probe round-trip in milliseconds (0 when the
+	// probe failed before timing mattered).
+	ProbeMs float64 `json:"probe_ms"`
+	// ShardsOK and ShardsFailed count this peer's shard attempts since
+	// the coordinator started.
+	ShardsOK     int `json:"shards_ok"`
+	ShardsFailed int `json:"shards_failed"`
+	// LastError is the most recent shard or probe failure ("" if none).
+	LastError string `json:"last_error,omitempty"`
+	// LastErrorAt timestamps LastError (nil when it never fired —
+	// omitempty does not elide zero time.Time structs, a pointer does).
+	LastErrorAt *time.Time `json:"last_error_at,omitempty"`
+}
+
+// ClusterStatus is the coordinator's view of its worker fleet.
+type ClusterStatus struct {
+	// Mode is "coordinator" when peers are configured, else "single".
+	Mode      string       `json:"mode"`
+	ShardSize int          `json:"shard_size"`
+	Peers     []PeerStatus `json:"peers"`
+	Shards    Stats        `json:"shards"`
+}
+
+// ClusterStatus probes every peer's /healthz concurrently (bounded by
+// DefaultProbeTimeout each) and merges the verdicts with the rolling
+// shard ledger. With no peers it reports single-node mode.
+func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
+	st := ClusterStatus{
+		Mode:      "single",
+		ShardSize: d.shardSize,
+		Shards:    d.Stats(),
+	}
+	if len(d.peers) == 0 {
+		return st
+	}
+	st.Mode = "coordinator"
+	st.Peers = make([]PeerStatus, len(d.peers))
+	var wg sync.WaitGroup
+	for i, p := range d.peers {
+		wg.Add(1)
+		go func(i int, p *peerState) {
+			defer wg.Done()
+			healthy, rtt, probeErr := d.probe(ctx, p.url)
+			p.mu.Lock()
+			ps := PeerStatus{
+				URL:          p.url,
+				Healthy:      healthy,
+				ProbeMs:      float64(rtt) / float64(time.Millisecond),
+				ShardsOK:     p.shardsOK,
+				ShardsFailed: p.shardsErr,
+				LastError:    p.lastErr,
+			}
+			if !p.lastErrAt.IsZero() {
+				at := p.lastErrAt
+				ps.LastErrorAt = &at
+			}
+			p.mu.Unlock()
+			if probeErr != nil && ps.LastError == "" {
+				ps.LastError = probeErr.Error()
+			}
+			st.Peers[i] = ps
+		}(i, p)
+	}
+	wg.Wait()
+	return st
+}
+
+// probe checks one peer's liveness endpoint.
+func (d *Dispatcher) probe(ctx context.Context, base string) (bool, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(ctx, DefaultProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false, 0, err
+	}
+	start := time.Now()
+	resp, err := d.hc.Do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	rtt := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return false, rtt, fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return true, rtt, nil
+}

@@ -1,0 +1,70 @@
+package dispatch_test
+
+import (
+	"context"
+	"testing"
+
+	"optspeed/client"
+)
+
+// TestClusterEndpoint covers GET /v2/cluster through the client SDK:
+// a plain worker reports single mode; a coordinator reports its peers
+// with live health verdicts, including an unhealthy one.
+func TestClusterEndpoint(t *testing.T) {
+	ctx := context.Background()
+
+	worker := newWorker(t)
+	wc, err := client.New(worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := wc.Cluster(ctx)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if st.Coordinator() || st.Mode != "single" || len(st.Peers) != 0 {
+		t.Fatalf("worker reported %+v; want single mode with no peers", st)
+	}
+
+	peers := []string{newWorker(t), newFaultPeer(t, "http-500", -1)}
+	coord, _ := newCoordinator(t, peers, 8)
+	cc, err := client.New(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = cc.Cluster(ctx)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if !st.Coordinator() || st.ShardSize != 8 {
+		t.Fatalf("coordinator reported %+v", st)
+	}
+	if len(st.Peers) != 2 {
+		t.Fatalf("got %d peers, want 2", len(st.Peers))
+	}
+	if !st.Peers[0].Healthy {
+		t.Errorf("healthy worker probed unhealthy: %+v", st.Peers[0])
+	}
+	// The fault peer passes /healthz through, so it probes healthy; its
+	// ledger is what records shard failures. Drive one sweep to fill it.
+	if status, _ := postSweep(t, coord, equivalenceBodies[0].body); status != 200 {
+		t.Fatalf("sweep status %d", status)
+	}
+	st, err = cc.Cluster(ctx)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	var failed int
+	for _, p := range st.Peers {
+		failed += p.ShardsFailed
+		if p.ShardsFailed > 0 && p.LastError == "" {
+			t.Errorf("peer %s failed shards without a recorded error", p.URL)
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("fault peer's shard failures never reached the ledger: %+v", st.Peers)
+	}
+	if st.Shards.ShardsPlanned == 0 || st.Shards.ShardsRetried == 0 {
+		t.Fatalf("scatter counters empty: %+v", st.Shards)
+	}
+}

@@ -1,0 +1,550 @@
+// Package dispatch is the scatter–gather distribution layer: it
+// partitions a sweep into contiguous shards, fans the shards out to
+// peer optspeedd workers over the v2 NDJSON streaming API, and merges
+// the shard streams back into the engine's pooled-chunk result
+// pipeline in deterministic spec order.
+//
+// The layer is deliberately conservative about equivalence: a
+// distributed sweep must be indistinguishable from a single-node one.
+// Shards are sub-spaces of the parent space (so peers keep the
+// engine's space-aware evaluation), results carry their global index
+// and are merged shard by shard in submission order, duplicate
+// deliveries are deduplicated on index, failed shards are reassigned
+// to the remaining peers, and a shard no peer can serve falls back to
+// the coordinator's own engine — the same evaluation the single-node
+// path would have run. With no peers configured every call is a plain
+// local evaluation with no added overhead.
+package dispatch
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"optspeed/internal/sweep"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultShardSize bounds one shard's spec count. Small enough that
+	// a handful of peers all contribute to a mid-size sweep, large
+	// enough that the per-shard HTTP round trip amortizes.
+	DefaultShardSize = 512
+	// DefaultMaxInFlightPerPeer bounds concurrent outstanding shards as
+	// a multiple of the peer count.
+	DefaultMaxInFlightPerPeer = 2
+	// DefaultShardTimeout bounds one shard attempt end to end.
+	DefaultShardTimeout = 2 * time.Minute
+	// DefaultProbeTimeout bounds one peer health probe.
+	DefaultProbeTimeout = 2 * time.Second
+)
+
+// Request is the work one dispatch call evaluates — the same
+// specs-or-space pair the jobs layer routes. Exactly one of the fields
+// should be set; a Space keeps its Cartesian structure so shards stay
+// sub-spaces.
+type Request struct {
+	Specs []sweep.Spec
+	Space *sweep.Space
+}
+
+// size returns the request's spec count (MaxInt for overflowing
+// spaces, which the engine rejects downstream).
+func (r Request) size() int {
+	if r.Space != nil {
+		return r.Space.Size()
+	}
+	return len(r.Specs)
+}
+
+// ShardDone reports one shard's completion to the progress callback.
+type ShardDone struct {
+	// Shard is the shard's index in submission order.
+	Shard int
+	// Specs is the shard's spec count.
+	Specs int
+	// Peer is the base URL of the peer that completed the shard, or
+	// "local" when the coordinator's own engine evaluated it.
+	Peer string
+	// Attempts counts peer attempts consumed, including the successful
+	// one (0 when the shard went straight to the local engine).
+	Attempts int
+	// Retried reports that at least one peer attempt failed first.
+	Retried bool
+}
+
+// Opened is a started scatter–gather stream. Chunks delivers pooled
+// result chunks in deterministic spec order (globally ascending
+// Result.Index); the consumer returns each chunk via Engine.Recycle.
+// The channel closes when the sweep completes or the context dies —
+// exactly the engine's own chunk-stream contract.
+type Opened struct {
+	Chunks <-chan *sweep.Chunk
+	// Total is the spec count (the progress denominator).
+	Total int
+	// Shards is the planned shard count; 0 when the request ran on the
+	// local fast path (no peers, or a request at most one shard long).
+	Shards int
+}
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Engine is the coordinator's local engine: the no-peer path, the
+	// small-request fast path, and the per-shard fallback of last
+	// resort. Required.
+	Engine *sweep.Engine
+	// Peers are worker base URLs (scheme://host:port). Empty means
+	// every request runs locally.
+	Peers []string
+	// ShardSize caps one shard's spec count; 0 means DefaultShardSize.
+	ShardSize int
+	// MaxInFlight bounds concurrently outstanding shards; 0 means
+	// DefaultMaxInFlightPerPeer × len(Peers).
+	MaxInFlight int
+	// ShardTimeout bounds one shard attempt; 0 means
+	// DefaultShardTimeout.
+	ShardTimeout time.Duration
+	// HTTPClient is the transport for peer calls; nil builds one with
+	// sane connection pooling.
+	HTTPClient *http.Client
+	// Logger receives shard failure and fallback events; nil disables.
+	Logger *slog.Logger
+}
+
+// peerState is one peer's rolling health ledger.
+type peerState struct {
+	url string
+
+	mu        sync.Mutex
+	shardsOK  int
+	shardsErr int
+	lastErr   string
+	lastErrAt time.Time
+}
+
+func (p *peerState) ok() {
+	p.mu.Lock()
+	p.shardsOK++
+	p.mu.Unlock()
+}
+
+func (p *peerState) fail(err error, now time.Time) {
+	p.mu.Lock()
+	p.shardsErr++
+	p.lastErr = err.Error()
+	p.lastErrAt = now
+	p.mu.Unlock()
+}
+
+// Dispatcher scatters sweeps across peers and gathers the results. It
+// is safe for concurrent use; all calls share the peer ledger and the
+// in-flight bound is per call, so the jobs store can run many
+// distributed jobs at once.
+type Dispatcher struct {
+	engine       *sweep.Engine
+	peers        []*peerState
+	shardSize    int
+	maxInFlight  int
+	shardTimeout time.Duration
+	hc           *http.Client
+	logger       *slog.Logger
+
+	mu             sync.Mutex
+	shardsPlanned  int
+	shardsRetried  int
+	shardsFallback int
+}
+
+// New builds a dispatcher. A nil engine panics: the local fallback is
+// what makes the layer total, so constructing a dispatcher without one
+// is a programming error.
+func New(opts Options) *Dispatcher {
+	if opts.Engine == nil {
+		panic("dispatch: Options.Engine is required")
+	}
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlightPerPeer * len(opts.Peers)
+	}
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	shardTimeout := opts.ShardTimeout
+	if shardTimeout <= 0 {
+		shardTimeout = DefaultShardTimeout
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		// The pool must hold the full in-flight shard fan-out per peer,
+		// or concurrent scatters churn connections instead of reusing
+		// them — on a busy coordinator that handshake tax dominates the
+		// shard round trip.
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        0, // no global cap; the per-host cap governs
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	d := &Dispatcher{
+		engine:       opts.Engine,
+		shardSize:    shardSize,
+		maxInFlight:  maxInFlight,
+		shardTimeout: shardTimeout,
+		hc:           hc,
+		logger:       opts.Logger,
+	}
+	for _, u := range opts.Peers {
+		d.peers = append(d.peers, &peerState{url: u})
+	}
+	return d
+}
+
+// Engine returns the dispatcher's local engine.
+func (d *Dispatcher) Engine() *sweep.Engine { return d.engine }
+
+// Distributed reports whether peers are configured.
+func (d *Dispatcher) Distributed() bool { return len(d.peers) > 0 }
+
+// ShardSize returns the configured shard size.
+func (d *Dispatcher) ShardSize() int { return d.shardSize }
+
+// shard is one unit of scatter work: a contiguous slice of the
+// request's spec order, as a sub-space or an explicit spec list.
+type shard struct {
+	index int // position in submission order
+	start int // global index of the shard's first spec
+	size  int
+	space *sweep.Space // non-nil for space shards
+	specs []sweep.Spec // non-nil for spec-list shards
+}
+
+// plan partitions the request into contiguous shards.
+func (d *Dispatcher) plan(req Request) []shard {
+	if req.Space != nil {
+		planned := sweep.ShardSpace(*req.Space, d.shardSize)
+		shards := make([]shard, len(planned))
+		for i := range planned {
+			sp := planned[i].Space
+			shards[i] = shard{
+				index: i,
+				start: planned[i].Start,
+				size:  sp.Size(),
+				space: &sp,
+			}
+		}
+		return shards
+	}
+	var shards []shard
+	for start := 0; start < len(req.Specs); start += d.shardSize {
+		end := start + d.shardSize
+		if end > len(req.Specs) {
+			end = len(req.Specs)
+		}
+		shards = append(shards, shard{
+			index: len(shards),
+			start: start,
+			size:  end - start,
+			specs: req.Specs[start:end],
+		})
+	}
+	return shards
+}
+
+// openLocal is the no-peer path: the engine's own chunk streams,
+// untouched — byte-for-byte the single-node pipeline.
+func (d *Dispatcher) openLocal(ctx context.Context, req Request) (Opened, error) {
+	if req.Space != nil {
+		ch, total, err := d.engine.StreamSpaceChunks(ctx, *req.Space)
+		if err != nil {
+			return Opened{}, err
+		}
+		return Opened{Chunks: ch, Total: total}, nil
+	}
+	ch := d.engine.StreamChunks(ctx, req.Specs)
+	return Opened{Chunks: ch, Total: len(req.Specs)}, nil
+}
+
+// Open starts the request's evaluation and returns its ordered chunk
+// stream. Requests that fit in a single shard — and every request when
+// no peers are configured — run on the local engine; larger requests
+// are scattered. onShard, when non-nil, is called once per completed
+// shard (from the shard's own goroutine; implementations must be
+// thread-safe).
+func (d *Dispatcher) Open(ctx context.Context, req Request, onShard func(ShardDone)) (Opened, error) {
+	if len(d.peers) == 0 || req.size() <= d.shardSize {
+		return d.openLocal(ctx, req)
+	}
+	shards := d.plan(req)
+	if len(shards) <= 1 {
+		return d.openLocal(ctx, req)
+	}
+	d.mu.Lock()
+	d.shardsPlanned += len(shards)
+	d.mu.Unlock()
+
+	out := make(chan *sweep.Chunk, d.maxInFlight)
+	gathered := make([]chan []sweep.Result, len(shards))
+	for i := range gathered {
+		gathered[i] = make(chan []sweep.Result, 1)
+	}
+	// Scatter: a bounded pool of shard runners claims shards in order.
+	sem := make(chan struct{}, d.maxInFlight)
+	go func() {
+		for i := range shards {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				// Wake the gatherer for every unstarted shard so it can
+				// observe the dead context and drain out.
+				for _, j := range shards[i:] {
+					gathered[j.index] <- nil
+				}
+				return
+			}
+			go func(sh shard) {
+				defer func() { <-sem }()
+				gathered[sh.index] <- d.runShard(ctx, sh, onShard)
+			}(shards[i])
+		}
+	}()
+	// Gather: emit shard results strictly in submission order, so the
+	// merged stream is globally Index-ordered — the deterministic spec
+	// order the single-node collectors produce.
+	go func() {
+		defer close(out)
+		for i := range shards {
+			var results []sweep.Result
+			select {
+			case results = <-gathered[i]:
+			case <-ctx.Done():
+				return
+			}
+			if results == nil {
+				return // cancelled mid-shard
+			}
+			if !d.emitChunks(ctx, out, results) {
+				return
+			}
+		}
+	}()
+	return Opened{Chunks: out, Total: req.size(), Shards: len(shards)}, nil
+}
+
+// emitChunks slices one shard's ordered results into pooled chunks and
+// sends them, reporting false when the context dies.
+func (d *Dispatcher) emitChunks(ctx context.Context, out chan<- *sweep.Chunk, results []sweep.Result) bool {
+	for len(results) > 0 {
+		c := sweep.AcquireChunk()
+		n := cap(c.Results)
+		if n > len(results) {
+			n = len(results)
+		}
+		c.Results = append(c.Results, results[:n]...)
+		results = results[n:]
+		select {
+		case out <- c:
+		case <-ctx.Done():
+			// The consumer is gone; hand the buffer straight back.
+			d.engine.Recycle(c)
+			return false
+		}
+	}
+	return true
+}
+
+// runShard drives one shard to completion: peers in rotation order
+// first (each at most once, skipping any that already failed this
+// shard), then the local engine. It returns the shard's results in
+// local index order, or nil if the context died first. Results
+// accepted from a failed attempt are kept — they are valid
+// evaluations — and the replacement peer's duplicate deliveries are
+// dropped by the accumulator, so a mid-stream peer death costs only
+// the missing suffix.
+func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardDone)) []sweep.Result {
+	acc := newShardAccumulator(sh)
+	attempts := 0
+	for i := 0; i < len(d.peers) && acc.missing() > 0; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		peer := d.peers[(sh.index+i)%len(d.peers)]
+		attempts++
+		err := d.fetchShard(ctx, peer, sh, acc)
+		if err == nil {
+			peer.ok()
+			break
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		peer.fail(err, time.Now())
+		if d.logger != nil {
+			d.logger.Warn("shard attempt failed",
+				"shard", sh.index, "peer", peer.url, "attempt", attempts, "error", err)
+		}
+	}
+	retried := attempts > 1
+	doneVia := "local"
+	if acc.missing() > 0 {
+		// Every peer failed (or none could finish the shard): evaluate
+		// the remainder locally. The whole shard is re-run for
+		// simplicity; the accumulator keeps the first delivery of every
+		// index, so already-gathered results stay as delivered.
+		d.mu.Lock()
+		d.shardsFallback++
+		d.mu.Unlock()
+		if d.logger != nil {
+			d.logger.Warn("shard falling back to local engine",
+				"shard", sh.index, "missing", acc.missing(), "attempts", attempts)
+		}
+		results, err := d.evalLocal(ctx, sh)
+		if err != nil {
+			return nil // only the context kills a local evaluation
+		}
+		for i := range results {
+			acc.accept(results[i].Index-sh.start, results[i])
+		}
+		retried = attempts > 0
+	} else if attempts > 0 {
+		doneVia = d.peers[(sh.index+attempts-1)%len(d.peers)].url
+	}
+	if retried {
+		d.mu.Lock()
+		d.shardsRetried++
+		d.mu.Unlock()
+	}
+	if onShard != nil {
+		onShard(ShardDone{
+			Shard:    sh.index,
+			Specs:    sh.size,
+			Peer:     doneVia,
+			Attempts: attempts,
+			Retried:  retried,
+		})
+	}
+	return acc.results
+}
+
+// evalLocal evaluates one shard on the coordinator's engine, in
+// submission order, with global indices restored.
+func (d *Dispatcher) evalLocal(ctx context.Context, sh shard) ([]sweep.Result, error) {
+	var results []sweep.Result
+	var err error
+	if sh.space != nil {
+		results, err = d.engine.RunSpace(ctx, *sh.space)
+	} else {
+		results, err = d.engine.Run(ctx, sh.specs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Index += sh.start
+	}
+	return results, nil
+}
+
+// shardAccumulator collects one shard's results with first-delivery-
+// wins dedupe on the shard-local index: duplicate deliveries — a peer
+// re-sending lines, or a reassigned shard re-streaming a prefix an
+// earlier peer already delivered — are dropped, never double-counted.
+type shardAccumulator struct {
+	start   int
+	results []sweep.Result
+	seen    []bool
+	left    int
+}
+
+func newShardAccumulator(sh shard) *shardAccumulator {
+	return &shardAccumulator{
+		start:   sh.start,
+		results: make([]sweep.Result, sh.size),
+		seen:    make([]bool, sh.size),
+		left:    sh.size,
+	}
+}
+
+// accept records one result at the shard-local index; out-of-range and
+// duplicate indices are rejected.
+func (a *shardAccumulator) accept(local int, r sweep.Result) bool {
+	if local < 0 || local >= len(a.results) || a.seen[local] {
+		return false
+	}
+	a.seen[local] = true
+	a.results[local] = r
+	a.left--
+	return true
+}
+
+func (a *shardAccumulator) missing() int { return a.left }
+
+// Stats is a snapshot of the dispatcher's shard counters.
+type Stats struct {
+	// ShardsPlanned counts shards handed to the scatter loop.
+	ShardsPlanned int `json:"shards_planned"`
+	// ShardsRetried counts shards that needed more than one attempt.
+	ShardsRetried int `json:"shards_retried"`
+	// ShardsFallback counts shards the local engine finished after the
+	// peers could not.
+	ShardsFallback int `json:"shards_fallback"`
+}
+
+// Stats returns a snapshot of the dispatcher's counters.
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		ShardsPlanned:  d.shardsPlanned,
+		ShardsRetried:  d.shardsRetried,
+		ShardsFallback: d.shardsFallback,
+	}
+}
+
+// Run evaluates the request to completion and returns results in
+// submission (Index) order — the distributed counterpart of
+// Engine.Run/RunSpace, with the same cancellation contract: on a dead
+// context the unfinished entries carry ctx.Err().
+func (d *Dispatcher) Run(ctx context.Context, req Request) ([]sweep.Result, error) {
+	// The local paths delegate to the engine's own collectors so the
+	// single-node pipeline (pooled buffers included) stays untouched.
+	if len(d.peers) == 0 || req.size() <= d.shardSize {
+		if req.Space != nil {
+			return d.engine.RunSpace(ctx, *req.Space)
+		}
+		return d.engine.Run(ctx, req.Specs)
+	}
+	opened, err := d.Open(ctx, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]sweep.Result, opened.Total)
+	done := make([]bool, opened.Total)
+	for c := range opened.Chunks {
+		for _, r := range c.Results {
+			results[r.Index] = r
+			done[r.Index] = true
+		}
+		d.engine.Recycle(c)
+	}
+	if err := ctx.Err(); err != nil {
+		var specs []sweep.Spec
+		if req.Space != nil {
+			specs = req.Space.Expand()
+		} else {
+			specs = req.Specs
+		}
+		for i := range results {
+			if !done[i] {
+				results[i] = sweep.Result{Index: i, Spec: specs[i], Err: err}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}

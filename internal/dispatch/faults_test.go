@@ -1,0 +1,267 @@
+package dispatch_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"optspeed/internal/core"
+	"optspeed/internal/dispatch"
+	"optspeed/internal/jobs"
+	"optspeed/internal/sweep"
+)
+
+// testSpace builds a space of n·4 optimize specs (distinct, so cold
+// engines produce no cache hits anywhere).
+func testSpace(ns ...int) *sweep.Space {
+	return &sweep.Space{
+		Ns:       ns,
+		Stencils: []string{"5-point", "9-point"},
+		Shapes:   []string{"strip", "square"},
+		Machines: []core.MachineSpec{{Type: "sync-bus"}},
+	}
+}
+
+// TestCancellationDuringScatter opens a scatter against peers that
+// accept shards and never answer, cancels the context, and requires
+// the chunk stream to close promptly — the contract jobs.run relies on
+// to mark the job cancelled.
+func TestCancellationDuringScatter(t *testing.T) {
+	peers := []string{newFaultPeer(t, "stall", -1), newFaultPeer(t, "stall", -1)}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opened, err := d.Open(ctx, dispatch.Request{Space: testSpace(16, 24, 32, 48)}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if opened.Shards < 2 {
+		t.Fatalf("want a real scatter, got %d shards", opened.Shards)
+	}
+	time.AfterFunc(50*time.Millisecond, cancel)
+
+	done := make(chan int)
+	go func() {
+		n := 0
+		for c := range opened.Chunks {
+			n += len(c.Results)
+			eng.Recycle(c)
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n == opened.Total {
+			t.Fatalf("stalled peers cannot have produced all %d results", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chunk stream did not close after cancellation")
+	}
+}
+
+// TestRunCancellationBackfills pins Dispatcher.Run's collector
+// contract under a dead context: every unfinished entry carries its
+// submitted spec and the context error, mirroring Engine.Run.
+func TestRunCancellationBackfills(t *testing.T) {
+	peers := []string{newFaultPeer(t, "stall", -1)}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	sp := testSpace(16, 24, 32, 48)
+	results, err := d.Run(ctx, dispatch.Request{Space: sp})
+	if err == nil {
+		t.Fatal("want a context error from a cancelled run")
+	}
+	specs := sp.Expand()
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	backfilled := 0
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			backfilled++
+			if r.Spec != specs[i] {
+				t.Fatalf("backfilled result %d lost its spec", i)
+			}
+		}
+	}
+	if backfilled == 0 {
+		t.Fatal("stalled peers cannot have completed every spec")
+	}
+}
+
+// TestSlowPeerPreservesOrder pairs a peer that answers late with a
+// fast one: shards complete out of submission order, but the gathered
+// stream must still be globally Index-ordered.
+func TestSlowPeerPreservesOrder(t *testing.T) {
+	peers := []string{newFaultPeer(t, "slow", -1), newWorker(t)}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 4})
+
+	opened, err := d.Open(context.Background(), dispatch.Request{Space: testSpace(16, 24, 32, 48)}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	next := 0
+	for c := range opened.Chunks {
+		for _, r := range c.Results {
+			if r.Index != next {
+				t.Fatalf("stream out of order: got index %d, want %d", r.Index, next)
+			}
+			next++
+		}
+		eng.Recycle(c)
+	}
+	if next != opened.Total {
+		t.Fatalf("stream delivered %d of %d results", next, opened.Total)
+	}
+}
+
+// TestDistributedJobProgress runs a distributed job through the jobs
+// store and checks the per-shard progress counters land: Shards set
+// from the plan, ShardsDone equal at completion, Completed == Total.
+func TestDistributedJobProgress(t *testing.T) {
+	peers := []string{newWorker(t), newWorker(t)}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 4})
+	store := jobs.NewStore(jobs.Options{Engine: eng, Dispatcher: d})
+	defer store.Close()
+
+	snap, err := store.Submit(jobs.Request{Kind: jobs.KindSweep, Space: testSpace(16, 24, 32, 48)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := store.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if fin.State != jobs.StateSucceeded {
+		t.Fatalf("job %s: %s (%s)", fin.ID, fin.State, fin.Reason)
+	}
+	p := fin.Progress
+	if p.Completed != p.Total || p.Total != 16 {
+		t.Fatalf("progress %+v: want completed == total == 16", p)
+	}
+	if p.Shards != 4 || p.ShardsDone != p.Shards {
+		t.Fatalf("progress %+v: want 4 shards, all done", p)
+	}
+}
+
+// TestDuplicateDeliveryDoesNotInflateProgress submits a job whose
+// peers deliver every result twice: the job's Completed counter must
+// equal Total exactly — dedupe happens before the chunk pipeline, so
+// progress can never double-count.
+func TestDuplicateDeliveryDoesNotInflateProgress(t *testing.T) {
+	peers := []string{newFaultPeer(t, "duplicate-lines", -1), newFaultPeer(t, "duplicate-lines", -1)}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 4})
+	store := jobs.NewStore(jobs.Options{Engine: eng, Dispatcher: d})
+	defer store.Close()
+
+	snap, err := store.Submit(jobs.Request{Kind: jobs.KindSweep, Space: testSpace(16, 24, 32, 48)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := store.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if fin.State != jobs.StateSucceeded {
+		t.Fatalf("job %s: %s (%s)", fin.ID, fin.State, fin.Reason)
+	}
+	if fin.Progress.Completed != fin.Progress.Total {
+		t.Fatalf("progress %+v: duplicate deliveries inflated the counters", fin.Progress)
+	}
+	// Every stored result must be present exactly once, in order.
+	page, err := store.Results(fin.ID, 0, fin.Progress.Total+10)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if len(page.Results) != fin.Progress.Total {
+		t.Fatalf("stored %d results, want %d", len(page.Results), fin.Progress.Total)
+	}
+	for i, r := range page.Results {
+		if r.Index != i {
+			t.Fatalf("stored result %d has index %d", i, r.Index)
+		}
+	}
+}
+
+// TestSpecListScatter covers the flat spec-list planning branch: an
+// explicit spec list larger than the shard size scatters as contiguous
+// slices and gathers back complete and ordered, matching the local
+// engine's evaluation of the same list.
+func TestSpecListScatter(t *testing.T) {
+	peers := []string{newWorker(t), newWorker(t)}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 4})
+	if !d.Distributed() || d.ShardSize() != 4 || d.Engine() != eng {
+		t.Fatal("dispatcher accessors diverge from configuration")
+	}
+
+	specs := testSpace(16, 24, 32, 48).Expand()
+	got, err := d.Run(context.Background(), dispatch.Request{Specs: specs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := sweep.New(sweep.Options{}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("local Run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].Spec != want[i].Spec ||
+			got[i].Value != want[i].Value || (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("result %d diverges: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if s := d.Stats(); s.ShardsPlanned < 2 {
+		t.Fatalf("spec list never scattered: %+v", s)
+	}
+}
+
+// TestLocalFastPathSkipsScatter pins that single-shard requests and
+// no-peer dispatchers never scatter — the Opened.Shards == 0 contract
+// the jobs layer uses to suppress shard counters.
+func TestLocalFastPathSkipsScatter(t *testing.T) {
+	eng := sweep.New(sweep.Options{})
+	local := dispatch.New(dispatch.Options{Engine: eng})
+	opened, err := local.Open(context.Background(), dispatch.Request{Space: testSpace(16, 24)}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if opened.Shards != 0 {
+		t.Fatalf("local dispatcher planned %d shards", opened.Shards)
+	}
+	for c := range opened.Chunks {
+		eng.Recycle(c)
+	}
+
+	peers := []string{newWorker(t)}
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: 64})
+	opened, err = d.Open(context.Background(), dispatch.Request{Space: testSpace(16)}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if opened.Shards != 0 {
+		t.Fatalf("single-shard request scattered into %d shards", opened.Shards)
+	}
+	for c := range opened.Chunks {
+		eng.Recycle(c)
+	}
+	if s := d.Stats(); s.ShardsPlanned != 0 {
+		t.Fatalf("fast path leaked into the scatter counters: %+v", s)
+	}
+}

@@ -1,0 +1,166 @@
+package dispatch_test
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optspeed/internal/dispatch"
+	"optspeed/internal/service"
+	"optspeed/internal/sweep"
+)
+
+// newWorker starts one in-process optspeedd worker with a fresh (cold)
+// engine, returning its base URL.
+func newWorker(t *testing.T) string {
+	t.Helper()
+	srv := service.New(service.Config{Engine: sweep.New(sweep.Options{})})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+// newCoordinator starts an in-process coordinator over the given peers,
+// with a fresh engine of its own, returning the base URL and the
+// dispatcher for counter assertions.
+func newCoordinator(t *testing.T, peers []string, shardSize int) (string, *dispatch.Dispatcher) {
+	t.Helper()
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: peers, ShardSize: shardSize})
+	srv := service.New(service.Config{Engine: eng, Dispatcher: d})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL, d
+}
+
+// postSweep runs one POST /v1/sweep and returns status and body.
+func postSweep(t *testing.T, base, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read sweep response: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+// faultPeer wraps a real worker behind a fault-injecting front: mode
+// selects the failure, and failN bounds how many requests fail before
+// the peer turns healthy (-1 = always). The inner worker is a complete
+// service instance, so successful passes produce real NDJSON.
+type faultPeer struct {
+	t     *testing.T
+	inner http.Handler
+	mode  string // "kill-mid-stream" | "http-500" | "garbage" | "duplicate-lines" | "truncate-no-done"
+	failN int64  // requests to sabotage; -1 = all
+	seen  atomic.Int64
+}
+
+func newFaultPeer(t *testing.T, mode string, failN int64) string {
+	t.Helper()
+	srv := service.New(service.Config{Engine: sweep.New(sweep.Options{})})
+	fp := &faultPeer{t: t, inner: srv.Handler(), mode: mode, failN: failN}
+	ts := httptest.NewServer(fp)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+func (fp *faultPeer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := fp.seen.Add(1)
+	sabotage := fp.failN < 0 || n <= fp.failN
+	// Health probes always pass through: the faults under test are
+	// shard-serving faults, not liveness ones.
+	if !sabotage || r.URL.Path == "/healthz" {
+		fp.inner.ServeHTTP(w, r)
+		return
+	}
+	switch fp.mode {
+	case "slow":
+		// Not a fault: a healthy peer that answers late, for ordering
+		// tests where shard completion order inverts submission order.
+		select {
+		case <-time.After(150 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		fp.inner.ServeHTTP(w, r)
+	case "stall":
+		// Accepts the request and never answers: the canonical hung
+		// peer for cancellation tests.
+		w.WriteHeader(http.StatusOK)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done()
+	case "http-500":
+		http.Error(w, "worker exploded", http.StatusInternalServerError)
+	case "garbage":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, "this is not json\n{\"result\": [broken\n")
+	case "kill-mid-stream", "duplicate-lines", "truncate-no-done":
+		fp.replay(w, r)
+	default:
+		fp.t.Errorf("unknown fault mode %q", fp.mode)
+	}
+}
+
+// replay records the real worker's full response, then re-serves it
+// with the configured corruption: killed connection mid-body,
+// duplicated result lines, or a truncated stream with the done line
+// dropped.
+func (fp *faultPeer) replay(w http.ResponseWriter, r *http.Request) {
+	rec := httptest.NewRecorder()
+	fp.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(rec.Code)
+	switch fp.mode {
+	case "kill-mid-stream":
+		// Deliver roughly half the stream, flush it so the coordinator
+		// really receives it, then abort the connection — net/http
+		// closes the socket without a terminal chunk, which the client
+		// sees as an unexpected EOF.
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case "duplicate-lines":
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			w.Write(line)
+			w.Write([]byte{'\n'})
+			if bytes.Contains(line, []byte(`"result"`)) {
+				// Every result delivered twice; the coordinator must
+				// keep exactly one.
+				w.Write(line)
+				w.Write([]byte{'\n'})
+			}
+		}
+	case "truncate-no-done":
+		if i := bytes.LastIndexByte(bytes.TrimRight(body, "\n"), '\n'); i >= 0 {
+			w.Write(body[:i+1]) // all result lines, done line dropped
+		}
+	}
+}

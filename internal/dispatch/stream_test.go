@@ -1,0 +1,51 @@
+package dispatch_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"optspeed/client"
+)
+
+// TestCoordinatorStreamIsOrdered drives POST /v2/sweeps/stream on a
+// coordinator through the SDK: the scattered stream must arrive in
+// deterministic spec order with full coverage and a correct final
+// stats line — unlike the single-node stream, whose arrival order is
+// completion order, the gathered stream is globally Index-sorted.
+func TestCoordinatorStreamIsOrdered(t *testing.T) {
+	peers := []string{newWorker(t), newWorker(t)}
+	coord, _ := newCoordinator(t, peers, 8)
+	c, err := client.New(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var req client.SweepRequest
+	if err := json.Unmarshal([]byte(equivalenceBodies[0].body), &req); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.StreamSweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("StreamSweep: %v", err)
+	}
+	defer st.Close()
+	next := 0
+	for st.Next() {
+		if got := st.Result().Index; got != next {
+			t.Fatalf("stream out of order: got index %d, want %d", got, next)
+		}
+		next++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	total := req.Space.Size()
+	if next != total {
+		t.Fatalf("stream delivered %d of %d results", next, total)
+	}
+	stats := st.Stats()
+	if stats == nil || stats.Specs != total {
+		t.Fatalf("stats %+v; want %d specs", stats, total)
+	}
+}

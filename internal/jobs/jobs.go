@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"optspeed/internal/dispatch"
 	"optspeed/internal/sweep"
 )
 
@@ -57,11 +58,16 @@ const (
 
 // Progress is a job's live counters. Completed = CacheHits + Errors +
 // fresh evaluations; it reaches Total exactly when the job succeeds.
+// Shards/ShardsDone are the distributed-execution counters: zero for
+// jobs that ran on the local fast path, otherwise the scatter plan's
+// shard count and how many shards have been gathered so far.
 type Progress struct {
-	Total     int `json:"total"`
-	Completed int `json:"completed"`
-	CacheHits int `json:"cache_hits"`
-	Errors    int `json:"errors"`
+	Total      int `json:"total"`
+	Completed  int `json:"completed"`
+	CacheHits  int `json:"cache_hits"`
+	Errors     int `json:"errors"`
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
 }
 
 // Request describes the work one job runs. Exactly one of Specs/Space
@@ -167,6 +173,21 @@ func (j *Job) start(now time.Time, total int) {
 	j.state = StateRunning
 	j.started = now
 	j.progress.Total = total
+}
+
+// setShards fixes the distributed shard denominator (0 = local run).
+func (j *Job) setShards(n int) {
+	j.mu.Lock()
+	j.progress.Shards = n
+	j.mu.Unlock()
+}
+
+// shardDone is the dispatcher's per-shard progress hook; it runs on
+// shard-runner goroutines, hence the lock.
+func (j *Job) shardDone(dispatch.ShardDone) {
+	j.mu.Lock()
+	j.progress.ShardsDone++
+	j.mu.Unlock()
 }
 
 // appendChunk copies one streamed chunk of results into the slabs and

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"optspeed/internal/dispatch"
 	"optspeed/internal/sweep"
 )
 
@@ -33,6 +34,10 @@ const (
 type Options struct {
 	// Engine is the shared evaluation engine; nil builds a default one.
 	Engine *sweep.Engine
+	// Dispatcher routes evaluation: with peers configured, sweeps are
+	// scattered across the cluster; nil builds a local-only dispatcher
+	// over Engine (byte-for-byte the single-node pipeline).
+	Dispatcher *dispatch.Dispatcher
 	// Capacity bounds resident jobs (running + retained terminal).
 	Capacity int
 	// TTL is how long a terminal job stays readable.
@@ -52,10 +57,11 @@ type Options struct {
 // is evicted to admit a new one; if every resident job is still
 // running, submission fails with ErrStoreFull.
 type Store struct {
-	engine   *sweep.Engine
-	capacity int
-	ttl      time.Duration
-	now      func() time.Time
+	engine     *sweep.Engine
+	dispatcher *dispatch.Dispatcher
+	capacity   int
+	ttl        time.Duration
+	now        func() time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -70,6 +76,10 @@ func NewStore(opts Options) *Store {
 	eng := opts.Engine
 	if eng == nil {
 		eng = sweep.New(sweep.Options{})
+	}
+	disp := opts.Dispatcher
+	if disp == nil {
+		disp = dispatch.New(dispatch.Options{Engine: eng})
 	}
 	capacity := opts.Capacity
 	if capacity <= 0 {
@@ -94,12 +104,13 @@ func NewStore(opts Options) *Store {
 		now = time.Now
 	}
 	s := &Store{
-		engine:   eng,
-		capacity: capacity,
-		ttl:      ttl,
-		now:      now,
-		jobs:     make(map[string]*Job),
-		stopGC:   make(chan struct{}),
+		engine:     eng,
+		dispatcher: disp,
+		capacity:   capacity,
+		ttl:        ttl,
+		now:        now,
+		jobs:       make(map[string]*Job),
+		stopGC:     make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.gcLoop(gcEvery)
@@ -108,6 +119,9 @@ func NewStore(opts Options) *Store {
 
 // Engine returns the store's evaluation engine.
 func (s *Store) Engine() *sweep.Engine { return s.engine }
+
+// Dispatcher returns the store's evaluation router.
+func (s *Store) Dispatcher() *dispatch.Dispatcher { return s.dispatcher }
 
 // Submit registers a job and starts it asynchronously, returning the
 // accepted snapshot immediately. The job runs under its own context —
@@ -141,18 +155,19 @@ func (s *Store) Submit(req Request) (Snapshot, error) {
 // own to the pipeline.
 func (s *Store) run(ctx context.Context, j *Job, req Request) {
 	defer j.cancel() // release the context's resources
-	ch, total, err := s.Open(ctx, req)
+	opened, err := s.open(ctx, req, j.shardDone)
 	if err != nil {
 		j.start(s.now(), 0)
 		j.finish(s.now(), s.ttl, StateFailed, err.Error())
 		return
 	}
-	j.start(s.now(), total)
-	for c := range ch {
+	j.start(s.now(), opened.Total)
+	j.setShards(opened.Shards)
+	for c := range opened.Chunks {
 		j.appendChunk(c.Results)
 		s.engine.Recycle(c)
 	}
-	state, reason := terminalFor(j, ctx, total)
+	state, reason := terminalFor(j, ctx, opened.Total)
 	j.finish(s.now(), s.ttl, state, reason)
 }
 
@@ -179,32 +194,39 @@ func terminalFor(j *Job, ctx context.Context, total int) (State, string) {
 }
 
 // Open starts a request's evaluation stream without registering a job
-// — the single definition of the request→engine dispatch, shared by
-// the job runner and the service's NDJSON streaming endpoint. Spaces
-// keep the engine's space-aware path (axis pre-resolution, batched
-// speedup groups); flat lists stream spec by spec. Results arrive in
-// reusable chunks that the consumer returns via Engine.Recycle. The
-// int is the total spec count (the progress denominator).
+// — the single definition of the request→evaluation dispatch, shared
+// by the job runner and the service's NDJSON streaming endpoint. The
+// dispatcher routes: with peers configured, oversized requests are
+// scattered across the cluster; otherwise spaces keep the engine's
+// space-aware path (axis pre-resolution, batched speedup groups) and
+// flat lists stream spec by spec. Results arrive in reusable chunks
+// that the consumer returns via Engine.Recycle. The int is the total
+// spec count (the progress denominator).
 func (s *Store) Open(ctx context.Context, req Request) (<-chan *sweep.Chunk, int, error) {
-	if req.Space != nil {
-		return s.engine.StreamSpaceChunks(ctx, *req.Space)
+	opened, err := s.open(ctx, req, nil)
+	if err != nil {
+		return nil, 0, err
 	}
-	return s.engine.StreamChunks(ctx, req.Specs), len(req.Specs), nil
+	return opened.Chunks, opened.Total, nil
+}
+
+// open is Open with the per-shard progress hook the job runner feeds
+// its shard counters from.
+func (s *Store) open(ctx context.Context, req Request, onShard func(dispatch.ShardDone)) (dispatch.Opened, error) {
+	return s.dispatcher.Open(ctx, dispatch.Request{Specs: req.Specs, Space: req.Space}, onShard)
 }
 
 // RunSync runs one request synchronously, bound to the caller's
 // context and never registered in the store — the v1 compatibility
 // path: the request blocks until completion and leaves no resident job
-// behind. It shares the Submit path's request mapping but collects on
-// the engine's own submission-order collectors, avoiding a throwaway
+// behind. It shares the Submit path's request mapping but collects into
+// submission order directly (through the dispatcher, so coordinator
+// deployments distribute synchronous sweeps too), avoiding a throwaway
 // job record. Results come back in submission (Index) order; a non-nil
 // error means the context died (or, for a space, that its axis product
 // overflowed).
 func (s *Store) RunSync(ctx context.Context, req Request) ([]sweep.Result, error) {
-	if req.Space != nil {
-		return s.engine.RunSpace(ctx, *req.Space)
-	}
-	return s.engine.Run(ctx, req.Specs)
+	return s.dispatcher.Run(ctx, dispatch.Request{Specs: req.Specs, Space: req.Space})
 }
 
 // Get returns a job's snapshot.

@@ -1,0 +1,14 @@
+package service
+
+import "net/http"
+
+// handleCluster reports the coordinator's view of its worker fleet:
+// mode ("single" when no peers are configured, "coordinator"
+// otherwise), the shard-planning size, a live /healthz probe of every
+// peer merged with its rolling shard ledger, and the dispatcher's
+// scatter counters. The probe runs per request — this endpoint is the
+// operator's peer-health check, so it must reflect the fleet now, not
+// a cached verdict.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.writeJSONPretty(w, r, http.StatusOK, s.dispatcher.ClusterStatus(r.Context()))
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSweepRequest hammers the shared sweep validation layer —
+// the same decode + sweepJobRequest pass every sweep-accepting surface
+// (v1 /sweep, v2 job submission, v2 streaming) runs — with arbitrary
+// request bodies. Invariants: no panics; anything admitted respects
+// the expanded-size limit (including against overflowing axis
+// products); and an admitted request always carries work.
+func FuzzDecodeSweepRequest(f *testing.F) {
+	seeds := []string{
+		`{"specs":[{"n":64,"stencil":"5-point","shape":"strip","machine":{"type":"sync-bus"}}]}`,
+		`{"space":{"ns":[64,128],"stencils":["5-point"],"shapes":["strip","square"],` +
+			`"machines":[{"type":"sync-bus"},{"type":"mesh"}]}}`,
+		`{"space":{"op":"speedup","ns":[256],"stencils":["9-point"],"shapes":["square"],` +
+			`"machines":[{"type":"hypercube"}],"procs":[1,2,4,8]}}`,
+		`{"specs":[],"space":null}`,
+		`{}`,
+		`{"space":{"ns":[],"stencils":["5-point"],"shapes":["strip"],"machines":[{"type":"sync-bus"}]}}`,
+		`{"space":{"op":"isoeff-grid","ns":[0],"stencils":["bogus"],"shapes":["round"],` +
+			`"machines":[{"type":""}],"procs":[-1],"target":1.5}}`,
+		`{"space":{"ns":[1,1,1,1,1,1,1,1],"stencils":["5-point","5-point"],` +
+			`"shapes":["strip","strip"],"machines":[{"type":"sync-bus"}],"procs":[1,2,3,4,5,6,7,8]}}`,
+		`{"specs":[{"op":"scaled","n":-5,"stencil":"13-point","shape":"square",` +
+			`"machine":{"type":"banyan","w":-1},"points_per_proc":1e308}]}`,
+		`[1,2,3]`,
+		`"specs"`,
+		`{"unknown_field":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	// A small server keeps adversarial spaces cheap: the limit check
+	// runs before expansion, so a tiny cap exercises the rejection
+	// paths without letting the fuzzer OOM on giant (but non-
+	// overflowing) axis products.
+	srv := New(Config{MaxSweepSpecs: 512})
+	defer srv.Close()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SweepRequest
+		r := httptest.NewRequest("POST", "/v1/sweep", bytes.NewReader(data))
+		w := httptest.NewRecorder()
+		if prob := srv.decodeBody(r, w, &req); prob != nil {
+			if prob.status < 400 || prob.status > 499 {
+				t.Fatalf("decode problem with non-4xx status %d", prob.status)
+			}
+			return
+		}
+		jreq, prob := srv.sweepJobRequest(req)
+		if prob != nil {
+			if prob.status < 400 || prob.status > 499 {
+				t.Fatalf("validation problem with non-4xx status %d: %s", prob.status, prob.msg)
+			}
+			if prob.msg == "" {
+				t.Fatal("validation problem without a message")
+			}
+			return
+		}
+		// Admitted: the request must carry work within the cap.
+		switch {
+		case jreq.Space != nil:
+			if size := jreq.Space.Size(); size <= 0 || size > srv.maxSpecs {
+				t.Fatalf("admitted space of size %d past cap %d", size, srv.maxSpecs)
+			}
+		case len(jreq.Specs) > 0:
+			if len(jreq.Specs) > srv.maxSpecs {
+				t.Fatalf("admitted %d specs past cap %d", len(jreq.Specs), srv.maxSpecs)
+			}
+		default:
+			t.Fatalf("admitted an empty request: %q", data)
+		}
+	})
+}
+
+// TestFuzzSeedsAreWellFormed keeps the committed corpus honest: every
+// seed that claims to be JSON must round-trip through the same decoder
+// configuration the handler uses, so corpus rot shows up as a plain
+// test failure rather than silent fuzz-coverage loss.
+func TestFuzzSeedsAreWellFormed(t *testing.T) {
+	valid := 0
+	for _, s := range []string{
+		`{"specs":[{"n":64,"stencil":"5-point","shape":"strip","machine":{"type":"sync-bus"}}]}`,
+		`{"space":{"ns":[64,128],"stencils":["5-point"],"shapes":["strip","square"],` +
+			`"machines":[{"type":"sync-bus"},{"type":"mesh"}]}}`,
+	} {
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		var req SweepRequest
+		if err := dec.Decode(&req); err != nil {
+			t.Errorf("seed no longer decodes: %q: %v", s, err)
+			continue
+		}
+		valid++
+	}
+	if valid == 0 {
+		t.Fatal("no valid seeds left")
+	}
+}

@@ -20,13 +20,16 @@ type JobSubmitRequest struct {
 }
 
 // ProgressJSON is the wire form of a job's live counters. Evaluated is
-// derived: completed minus cache hits minus errors.
+// derived: completed minus cache hits minus errors. The shard pair
+// appears only for jobs the coordinator scattered across peers.
 type ProgressJSON struct {
-	Total     int `json:"total"`
-	Completed int `json:"completed"`
-	Evaluated int `json:"evaluated"`
-	CacheHits int `json:"cache_hits"`
-	Errors    int `json:"errors"`
+	Total      int `json:"total"`
+	Completed  int `json:"completed"`
+	Evaluated  int `json:"evaluated"`
+	CacheHits  int `json:"cache_hits"`
+	Errors     int `json:"errors"`
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
 }
 
 // JobJSON is the wire form of one job resource.
@@ -50,11 +53,13 @@ func jobJSON(snap jobs.Snapshot) JobJSON {
 		CancelRequested: snap.CancelRequested,
 		CreatedAt:       snap.Created,
 		Progress: ProgressJSON{
-			Total:     snap.Progress.Total,
-			Completed: snap.Progress.Completed,
-			Evaluated: snap.Progress.Completed - snap.Progress.CacheHits - snap.Progress.Errors,
-			CacheHits: snap.Progress.CacheHits,
-			Errors:    snap.Progress.Errors,
+			Total:      snap.Progress.Total,
+			Completed:  snap.Progress.Completed,
+			Evaluated:  snap.Progress.Completed - snap.Progress.CacheHits - snap.Progress.Errors,
+			CacheHits:  snap.Progress.CacheHits,
+			Errors:     snap.Progress.Errors,
+			Shards:     snap.Progress.Shards,
+			ShardsDone: snap.Progress.ShardsDone,
 		},
 		Reason: snap.Reason,
 	}

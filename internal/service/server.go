@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"time"
 
+	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/sweep"
 )
@@ -54,6 +55,11 @@ const statusClientClosedRequest = 499
 type Config struct {
 	// Engine is the evaluation engine; nil builds a default one.
 	Engine *sweep.Engine
+	// Dispatcher routes sweeps across a worker cluster (coordinator
+	// mode); nil builds a local-only dispatcher over Engine, making the
+	// server a plain single node (and a valid worker for some other
+	// coordinator).
+	Dispatcher *dispatch.Dispatcher
 	// MaxSweepSpecs caps the expanded spec count of one sweep request;
 	// 0 means DefaultMaxSweepSpecs.
 	MaxSweepSpecs int
@@ -71,15 +77,16 @@ type Config struct {
 
 // Server is the HTTP facade over the sweep engine and the job store.
 type Server struct {
-	engine   *sweep.Engine
-	store    *jobs.Store
-	metrics  *metricsRegistry
-	mux      *http.ServeMux
-	handler  http.Handler
-	maxSpecs int
-	maxBody  int64
-	logger   *slog.Logger
-	started  time.Time
+	engine     *sweep.Engine
+	dispatcher *dispatch.Dispatcher
+	store      *jobs.Store
+	metrics    *metricsRegistry
+	mux        *http.ServeMux
+	handler    http.Handler
+	maxSpecs   int
+	maxBody    int64
+	logger     *slog.Logger
+	started    time.Time
 }
 
 // New builds a server, its job store, and its routing table. Call Close
@@ -97,12 +104,18 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	disp := cfg.Dispatcher
+	if disp == nil {
+		disp = dispatch.New(dispatch.Options{Engine: eng})
+	}
 	s := &Server{
-		engine: eng,
+		engine:     eng,
+		dispatcher: disp,
 		store: jobs.NewStore(jobs.Options{
-			Engine:   eng,
-			Capacity: cfg.JobCapacity,
-			TTL:      cfg.JobTTL,
+			Engine:     eng,
+			Dispatcher: disp,
+			Capacity:   cfg.JobCapacity,
+			TTL:        cfg.JobTTL,
 		}),
 		metrics:  newMetricsRegistry(),
 		mux:      http.NewServeMux(),
@@ -134,6 +147,7 @@ func (s *Server) routes() {
 	handle("GET /v2/jobs/{id}/results", "jobs_results", s.handleJobResults)
 	handle("DELETE /v2/jobs/{id}", "jobs_cancel", s.handleJobCancel)
 	handle("POST /v2/sweeps/stream", "sweep_stream", s.handleSweepStream)
+	handle("GET /v2/cluster", "cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

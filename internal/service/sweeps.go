@@ -150,6 +150,12 @@ type StreamLine struct {
 // buffer back to the engine's pool. The response clears the
 // connection's write deadline for its own duration, exempting long
 // streams from the daemon's blanket WriteTimeout.
+//
+// A client that wants throughput rather than per-result latency — the
+// distributed shard coordinator — sends "X-Stream-Flush: batch": the
+// per-chunk flush is skipped and net/http's own write buffering
+// coalesces lines into full TCP frames, cutting a fast sweep's
+// syscalls per result to syscalls per response buffer.
 func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
@@ -175,6 +181,7 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	// only (ignored by writers that don't support deadlines, such as
 	// httptest recorders).
 	_ = rc.SetWriteDeadline(time.Time{})
+	flushPerChunk := r.Header.Get("X-Stream-Flush") != "batch"
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	buf := getBuf()
@@ -192,7 +199,9 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write(*buf); err != nil {
 			return // client gone; the engine stream stops with the context
 		}
-		_ = rc.Flush()
+		if flushPerChunk {
+			_ = rc.Flush()
+		}
 	}
 	if r.Context().Err() != nil {
 		return
