@@ -3,6 +3,7 @@ package client_test
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -92,10 +93,14 @@ func TestJobEndToEnd(t *testing.T) {
 		t.Fatalf("listing %+v", all)
 	}
 
-	// Cancelling a terminal job is a no-op.
-	after, err := c.Cancel(ctx, job.ID)
-	if err != nil || after.State != client.JobSucceeded {
-		t.Fatalf("cancel terminal: %+v, %v", after, err)
+	// Cancelling a terminal job is a conflict with a structured code.
+	if _, err := c.Cancel(ctx, job.ID); err == nil {
+		t.Fatal("cancel terminal: no error")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict || apiErr.Code != "already_terminal" {
+			t.Fatalf("cancel terminal: %v", err)
+		}
 	}
 }
 

@@ -75,6 +75,11 @@ type Job struct {
 	FinishedAt      *time.Time `json:"finished_at,omitempty"`
 	Progress        Progress   `json:"progress"`
 	Reason          string     `json:"reason,omitempty"`
+	// Persisted reports that the server runs a durable job store
+	// (-data-dir), so this job survives a restart. Recovered marks a
+	// job that was replayed from that store after a restart.
+	Persisted bool `json:"persisted,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Result is the wire form of one evaluated spec.
@@ -151,6 +156,8 @@ func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
 
 // Cancel requests cancellation; the returned job may still report
 // running (with CancelRequested set) while the server drains.
+// Cancelling a job that is already terminal is a conflict: the server
+// answers 409 with code "already_terminal", surfaced as an *APIError.
 func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	var job Job
 	if err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+url.PathEscape(id), nil, nil, &job); err != nil {

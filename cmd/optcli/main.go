@@ -17,7 +17,9 @@
 //	          print result pages as JSON lines; -follow tracks a
 //	          running job until it completes
 //	cancel    JOB_ID        request cancellation
-//	jobs                    list resident jobs
+//	jobs      [--json]      list resident jobs as a table (with a
+//	          DURABLE column showing persisted/recovered against a
+//	          server running a durable job store) or as raw JSON
 //	stream    -f sweep.json ("-" = stdin)
 //	          stream results as they are computed, one JSON line each
 //
@@ -36,6 +38,8 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"text/tabwriter"
+	"time"
 
 	"optspeed/client"
 )
@@ -75,7 +79,7 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string) error
 	case "cancel":
 		return cmdCancel(ctx, c, args)
 	case "jobs":
-		return cmdJobs(ctx, c)
+		return cmdJobs(ctx, c, args)
 	case "stream":
 		return cmdStream(ctx, c, args)
 	default:
@@ -264,12 +268,38 @@ func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
 	return printJSON(job)
 }
 
-func cmdJobs(ctx context.Context, c *client.Client) error {
+func cmdJobs(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the job list as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("jobs: unexpected arguments %v", fs.Args())
+	}
 	jobs, err := c.Jobs(ctx)
 	if err != nil {
 		return err
 	}
-	return printJSON(jobs)
+	if *asJSON {
+		return printJSON(jobs)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tKIND\tSTATE\tPROGRESS\tDURABLE\tCREATED")
+	for _, j := range jobs {
+		durable := "-"
+		switch {
+		case j.Recovered:
+			durable = "recovered"
+		case j.Persisted:
+			durable = "persisted"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d/%d\t%s\t%s\n",
+			j.ID, j.Kind, j.State,
+			j.Progress.Completed, j.Progress.Total,
+			durable, j.CreatedAt.Format(time.RFC3339))
+	}
+	return w.Flush()
 }
 
 func cmdStream(ctx context.Context, c *client.Client, args []string) error {

@@ -33,6 +33,15 @@
 //	                                   # worker daemons, vs. a single-node
 //	                                   # baseline with the same per-node
 //	                                   # worker budget
+//	optload -data-dir /tmp/d           # persistence-enabled load: the
+//	                                   # in-process server journals every
+//	                                   # job to a WAL, so BENCH_http.json
+//	                                   # shows the durability overhead
+//	optload -restart                   # durability drill: drive jobs to
+//	                                   # completion, restart the server on
+//	                                   # the same directory, and verify the
+//	                                   # recovered result pages are
+//	                                   # byte-identical
 //
 // With no -addr, optload starts an in-process server on a loopback
 // listener and drives it through the full HTTP stack — same handlers,
@@ -66,7 +75,9 @@ import (
 	"time"
 
 	"optspeed/internal/dispatch"
+	"optspeed/internal/jobs"
 	"optspeed/internal/service"
+	"optspeed/internal/store"
 	"optspeed/internal/sweep"
 )
 
@@ -104,6 +115,8 @@ type Report struct {
 	TotalRequests  int              `json:"total_requests"`
 	TotalErrors    int              `json:"total_errors"`
 	RPS            float64          `json:"rps"`
+	Durable        bool             `json:"durable,omitempty"`
+	Fsync          string           `json:"fsync,omitempty"`
 	ClusterWorkers int              `json:"cluster_workers,omitempty"`
 	ShardSize      int              `json:"shard_size,omitempty"`
 	ClusterSpeedup float64          `json:"cluster_speedup,omitempty"`
@@ -353,8 +366,10 @@ func aggregate(name string, samples []sample, elapsed time.Duration) WorkloadRep
 
 // startServer runs one in-process daemon (a worker, or a coordinator
 // when peers are given), returning its base URL; the caller runs the
-// cleanup when done.
-func startServer(workers int, peers []string, shardSize int) (string, func()) {
+// cleanup when done. A non-empty dataDir opens (or reopens) a durable
+// job store there, so the server journals v2 jobs and replays whatever
+// the directory already holds.
+func startServer(workers int, peers []string, shardSize int, dataDir string, fsync store.FsyncPolicy) (string, func()) {
 	eng := sweep.New(sweep.Options{Workers: workers})
 	cfg := service.Config{Engine: eng}
 	if len(peers) > 0 {
@@ -363,6 +378,17 @@ func startServer(workers int, peers []string, shardSize int) (string, func()) {
 			Peers:     peers,
 			ShardSize: shardSize,
 		})
+	}
+	var persistence *store.Store
+	if dataDir != "" {
+		var recovered []jobs.PersistedJob
+		var err error
+		persistence, recovered, err = store.Open(store.Options{Dir: dataDir, Fsync: fsync})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Persistence = persistence
+		cfg.Recovered = recovered
 	}
 	srv := service.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -374,6 +400,9 @@ func startServer(workers int, peers []string, shardSize int) (string, func()) {
 	return "http://" + ln.Addr().String(), func() {
 		hs.Close()
 		srv.Close()
+		if persistence != nil {
+			persistence.Close()
+		}
 	}
 }
 
@@ -471,6 +500,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "CI smoke: 3s at -c 4 unless overridden")
 		cluster  = flag.Int("cluster", 0, "in-process cluster: N worker daemons behind a coordinator, measured against a single-node baseline")
 		shardSz  = flag.Int("shard-size", 96, "coordinator shard size in specs (cluster mode)")
+		dataDir  = flag.String("data-dir", "", "durable job store directory for the in-process server (empty = in-memory; -restart defaults to a temp dir)")
+		fsyncPol = flag.String("fsync", string(store.FsyncInterval), "WAL fsync policy with -data-dir: always, interval, or off")
+		restart  = flag.Bool("restart", false, "restart-recovery drill: run jobs to completion, restart the in-process server on the same data dir, verify recovered pages byte-identical")
 	)
 	flag.Parse()
 	if *quick {
@@ -492,13 +524,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	policy, err := store.ParseFsyncPolicy(*fsyncPol)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *restart {
+		if *addr != "" || *cluster > 0 {
+			fatal(fmt.Errorf("-restart drives its own in-process server; drop -addr/-cluster"))
+		}
+		runRestart(*dataDir, policy, *workers, *out)
+		return
+	}
 
 	if *cluster > 0 {
 		if *addr != "" {
 			fatal(fmt.Errorf("-cluster builds its own in-process topology; drop -addr"))
 		}
+		if *dataDir != "" {
+			fatal(fmt.Errorf("-data-dir does not combine with -cluster"))
+		}
 		// Phase 1: single node with the same per-node engine budget.
-		singleBase, stopSingle := startServer(*workers, nil, 0)
+		singleBase, stopSingle := startServer(*workers, nil, 0, "", policy)
 		baseline := runPhase(fmt.Sprintf("single node (workers=%d)", *workers),
 			singleBase, *mix, deck, *conc, *duration, true)
 		stopSingle()
@@ -506,11 +553,11 @@ func main() {
 		var peers []string
 		var stops []func()
 		for i := 0; i < *cluster; i++ {
-			base, stop := startServer(*workers, nil, 0)
+			base, stop := startServer(*workers, nil, 0, "", policy)
 			peers = append(peers, base)
 			stops = append(stops, stop)
 		}
-		coordBase, stopCoord := startServer(*workers, peers, *shardSz)
+		coordBase, stopCoord := startServer(*workers, peers, *shardSz, "", policy)
 		report := runPhase(fmt.Sprintf("coordinator (%d workers × workers=%d, shard=%d)",
 			*cluster, *workers, *shardSz), coordBase, *mix, deck, *conc, *duration, true)
 		stopCoord()
@@ -534,17 +581,235 @@ func main() {
 	inProcess := base == ""
 	var stop func()
 	if inProcess {
-		base, stop = startServer(*workers, nil, 0)
+		base, stop = startServer(*workers, nil, 0, *dataDir, policy)
 		defer stop()
-		fmt.Fprintf(os.Stderr, "optload: in-process server at %s\n", base)
+		if *dataDir != "" {
+			fmt.Fprintf(os.Stderr, "optload: in-process server at %s (data-dir %s, fsync %s)\n",
+				base, *dataDir, policy)
+		} else {
+			fmt.Fprintf(os.Stderr, "optload: in-process server at %s\n", base)
+		}
 	}
 	base = strings.TrimRight(base, "/")
 	report := runPhase("load", base, *mix, deck, *conc, *duration, inProcess)
+	if inProcess && *dataDir != "" {
+		report.Durable = true
+		report.Fsync = string(policy)
+	}
 	writeReport(*out, report)
 }
 
+// RestartReport is the -restart drill artifact: how many jobs survived
+// the restart and whether their result pages came back byte-identical.
+type RestartReport struct {
+	DataDir        string `json:"data_dir"`
+	Fsync          string `json:"fsync"`
+	JobsSubmitted  int    `json:"jobs_submitted"`
+	JobsRecovered  int    `json:"jobs_recovered"`
+	PageBytes      int    `json:"page_bytes"`
+	PageMismatches int    `json:"page_mismatches"`
+	MidFlightState string `json:"mid_flight_state"`
+	OK             bool   `json:"ok"`
+}
+
+// runRestart drives a batch of sweep jobs to completion on a durable
+// in-process server, snapshots every result page, restarts the server
+// on the same directory, and verifies each recovered job serves the
+// exact same page bytes. One extra job is left mid-flight at shutdown
+// to confirm it resurfaces terminal (never silently dropped).
+func runRestart(dataDir string, policy store.FsyncPolicy, workers int, out string) {
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "optload-restart-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
+	}
+	hc := &http.Client{Timeout: time.Minute}
+	rep := RestartReport{DataDir: dataDir, Fsync: string(policy)}
+
+	base, stop := startServer(workers, nil, 0, dataDir, policy)
+	fmt.Fprintf(os.Stderr, "optload: restart drill at %s (data-dir %s, fsync %s)\n", base, dataDir, policy)
+
+	var ids []string
+	pages := map[string][]byte{}
+	for round := 0; round < 2; round++ {
+		for _, body := range sweepBodies {
+			id, err := submitJob(hc, base, `{"sweep":`+body+`}`)
+			if err != nil {
+				fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	rep.JobsSubmitted = len(ids)
+	for _, id := range ids {
+		state, err := waitTerminal(hc, base, id)
+		if err != nil {
+			fatal(err)
+		}
+		if state != "succeeded" {
+			fatal(fmt.Errorf("job %s finished %s before restart", id, state))
+		}
+		page, err := readAllPages(hc, base, id)
+		if err != nil {
+			fatal(err)
+		}
+		pages[id] = page
+		rep.PageBytes += len(page)
+	}
+	// Leave one big job mid-flight: shutdown cancels it, and recovery
+	// must bring it back terminal rather than losing it.
+	midID, err := submitJob(hc, base, `{"sweep":`+coldSweepBody()+`}`)
+	if err != nil {
+		fatal(err)
+	}
+	stop()
+
+	base, stop = startServer(workers, nil, 0, dataDir, policy)
+	defer stop()
+	for _, id := range ids {
+		job, err := jobStatus(hc, base, id)
+		if err != nil {
+			fatal(fmt.Errorf("job %s lost across restart: %w", id, err))
+		}
+		if job.State != "succeeded" || !job.Recovered {
+			fatal(fmt.Errorf("job %s recovered as state=%s recovered=%v", id, job.State, job.Recovered))
+		}
+		rep.JobsRecovered++
+		page, err := readAllPages(hc, base, id)
+		if err != nil {
+			fatal(err)
+		}
+		if !bytesEqual(page, pages[id]) {
+			rep.PageMismatches++
+			fmt.Fprintf(os.Stderr, "optload: job %s pages diverged across restart (%d vs %d bytes)\n",
+				id, len(pages[id]), len(page))
+		}
+	}
+	mid, err := jobStatus(hc, base, midID)
+	if err != nil {
+		fatal(fmt.Errorf("mid-flight job %s lost across restart: %w", midID, err))
+	}
+	rep.MidFlightState = mid.State
+
+	rep.OK = rep.JobsRecovered == rep.JobsSubmitted && rep.PageMismatches == 0 &&
+		(mid.State == "cancelled" || mid.State == "failed" || mid.State == "succeeded")
+	fmt.Fprintf(os.Stderr, "optload: restart drill: %d/%d jobs recovered, %d bytes compared, %d mismatches, mid-flight %s\n",
+		rep.JobsRecovered, rep.JobsSubmitted, rep.PageBytes, rep.PageMismatches, rep.MidFlightState)
+	writeReport(out, rep)
+	if !rep.OK {
+		fatal(fmt.Errorf("restart drill failed"))
+	}
+}
+
+func bytesEqual(a, b []byte) bool { return string(a) == string(b) }
+
+// jobState is the slice of the job resource the drill reads.
+type jobState struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Recovered bool   `json:"recovered"`
+}
+
+func httpDo(c *http.Client, method, url, body string) ([]byte, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("%s %s: http %d: %s", method, url, resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+func submitJob(c *http.Client, base, body string) (string, error) {
+	raw, err := httpDo(c, http.MethodPost, base+"/v2/jobs", body)
+	if err != nil {
+		return "", err
+	}
+	var job jobState
+	if err := json.Unmarshal(raw, &job); err != nil || job.ID == "" {
+		return "", fmt.Errorf("submit: bad job response %s", raw)
+	}
+	return job.ID, nil
+}
+
+func jobStatus(c *http.Client, base, id string) (*jobState, error) {
+	raw, err := httpDo(c, http.MethodGet, base+"/v2/jobs/"+id, "")
+	if err != nil {
+		return nil, err
+	}
+	var job jobState
+	if err := json.Unmarshal(raw, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+func waitTerminal(c *http.Client, base, id string) (string, error) {
+	deadline := time.Now().Add(time.Minute)
+	for {
+		job, err := jobStatus(c, base, id)
+		if err != nil {
+			return "", err
+		}
+		switch job.State {
+		case "succeeded", "failed", "cancelled":
+			return job.State, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s still %s after 1m", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readAllPages walks a terminal job's cursor pages and returns the raw
+// concatenated page bodies — the byte-identity unit the drill compares.
+func readAllPages(c *http.Client, base, id string) ([]byte, error) {
+	var buf []byte
+	cursor := "0"
+	for pageN := 0; pageN < 4096; pageN++ {
+		raw, err := httpDo(c, http.MethodGet, base+"/v2/jobs/"+id+"/results?cursor="+cursor, "")
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, raw...)
+		var page struct {
+			NextCursor string `json:"next_cursor"`
+			Done       bool   `json:"done"`
+		}
+		if err := json.Unmarshal(raw, &page); err != nil {
+			return nil, err
+		}
+		if page.Done {
+			return buf, nil
+		}
+		cursor = page.NextCursor
+	}
+	return nil, fmt.Errorf("job %s: paging did not terminate", id)
+}
+
 // writeReport emits the report as indented JSON to the path or stdout.
-func writeReport(out string, report Report) {
+func writeReport(out string, report any) {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)

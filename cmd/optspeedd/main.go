@@ -35,6 +35,15 @@
 // extra configuration. GET /v2/cluster reports peer health and shard
 // counters (see docs/cluster.md).
 //
+// Passing -data-dir makes the v2 job store durable: every job
+// lifecycle transition is appended to a write-ahead log, compacted
+// into periodic snapshots, and replayed on restart — finished jobs
+// come back with byte-identical result pages, still-pending jobs are
+// re-dispatched, and jobs that were mid-flight are marked failed with
+// a "restart" reason. -fsync picks the flush policy (always /
+// interval / off) and -snapshot-interval the compaction period; see
+// docs/persistence.md. Without -data-dir jobs stay in memory only.
+//
 // Example queries:
 //
 //	curl -s localhost:8080/v1/optimize -d \
@@ -52,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -63,6 +73,7 @@ import (
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/service"
+	"optspeed/internal/store"
 	"optspeed/internal/sweep"
 )
 
@@ -79,6 +90,9 @@ func main() {
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		peers    = flag.String("peers", "", "comma-separated worker base URLs (e.g. http://w1:8080,http://w2:8080); enables coordinator mode")
 		shardSz  = flag.Int("shard-size", dispatch.DefaultShardSize, "max specs per distributed shard")
+		dataDir  = flag.String("data-dir", "", "durable job store directory; empty keeps jobs in memory only")
+		fsyncPol = flag.String("fsync", string(store.FsyncInterval), "WAL fsync policy: always, interval, or off (with -data-dir)")
+		snapInt  = flag.Duration("snapshot-interval", jobs.DefaultSnapshotInterval, "snapshot + WAL compaction period (with -data-dir)")
 	)
 	flag.Parse()
 
@@ -116,15 +130,49 @@ func main() {
 	if len(peerList) > 0 {
 		logger.Info("coordinator mode", "peers", len(peerList), "shard_size", *shardSz)
 	}
+	var persistence *store.Store
+	var recovered []jobs.PersistedJob
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncPol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optspeedd: %v\n", err)
+			os.Exit(2)
+		}
+		persistence, recovered, err = store.Open(store.Options{
+			Dir:    *dataDir,
+			Fsync:  policy,
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optspeedd: open data dir: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("durable job store open",
+			"data_dir", *dataDir, "fsync", string(policy),
+			"recovered_jobs", len(recovered), "snapshot_interval", *snapInt)
+	}
 	srv := service.New(service.Config{
-		Engine:        engine,
-		Dispatcher:    dispatcher,
-		MaxSweepSpecs: *maxSweep,
-		JobCapacity:   *jobCap,
-		JobTTL:        *jobTTL,
-		Logger:        logger,
+		Engine:           engine,
+		Dispatcher:       dispatcher,
+		MaxSweepSpecs:    *maxSweep,
+		JobCapacity:      *jobCap,
+		JobTTL:           *jobTTL,
+		Persistence:      persistence,
+		Recovered:        recovered,
+		SnapshotInterval: *snapInt,
+		Logger:           logger,
 	})
-	defer srv.Close()
+	// Shutdown order matters: the job store's Close (inside srv.Close)
+	// cancels and drains jobs and writes a final snapshot through the
+	// persister, so the durable store must close after it.
+	defer func() {
+		srv.Close()
+		if persistence != nil {
+			if err := persistence.Close(); err != nil {
+				logger.Error("durable job store close failed", "error", err)
+			}
+		}
+	}()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -144,10 +192,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen explicitly (rather than ListenAndServe) so the resolved
+	// address — in particular a kernel-assigned port for ":0" — is
+	// logged, which is what lets test harnesses drive a real daemon
+	// without racing for a free port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optspeedd: listen: %v\n", err)
+		os.Exit(1)
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("optspeedd listening", "addr", *addr)
-		errCh <- httpSrv.ListenAndServe()
+		logger.Info("optspeedd listening", "addr", ln.Addr().String())
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	select {

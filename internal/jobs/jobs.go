@@ -92,6 +92,9 @@ type Snapshot struct {
 	Progress        Progress
 	// Reason explains a failed or cancelled terminal state.
 	Reason string
+	// Recovered marks a job restored from the durable store after a
+	// restart rather than submitted to this process.
+	Recovered bool
 }
 
 // SlabSize is the fixed capacity of one result slab. It equals
@@ -107,10 +110,12 @@ const SlabSize = 256
 // subslice is never rewritten), and eviction or TTL expiry frees whole
 // slabs at once with the job.
 type Job struct {
-	id     string
-	kind   Kind
-	cancel context.CancelFunc
-	done   chan struct{} // closed on terminal transition
+	id        string
+	kind      Kind
+	recovered bool    // restored from the durable store after a restart
+	req       Request // retained for snapshots and post-recovery re-dispatch
+	cancel    context.CancelFunc
+	done      chan struct{} // closed on terminal transition
 
 	mu              sync.Mutex
 	state           State
@@ -162,6 +167,7 @@ func (j *Job) Snapshot() Snapshot {
 		Finished:        j.finished,
 		Progress:        j.progress,
 		Reason:          j.reason,
+		Recovered:       j.recovered,
 	}
 }
 
@@ -270,10 +276,12 @@ func (j *Job) finish(now time.Time, ttl time.Duration, state State, reason strin
 	close(j.done)
 }
 
-// requestCancel asks a non-terminal job to stop. The runner performs
-// the actual terminal transition after draining the engine stream, so
-// the job may report running (with CancelRequested set) for a moment.
-func (j *Job) requestCancel() {
+// requestCancel asks a non-terminal job to stop and reports whether it
+// did anything (false: the job was already terminal). The runner
+// performs the actual terminal transition after draining the engine
+// stream, so the job may report running (with CancelRequested set) for
+// a moment.
+func (j *Job) requestCancel() bool {
 	j.mu.Lock()
 	terminal := j.state.Terminal()
 	if !terminal {
@@ -283,6 +291,22 @@ func (j *Job) requestCancel() {
 	if !terminal {
 		j.cancel()
 	}
+	return !terminal
+}
+
+// release drops the job's result storage as it leaves the store
+// (capacity eviction or TTL expiry), so a large result set is
+// reclaimable by the GC immediately instead of riding along with
+// whatever still references the Job. Pages already handed out stay
+// valid — they hold their own references into the append-only slabs,
+// which live exactly as long as somebody reads them. count is zeroed
+// with the slabs so a reader that raced past lookup sees an empty page
+// rather than a nil slab dereference.
+func (j *Job) release() {
+	j.mu.Lock()
+	j.slabs = nil
+	j.count = 0
+	j.mu.Unlock()
 }
 
 // expired reports whether the job's retention window has passed.

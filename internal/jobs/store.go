@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,6 +19,9 @@ var (
 	ErrStoreFull = errors.New("jobs: job store is full")
 	ErrClosed    = errors.New("jobs: store is closed")
 	ErrBadCursor = errors.New("jobs: invalid results cursor")
+	// ErrTerminal reports an operation that needs a live job against one
+	// that already finished (e.g. cancelling a succeeded job).
+	ErrTerminal = errors.New("jobs: job is already terminal")
 )
 
 // Defaults for Options zero values. DefaultPageSize equals SlabSize so
@@ -24,10 +29,11 @@ var (
 // MaxPageSize is the ceiling on the limit parameter (larger pages span
 // slabs and are stitched with one copy).
 const (
-	DefaultCapacity = 1024
-	DefaultTTL      = 15 * time.Minute
-	DefaultPageSize = SlabSize
-	MaxPageSize     = 8192
+	DefaultCapacity         = 1024
+	DefaultTTL              = 15 * time.Minute
+	DefaultPageSize         = SlabSize
+	MaxPageSize             = 8192
+	DefaultSnapshotInterval = 2 * time.Minute
 )
 
 // Options configures a Store. Zero values take defaults.
@@ -46,6 +52,25 @@ type Options struct {
 	// clamped to [1s, 1m]. Expiry is also enforced lazily on lookup, so
 	// the scan only bounds memory, not correctness.
 	GCInterval time.Duration
+	// Persister receives every job lifecycle transition for durable
+	// logging; nil keeps the store purely in-memory (the default, and
+	// byte-for-byte the pre-persistence pipeline).
+	Persister Persister
+	// Recovered is the durable state replayed by the persistence layer
+	// at startup. NewStore ingests it before serving: terminal jobs
+	// come back readable with their exact result sequence, pending jobs
+	// are re-dispatched through the engine, and jobs that were running
+	// at crash time are deterministically marked failed (or cancelled,
+	// if cancellation was already requested) with a "restart" reason —
+	// never silently dropped.
+	Recovered []PersistedJob
+	// SnapshotInterval is the period of the background snapshot +
+	// log-compaction loop (persisting stores only); 0 means
+	// DefaultSnapshotInterval, negative disables the loop.
+	SnapshotInterval time.Duration
+	// Logger receives persistence warnings (snapshot failures); nil
+	// discards them.
+	Logger *slog.Logger
 	// Now is the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -56,22 +81,38 @@ type Options struct {
 // collected. When the store is full, the oldest-finished terminal job
 // is evicted to admit a new one; if every resident job is still
 // running, submission fails with ErrStoreFull.
+//
+// With a Persister configured the store is write-ahead durable: every
+// lifecycle transition is handed to the persister atomically with the
+// in-memory mutation (persistMu makes the pair indivisible with
+// respect to Snapshot dumps), and a periodic snapshot compacts the log.
 type Store struct {
-	engine     *sweep.Engine
-	dispatcher *dispatch.Dispatcher
-	capacity   int
-	ttl        time.Duration
-	now        func() time.Time
+	engine      *sweep.Engine
+	dispatcher  *dispatch.Dispatcher
+	capacity    int
+	ttl         time.Duration
+	snapshotGap time.Duration
+	persister   Persister
+	logger      *slog.Logger
+	now         func() time.Time
+
+	// persistMu orders mutations against snapshots: every
+	// (memory-apply, persister-record) pair runs under RLock, a
+	// snapshot dump under Lock — so the dump reflects exactly the
+	// records written before it, and compaction can never lose a
+	// transition. Lock order: persistMu, then mu, then Job.mu.
+	persistMu sync.RWMutex
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	closed bool
 
-	wg     sync.WaitGroup
-	stopGC chan struct{}
+	wg   sync.WaitGroup
+	stop chan struct{}
 }
 
-// NewStore builds a store and starts its GC loop; Close stops it.
+// NewStore builds a store, ingests any recovered durable state, and
+// starts its background loops; Close stops them.
 func NewStore(opts Options) *Store {
 	eng := opts.Engine
 	if eng == nil {
@@ -99,22 +140,127 @@ func NewStore(opts Options) *Store {
 			gcEvery = time.Minute
 		}
 	}
+	snapEvery := opts.SnapshotInterval
+	if snapEvery == 0 {
+		snapEvery = DefaultSnapshotInterval
+	}
 	now := opts.Now
 	if now == nil {
 		now = time.Now
 	}
 	s := &Store{
-		engine:     eng,
-		dispatcher: disp,
-		capacity:   capacity,
-		ttl:        ttl,
-		now:        now,
-		jobs:       make(map[string]*Job),
-		stopGC:     make(chan struct{}),
+		engine:      eng,
+		dispatcher:  disp,
+		capacity:    capacity,
+		ttl:         ttl,
+		snapshotGap: snapEvery,
+		persister:   opts.Persister,
+		logger:      opts.Logger,
+		now:         now,
+		jobs:        make(map[string]*Job),
+		stop:        make(chan struct{}),
 	}
+	s.recover(opts.Recovered)
 	s.wg.Add(1)
 	go s.gcLoop(gcEvery)
+	if s.persister != nil && snapEvery > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop(snapEvery)
+	}
 	return s
+}
+
+// recover ingests the durable state replayed at startup and launches
+// runners for the jobs that re-enter the queue. It runs before the
+// store serves anything, so no lock ordering subtleties apply — but the
+// terminal transitions it performs still flow through the persister, so
+// the log stays ahead of memory even if the post-recovery compaction
+// snapshot fails.
+func (s *Store) recover(recovered []PersistedJob) {
+	if len(recovered) == 0 {
+		return
+	}
+	// Deterministic ingest order: submission order, id as tiebreak.
+	sorted := make([]PersistedJob, len(recovered))
+	copy(sorted, recovered)
+	sort.Slice(sorted, func(i, k int) bool {
+		if !sorted[i].Created.Equal(sorted[k].Created) {
+			return sorted[i].Created.Before(sorted[k].Created)
+		}
+		return sorted[i].ID < sorted[k].ID
+	})
+	now := s.now()
+	type requeued struct {
+		job *Job
+		ctx context.Context
+	}
+	var requeue []requeued
+	for _, pj := range sorted {
+		if pj.State.Terminal() && now.After(pj.Finished.Add(s.ttl)) {
+			continue // retention window already passed; stay gone
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			id:        pj.ID,
+			kind:      pj.Kind,
+			recovered: true,
+			req:       pj.Request,
+			cancel:    cancel,
+			done:      make(chan struct{}),
+			state:     StatePending,
+			created:   pj.Created,
+		}
+		j.appendChunk(pj.Results)
+		j.mu.Lock()
+		j.progress.Total = pj.Total
+		j.started = pj.Started
+		j.cancelRequested = pj.CancelRequested
+		j.mu.Unlock()
+		switch {
+		case pj.State.Terminal():
+			j.mu.Lock()
+			j.state = StateRunning // finish() requires a non-terminal state
+			j.mu.Unlock()
+			j.finish(pj.Finished, s.ttl, pj.State, pj.Reason)
+			cancel()
+		case pj.State == StateRunning:
+			// Mid-flight at crash time: deterministically terminal, with
+			// the partial results retained and a reason that names the
+			// restart. A cancel that was already requested wins.
+			state, reason := StateFailed, fmt.Sprintf(
+				"restart: job was mid-flight when the server stopped (%d of %d results retained)",
+				len(pj.Results), pj.Total)
+			if pj.CancelRequested {
+				state, reason = StateCancelled, "restart: cancel requested before the server stopped"
+			}
+			j.mu.Lock()
+			j.state = StateRunning
+			j.mu.Unlock()
+			j.finish(now, s.ttl, state, reason)
+			s.record(func(p Persister) { p.Finished(j.id, state, reason, now) })
+			cancel()
+		default:
+			// Still pending: re-enters the queue below.
+			requeue = append(requeue, requeued{job: j, ctx: ctx})
+		}
+		s.jobs[j.id] = j
+	}
+	// Compact before the requeued jobs emit fresh Started records: the
+	// new log generation starts from a snapshot in which they are
+	// pending. (Correct even if this fails — replay resets a job's
+	// results on a second Started record — but compaction keeps the old
+	// generation's records from being replayed twice.)
+	if err := s.SnapshotNow(); err != nil && s.logger != nil {
+		s.logger.Error("jobs: post-recovery snapshot failed", "error", err)
+	}
+	for _, r := range requeue {
+		j, ctx, req := r.job, r.ctx, r.job.req
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.run(ctx, j, req)
+		}()
+	}
 }
 
 // Engine returns the store's evaluation engine.
@@ -123,28 +269,63 @@ func (s *Store) Engine() *sweep.Engine { return s.engine }
 // Dispatcher returns the store's evaluation router.
 func (s *Store) Dispatcher() *dispatch.Dispatcher { return s.dispatcher }
 
+// Persistent reports whether the store writes a durable log.
+func (s *Store) Persistent() bool { return s.persister != nil }
+
+// record runs f against the persister (no-op without one). Callers pair
+// it with the matching in-memory mutation inside one withPersist
+// section.
+func (s *Store) record(f func(Persister)) {
+	if s.persister != nil {
+		f(s.persister)
+	}
+}
+
+// withPersist runs one (memory-apply, log-append) unit atomically with
+// respect to snapshot dumps. Without a persister it is a direct call.
+func (s *Store) withPersist(f func()) {
+	if s.persister == nil {
+		f()
+		return
+	}
+	s.persistMu.RLock()
+	f()
+	s.persistMu.RUnlock()
+}
+
 // Submit registers a job and starts it asynchronously, returning the
 // accepted snapshot immediately. The job runs under its own context —
 // detached from the submitter's — and stops only via Cancel or Close.
 func (s *Store) Submit(req Request) (Snapshot, error) {
-	s.mu.Lock()
-	if s.closed {
+	var j *Job
+	var err error
+	s.withPersist(func() {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			err = ErrClosed
+			return
+		}
+		if len(s.jobs) >= s.capacity && !s.evictOneLocked() {
+			s.mu.Unlock()
+			err = ErrStoreFull
+			return
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j = newJob(req.Kind, s.now(), cancel)
+		j.req = req
+		s.jobs[j.id] = j
+		s.wg.Add(1)
 		s.mu.Unlock()
-		return Snapshot{}, ErrClosed
+		s.record(func(p Persister) { p.Submitted(j.persisted()) })
+		go func() {
+			defer s.wg.Done()
+			s.run(ctx, j, req)
+		}()
+	})
+	if err != nil {
+		return Snapshot{}, err
 	}
-	if len(s.jobs) >= s.capacity && !s.evictOneLocked() {
-		s.mu.Unlock()
-		return Snapshot{}, ErrStoreFull
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	j := newJob(req.Kind, s.now(), cancel)
-	s.jobs[j.id] = j
-	s.wg.Add(1)
-	s.mu.Unlock()
-	go func() {
-		defer s.wg.Done()
-		s.run(ctx, j, req)
-	}()
 	return j.Snapshot(), nil
 }
 
@@ -152,23 +333,43 @@ func (s *Store) Submit(req Request) (Snapshot, error) {
 // from the engine's incremental chunk stream. Each chunk is copied into
 // the job's slabs under one lock and its buffer handed straight back to
 // the engine's pool, so the store adds no per-result allocation of its
-// own to the pipeline.
+// own to the pipeline. With a persister, every transition is logged
+// atomically with its in-memory application; the chunk is encoded
+// before recycling, so the log never references pooled memory.
 func (s *Store) run(ctx context.Context, j *Job, req Request) {
 	defer j.cancel() // release the context's resources
 	opened, err := s.open(ctx, req, j.shardDone)
 	if err != nil {
-		j.start(s.now(), 0)
-		j.finish(s.now(), s.ttl, StateFailed, err.Error())
+		now := s.now()
+		s.withPersist(func() {
+			j.start(now, 0)
+			j.finish(now, s.ttl, StateFailed, err.Error())
+			s.record(func(p Persister) {
+				p.Started(j.id, now, 0)
+				p.Finished(j.id, StateFailed, err.Error(), now)
+			})
+		})
 		return
 	}
-	j.start(s.now(), opened.Total)
+	started := s.now()
+	s.withPersist(func() {
+		j.start(started, opened.Total)
+		s.record(func(p Persister) { p.Started(j.id, started, opened.Total) })
+	})
 	j.setShards(opened.Shards)
 	for c := range opened.Chunks {
-		j.appendChunk(c.Results)
+		s.withPersist(func() {
+			j.appendChunk(c.Results)
+			s.record(func(p Persister) { p.Chunk(j.id, c.Results) })
+		})
 		s.engine.Recycle(c)
 	}
 	state, reason := terminalFor(j, ctx, opened.Total)
-	j.finish(s.now(), s.ttl, state, reason)
+	finished := s.now()
+	s.withPersist(func() {
+		j.finish(finished, s.ttl, state, reason)
+		s.record(func(p Persister) { p.Finished(j.id, state, reason, finished) })
+	})
 }
 
 // terminalFor decides the terminal transition once the stream drains.
@@ -240,29 +441,41 @@ func (s *Store) Get(id string) (Snapshot, error) {
 
 // List snapshots every resident, unexpired job.
 func (s *Store) List() []Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.now()
-	out := make([]Snapshot, 0, len(s.jobs))
-	for id, j := range s.jobs {
-		if j.expired(now) {
-			delete(s.jobs, id)
-			continue
+	var out []Snapshot
+	s.withPersist(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		now := s.now()
+		out = make([]Snapshot, 0, len(s.jobs))
+		for id, j := range s.jobs {
+			if j.expired(now) {
+				s.removeLocked(id, j)
+				continue
+			}
+			out = append(out, j.Snapshot())
 		}
-		out = append(out, j.Snapshot())
-	}
+	})
 	return out
 }
 
 // Cancel asks a job to stop and returns its (possibly still draining)
-// snapshot. Cancelling a terminal job is a no-op that reports the
-// final state.
+// snapshot. Cancelling a job that already reached a terminal state
+// returns the final snapshot alongside ErrTerminal, so callers can
+// distinguish "stopped it" from "it was already over".
 func (s *Store) Cancel(id string) (Snapshot, error) {
 	j, err := s.lookup(id)
 	if err != nil {
 		return Snapshot{}, err
 	}
-	j.requestCancel()
+	cancelled := false
+	s.withPersist(func() {
+		if cancelled = j.requestCancel(); cancelled {
+			s.record(func(p Persister) { p.CancelRequested(id) })
+		}
+	})
+	if !cancelled {
+		return j.Snapshot(), ErrTerminal
+	}
 	return j.Snapshot(), nil
 }
 
@@ -332,23 +545,43 @@ func (s *Store) Results(id string, cursor, limit int) (Page, error) {
 // lookup finds a live job, enforcing TTL expiry lazily so a reader can
 // never see a job past its retention window even between GC scans.
 func (s *Store) lookup(id string) (*Job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if j.expired(s.now()) {
-		delete(s.jobs, id)
-		return nil, ErrNotFound
+	var j *Job
+	var err error
+	s.withPersist(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var ok bool
+		j, ok = s.jobs[id]
+		if !ok {
+			err = ErrNotFound
+			return
+		}
+		if j.expired(s.now()) {
+			s.removeLocked(id, j)
+			j, err = nil, ErrNotFound
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return j, nil
 }
 
+// removeLocked drops one job from the store: map removal, slab release
+// (so the result memory is reclaimable immediately), and the durable
+// Removed record. Caller holds s.mu inside a withPersist section.
+func (s *Store) removeLocked(id string, j *Job) {
+	delete(s.jobs, id)
+	j.release()
+	s.record(func(p Persister) { p.Removed(id) })
+}
+
 // evictOneLocked frees one slot by dropping the oldest-finished
-// terminal job. Running jobs are never evicted.
+// terminal job. Running jobs are never evicted. Caller holds s.mu
+// inside a withPersist section.
 func (s *Store) evictOneLocked() bool {
 	var victim string
+	var victimJob *Job
 	var oldest time.Time
 	for id, j := range s.jobs {
 		ft := j.finishedAt()
@@ -356,13 +589,13 @@ func (s *Store) evictOneLocked() bool {
 			continue
 		}
 		if victim == "" || ft.Before(oldest) {
-			victim, oldest = id, ft
+			victim, victimJob, oldest = id, j, ft
 		}
 	}
 	if victim == "" {
 		return false
 	}
-	delete(s.jobs, victim)
+	s.removeLocked(victim, victimJob)
 	return true
 }
 
@@ -373,7 +606,7 @@ func (s *Store) gcLoop(every time.Duration) {
 	defer t.Stop()
 	for {
 		select {
-		case <-s.stopGC:
+		case <-s.stop:
 			return
 		case <-t.C:
 			s.GC()
@@ -381,19 +614,68 @@ func (s *Store) gcLoop(every time.Duration) {
 	}
 }
 
-// GC drops expired jobs now and reports how many were collected.
-func (s *Store) GC() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.now()
-	n := 0
-	for id, j := range s.jobs {
-		if j.expired(now) {
-			delete(s.jobs, id)
-			n++
+// snapshotLoop periodically compacts the durable log: a full dump
+// replaces everything logged before it.
+func (s *Store) snapshotLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.SnapshotNow(); err != nil && s.logger != nil {
+				s.logger.Error("jobs: snapshot failed", "error", err)
+			}
 		}
 	}
+}
+
+// GC drops expired jobs now and reports how many were collected.
+func (s *Store) GC() int {
+	n := 0
+	s.withPersist(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		now := s.now()
+		for id, j := range s.jobs {
+			if j.expired(now) {
+				s.removeLocked(id, j)
+				n++
+			}
+		}
+	})
 	return n
+}
+
+// Dump copies the durable state of every resident job — the snapshot
+// source. Results are stitched out of the slabs (one copy; the log is
+// about to write them anyway).
+func (s *Store) Dump() []PersistedJob {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]PersistedJob, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.persisted())
+	}
+	return out
+}
+
+// SnapshotNow dumps the store and hands it to the persister for
+// compaction, excluding every concurrent writer so the dump is exactly
+// consistent with the record stream. No-op without a persister.
+func (s *Store) SnapshotNow() error {
+	if s.persister == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.persister.Snapshot(s.Dump())
 }
 
 // Len returns the number of resident jobs.
@@ -403,8 +685,10 @@ func (s *Store) Len() int {
 	return len(s.jobs)
 }
 
-// Close stops the GC loop, cancels every running job, and waits for
-// their runners to drain. The store rejects submissions afterwards.
+// Close stops the background loops, cancels every running job, waits
+// for their runners to drain, and — when persisting — writes a final
+// snapshot so a clean shutdown restarts from a compact log. The store
+// rejects submissions afterwards.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -412,7 +696,7 @@ func (s *Store) Close() {
 		return
 	}
 	s.closed = true
-	close(s.stopGC)
+	close(s.stop)
 	running := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		running = append(running, j)
@@ -422,4 +706,7 @@ func (s *Store) Close() {
 		j.requestCancel()
 	}
 	s.wg.Wait()
+	if err := s.SnapshotNow(); err != nil && s.logger != nil {
+		s.logger.Error("jobs: shutdown snapshot failed", "error", err)
+	}
 }

@@ -147,7 +147,8 @@ func TestCancelWhileStreaming(t *testing.T) {
 	if fin.Progress.Completed >= fin.Progress.Total {
 		t.Fatalf("cancelled job still completed all %d specs", fin.Progress.Total)
 	}
-	// Partial results remain readable, and cancelling again is a no-op.
+	// Partial results remain readable, and cancelling again reports the
+	// job already terminal while still returning its final snapshot.
 	page, err := st.Results(snap.ID, 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -156,8 +157,8 @@ func TestCancelWhileStreaming(t *testing.T) {
 		t.Fatalf("page has %d results, progress says %d", len(page.Results), fin.Progress.Completed)
 	}
 	again, err := st.Cancel(snap.ID)
-	if err != nil || again.State != StateCancelled {
-		t.Fatalf("re-cancel: %+v, %v", again, err)
+	if !errors.Is(err, ErrTerminal) || again.State != StateCancelled {
+		t.Fatalf("re-cancel: %+v, %v (want ErrTerminal with final snapshot)", again, err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"optspeed/internal/core"
 	"optspeed/internal/stencil"
+	"optspeed/internal/store"
 	"optspeed/internal/sweep"
 )
 
@@ -28,16 +29,23 @@ func (s *Server) handleArchitectures(w http.ResponseWriter, r *http.Request) {
 }
 
 // MetricsResponse reports per-endpoint latency and engine counters.
+// Persistence appears only on servers running with a durable store.
 type MetricsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Engine        sweep.Stats                 `json:"engine"`
+	Persistence   *store.Stats                `json:"persistence,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSONPretty(w, r, http.StatusOK, MetricsResponse{
+	resp := MetricsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Endpoints:     s.metrics.snapshot(),
 		Engine:        s.engine.Stats(),
-	})
+	}
+	if s.persistence != nil {
+		stats := s.persistence.Stats()
+		resp.Persistence = &stats
+	}
+	s.writeJSONPretty(w, r, http.StatusOK, resp)
 }

@@ -32,7 +32,12 @@ type ProgressJSON struct {
 	ShardsDone int `json:"shards_done,omitempty"`
 }
 
-// JobJSON is the wire form of one job resource.
+// JobJSON is the wire form of one job resource. Persisted and
+// Recovered appear only on servers running with a durable store
+// (omitempty keeps in-memory deployments byte-identical): Persisted
+// means the job's transitions are being written to the WAL; Recovered
+// marks a job restored from the durable store after a restart rather
+// than submitted to this process.
 type JobJSON struct {
 	ID              string       `json:"id"`
 	Kind            string       `json:"kind"`
@@ -43,9 +48,19 @@ type JobJSON struct {
 	FinishedAt      *time.Time   `json:"finished_at,omitempty"`
 	Progress        ProgressJSON `json:"progress"`
 	Reason          string       `json:"reason,omitempty"`
+	Persisted       bool         `json:"persisted,omitempty"`
+	Recovered       bool         `json:"recovered,omitempty"`
 }
 
-func jobJSON(snap jobs.Snapshot) JobJSON {
+// jobJSON renders one job resource, stamping the server's persistence
+// mode onto it.
+func (s *Server) jobJSON(snap jobs.Snapshot) JobJSON {
+	j := baseJobJSON(snap)
+	j.Persisted = s.store.Persistent()
+	return j
+}
+
+func baseJobJSON(snap jobs.Snapshot) JobJSON {
 	j := JobJSON{
 		ID:              snap.ID,
 		Kind:            string(snap.Kind),
@@ -61,7 +76,8 @@ func jobJSON(snap jobs.Snapshot) JobJSON {
 			Shards:     snap.Progress.Shards,
 			ShardsDone: snap.Progress.ShardsDone,
 		},
-		Reason: snap.Reason,
+		Reason:    snap.Reason,
+		Recovered: snap.Recovered,
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -81,6 +97,9 @@ func storeProblem(err error) *requestProblem {
 		return &requestProblem{status: http.StatusNotFound, code: codeNotFound, msg: "no such job"}
 	case errors.Is(err, jobs.ErrBadCursor):
 		return &requestProblem{status: http.StatusBadRequest, code: codeInvalidRequest, msg: err.Error()}
+	case errors.Is(err, jobs.ErrTerminal):
+		return &requestProblem{status: http.StatusConflict, code: codeAlreadyTerminal,
+			msg: "job is already in a terminal state"}
 	case errors.Is(err, jobs.ErrStoreFull):
 		return &requestProblem{status: http.StatusTooManyRequests, code: codeStoreFull,
 			msg: "job store is full; retry after resident jobs finish"}
@@ -137,7 +156,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v2/jobs/"+snap.ID)
-	s.writeJSON(w, r, http.StatusAccepted, jobJSON(snap))
+	s.writeJSON(w, r, http.StatusAccepted, s.jobJSON(snap))
 }
 
 // handleJobGet reports one job's status and live progress.
@@ -147,7 +166,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		storeProblem(err).writeV2(s, w, r)
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, jobJSON(snap))
+	s.writeJSON(w, r, http.StatusOK, s.jobJSON(snap))
 }
 
 // JobListResponse is the body of GET /v2/jobs.
@@ -166,7 +185,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	})
 	resp := JobListResponse{Jobs: make([]JobJSON, len(snaps))}
 	for i, snap := range snaps {
-		resp.Jobs[i] = jobJSON(snap)
+		resp.Jobs[i] = s.jobJSON(snap)
 	}
 	s.writeJSON(w, r, http.StatusOK, resp)
 }
@@ -225,12 +244,14 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 
 // handleJobCancel requests cancellation and returns the job resource,
 // which may report running with cancel_requested while the engine
-// drains. Cancelling a terminal job is a no-op.
+// drains. Cancelling a job that already reached a terminal state is a
+// 409 conflict (code "already_terminal"): the outcome cannot change,
+// and the caller learns it raced the job's completion.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.store.Cancel(r.PathValue("id"))
 	if err != nil {
 		storeProblem(err).writeV2(s, w, r)
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, jobJSON(snap))
+	s.writeJSON(w, r, http.StatusOK, s.jobJSON(snap))
 }

@@ -69,12 +69,13 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 // v2 error codes. Stable machine-readable strings; the human text in
 // Message may change freely.
 const (
-	codeInvalidRequest = "invalid_request"
-	codeNotFound       = "not_found"
-	codeTooLarge       = "too_large"
-	codeStoreFull      = "store_full"
-	codeUnavailable    = "unavailable"
-	codeInternal       = "internal"
+	codeInvalidRequest  = "invalid_request"
+	codeNotFound        = "not_found"
+	codeTooLarge        = "too_large"
+	codeStoreFull       = "store_full"
+	codeAlreadyTerminal = "already_terminal"
+	codeUnavailable     = "unavailable"
+	codeInternal        = "internal"
 )
 
 // apiErrorBody is the v2 error payload: a stable code, a human

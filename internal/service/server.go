@@ -34,6 +34,7 @@ import (
 
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
+	"optspeed/internal/store"
 	"optspeed/internal/sweep"
 )
 
@@ -70,6 +71,16 @@ type Config struct {
 	// JobTTL is how long terminal v2 jobs stay readable; 0 means
 	// jobs.DefaultTTL.
 	JobTTL time.Duration
+	// Persistence is the durable job store (from store.Open); nil keeps
+	// the job store purely in-memory — the default, with the wire
+	// surface byte-identical to pre-persistence builds.
+	Persistence *store.Store
+	// Recovered is the job state store.Open replayed, ingested into the
+	// job store before the server accepts traffic.
+	Recovered []jobs.PersistedJob
+	// SnapshotInterval is the job store's snapshot/compaction period;
+	// 0 means jobs.DefaultSnapshotInterval, negative disables.
+	SnapshotInterval time.Duration
 	// Logger receives the structured per-request access log; nil
 	// disables access logging (request IDs are still assigned).
 	Logger *slog.Logger
@@ -77,16 +88,17 @@ type Config struct {
 
 // Server is the HTTP facade over the sweep engine and the job store.
 type Server struct {
-	engine     *sweep.Engine
-	dispatcher *dispatch.Dispatcher
-	store      *jobs.Store
-	metrics    *metricsRegistry
-	mux        *http.ServeMux
-	handler    http.Handler
-	maxSpecs   int
-	maxBody    int64
-	logger     *slog.Logger
-	started    time.Time
+	engine      *sweep.Engine
+	dispatcher  *dispatch.Dispatcher
+	store       *jobs.Store
+	persistence *store.Store
+	metrics     *metricsRegistry
+	mux         *http.ServeMux
+	handler     http.Handler
+	maxSpecs    int
+	maxBody     int64
+	logger      *slog.Logger
+	started     time.Time
 }
 
 // New builds a server, its job store, and its routing table. Call Close
@@ -108,14 +120,23 @@ func New(cfg Config) *Server {
 	if disp == nil {
 		disp = dispatch.New(dispatch.Options{Engine: eng})
 	}
+	var persister jobs.Persister
+	if cfg.Persistence != nil {
+		persister = cfg.Persistence
+	}
 	s := &Server{
-		engine:     eng,
-		dispatcher: disp,
+		engine:      eng,
+		dispatcher:  disp,
+		persistence: cfg.Persistence,
 		store: jobs.NewStore(jobs.Options{
-			Engine:     eng,
-			Dispatcher: disp,
-			Capacity:   cfg.JobCapacity,
-			TTL:        cfg.JobTTL,
+			Engine:           eng,
+			Dispatcher:       disp,
+			Capacity:         cfg.JobCapacity,
+			TTL:              cfg.JobTTL,
+			Persister:        persister,
+			Recovered:        cfg.Recovered,
+			SnapshotInterval: cfg.SnapshotInterval,
+			Logger:           cfg.Logger,
 		}),
 		metrics:  newMetricsRegistry(),
 		mux:      http.NewServeMux(),

@@ -166,7 +166,8 @@ func TestJobLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("paginated %d results, want %d", len(seen), total)
 	}
 
-	// The jobs list includes it; cancelling a terminal job is a no-op.
+	// The jobs list includes it; cancelling a terminal job is a 409
+	// conflict with the stable already_terminal code.
 	resp, raw = doJSON(t, http.MethodGet, ts.URL+"/v2/jobs", "")
 	var list JobListResponse
 	if err := json.Unmarshal(raw, &list); err != nil {
@@ -176,12 +177,12 @@ func TestJobLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("list %d: %+v", resp.StatusCode, list)
 	}
 	resp, raw = doJSON(t, http.MethodDelete, ts.URL+"/v2/jobs/"+accepted.ID, "")
-	var after JobJSON
-	if err := json.Unmarshal(raw, &after); err != nil {
+	var conflict v2ErrorResponse
+	if err := json.Unmarshal(raw, &conflict); err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK || after.State != "succeeded" {
-		t.Fatalf("cancel of terminal job: %d %+v", resp.StatusCode, after)
+	if resp.StatusCode != http.StatusConflict || conflict.Error.Code != codeAlreadyTerminal {
+		t.Fatalf("cancel of terminal job: %d %s", resp.StatusCode, raw)
 	}
 }
 

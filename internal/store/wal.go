@@ -1,0 +1,174 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FsyncPolicy selects when the WAL is flushed to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every record: no acknowledged transition
+	// is ever lost, at one fsync per write.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a background timer (FlushInterval): a
+	// crash loses at most the last interval's records. Frames are
+	// additionally coalesced in memory between flushes, so the serving
+	// path pays an append to a buffer, not a write syscall per record —
+	// the loss window is the same either way.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs explicitly; the OS page cache decides. Each
+	// record is still written through to the file, so process crashes
+	// (not host crashes) are fully recoverable.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy validates a policy name (the -fsync flag).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch p := FsyncPolicy(s); p {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return p, nil
+	default:
+		return "", fmt.Errorf("store: unknown fsync policy %q (want always, interval, or off)", s)
+	}
+}
+
+// walFile is one open log generation. In write-through mode each
+// record is framed into a reusable buffer and written with a single
+// write syscall — no bufio layer, so a crash can tear at most the
+// record being written, never interleave two. Buffered mode
+// (FsyncInterval) instead accumulates whole frames in pending and
+// writes them in one syscall at each flush; frames are still never
+// split across writes.
+type walFile struct {
+	f       *os.File
+	scratch []byte // reusable encode buffer for write-through appends
+	pending []byte // frames awaiting flush (buffered appends)
+	dirty   bool   // file written since last sync
+}
+
+func walName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+func snapName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.db", gen))
+}
+
+// createWAL starts a fresh log generation with its header durably on
+// disk (header write + sync + directory sync), so a crash right after
+// rotation still finds a well-formed file.
+func createWAL(dir string, gen uint64) (*walFile, error) {
+	f, err := os.OpenFile(walName(dir, gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(header(walMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walFile{f: f}, nil
+}
+
+// openWAL opens an existing generation for append at offset — the
+// valid prefix replay established. Anything past it (a torn tail) is
+// truncated away so new records append to known-good bytes.
+func openWAL(dir string, gen uint64, offset int64) (*walFile, error) {
+	f, err := os.OpenFile(walName(dir, gen), os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(offset, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walFile{f: f}, nil
+}
+
+// append frames one record. With through set the frame is written to
+// the file immediately; otherwise it accumulates in pending until the
+// next flush. The caller decides about syncing (policy-dependent).
+// Returns the framed size in bytes.
+func (w *walFile) append(typ byte, body any, through bool) (int, error) {
+	if !through {
+		before := len(w.pending)
+		buf, err := encodeRecord(w.pending, typ, body)
+		if err != nil {
+			return 0, err
+		}
+		w.pending = buf
+		return len(buf) - before, nil
+	}
+	buf, err := encodeRecord(w.scratch[:0], typ, body)
+	if err != nil {
+		return 0, err
+	}
+	w.scratch = buf[:0] // retain capacity for the next record
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	w.dirty = true
+	return len(buf), nil
+}
+
+// flush writes every pending frame to the file in one syscall.
+func (w *walFile) flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.pending); err != nil {
+		return fmt.Errorf("store: wal flush: %w", err)
+	}
+	w.pending = w.pending[:0]
+	w.dirty = true
+	return nil
+}
+
+// sync flushes pending frames and pushes to stable storage if anything
+// was written since the last sync; reports whether it actually synced.
+func (w *walFile) sync() (bool, error) {
+	if err := w.flush(); err != nil {
+		return false, err
+	}
+	if !w.dirty {
+		return false, nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return false, err
+	}
+	w.dirty = false
+	return true, nil
+}
+
+func (w *walFile) close() error {
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// DefaultFlushInterval is the FsyncInterval timer period.
+const DefaultFlushInterval = 100 * time.Millisecond
