@@ -21,8 +21,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -33,6 +35,11 @@ const (
 	DefaultRetryBackoff = 100 * time.Millisecond
 	DefaultPollInterval = 25 * time.Millisecond
 	DefaultPollMax      = time.Second
+	// RetryAfterCap bounds how long a server Retry-After hint is
+	// honored between retry attempts: an overloaded server advertising
+	// a long cooldown should push the caller into its own backoff
+	// policy, not park an interactive request for minutes.
+	RetryAfterCap = 5 * time.Second
 )
 
 // Client talks to one optspeedd server.
@@ -41,6 +48,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	apiKey  string
 }
 
 // Option customizes a Client.
@@ -67,6 +75,13 @@ func WithRetries(n int, backoff time.Duration) Option {
 			c.backoff = backoff
 		}
 	}
+}
+
+// WithAPIKey authenticates every request as the tenant the key maps to
+// (sent as "Authorization: Bearer <key>"). Without it the client runs
+// in the server's anonymous tier.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // New builds a client for the server at baseURL (scheme://host[:port]).
@@ -98,6 +113,14 @@ type APIError struct {
 	Code      string
 	Message   string
 	RequestID string
+	// Tenant names the admission principal a 429 rejection applies to
+	// ("" on non-admission errors).
+	Tenant string
+	// RetryAfter is the server's advisory retry interval from a 429 or
+	// 503 rejection — the envelope's retry_after_ms when present, else
+	// the Retry-After header; 0 when the server gave none. The GET
+	// retry loop honors it (capped at RetryAfterCap, jittered).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -114,9 +137,11 @@ func (e *APIError) Error() string {
 // errorEnvelope mirrors the server's v2 error body.
 type errorEnvelope struct {
 	Error struct {
-		Code      string `json:"code"`
-		Message   string `json:"message"`
-		RequestID string `json:"request_id"`
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RequestID    string `json:"request_id"`
+		Tenant       string `json:"tenant"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
 	} `json:"error"`
 }
 
@@ -128,6 +153,10 @@ func apiError(resp *http.Response, body []byte) *APIError {
 		e.Code = env.Error.Code
 		e.Message = env.Error.Message
 		e.RequestID = env.Error.RequestID
+		e.Tenant = env.Error.Tenant
+		if env.Error.RetryAfterMs > 0 {
+			e.RetryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+		}
 	} else {
 		// v1-style or non-JSON error; keep a short snippet.
 		s := strings.TrimSpace(string(body))
@@ -135,6 +164,11 @@ func apiError(resp *http.Response, body []byte) *APIError {
 			s = s[:200]
 		}
 		e.Message = s
+	}
+	if e.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
 	}
 	return e
 }
@@ -150,8 +184,21 @@ func (c *Client) endpoint(path string, query url.Values) string {
 }
 
 // retryable reports whether a response status is worth retrying on an
-// idempotent request.
-func retryable(status int) bool { return status >= 500 }
+// idempotent request: server errors (the shed 503 among them) and the
+// admission layer's 429, both of which advertise a Retry-After.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// retryWait converts a server Retry-After hint into the actual pause:
+// capped at RetryAfterCap, jittered ±25% so clients shed together do
+// not re-arrive in lockstep and overload the gate all over again.
+func retryWait(hint time.Duration) time.Duration {
+	if hint > RetryAfterCap {
+		hint = RetryAfterCap
+	}
+	return time.Duration(float64(hint) * (0.75 + 0.5*rand.Float64()))
+}
 
 // sleep waits d or until ctx dies.
 func sleep(ctx context.Context, d time.Duration) error {
@@ -182,13 +229,21 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		attempts += c.retries
 	}
 	backoff := c.backoff
+	var serverWait time.Duration // Retry-After from the last rejection
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, backoff); err != nil {
+			wait := backoff
+			backoff *= 2
+			if serverWait > 0 {
+				// The server said when to come back; its word beats the
+				// local backoff schedule.
+				wait = retryWait(serverWait)
+				serverWait = 0
+			}
+			if err := sleep(ctx, wait); err != nil {
 				return err
 			}
-			backoff *= 2
 		}
 		var body io.Reader
 		if payload != nil {
@@ -200,6 +255,9 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+c.apiKey)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -219,6 +277,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			apiErr := apiError(resp, raw)
 			if retryable(resp.StatusCode) {
 				lastErr = apiErr
+				serverWait = apiErr.RetryAfter
 				continue
 			}
 			return apiErr

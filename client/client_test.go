@@ -177,3 +177,116 @@ func TestNegativeRetriesStillRequests(t *testing.T) {
 		t.Fatalf("%d requests issued, want 1", calls.Load())
 	}
 }
+
+// TestRetryHonorsRetryAfterOn429: a rate-limited read waits out the
+// server's advisory interval (not just the local backoff) and succeeds
+// on the next attempt.
+func TestRetryHonorsRetryAfterOn429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":{"code":"rate_limited","message":"slow down","tenant":"acme","retry_after_ms":60}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(client.Job{ID: "j1", State: client.JobSucceeded})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	job, err := c.Job(context.Background(), "j1")
+	if err != nil || job.ID != "j1" {
+		t.Fatalf("job %+v, err %v", job, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2", calls.Load())
+	}
+	// The envelope advertised 60ms; even at maximum downward jitter
+	// (x0.75) the wait must dwarf the 1ms local backoff base.
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("retried after %v, ignoring the 60ms Retry-After hint", elapsed)
+	}
+}
+
+// TestRejection429CarriesTenantAndRetryAfter: a rate-limited write is
+// not retried, and the typed error exposes who was limited and the
+// server's advisory interval.
+func TestRejection429CarriesTenantAndRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":{"code":"rate_limited","message":"slow down","tenant":"acme","retry_after_ms":250}}`))
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.SubmitSweep(context.Background(), client.SweepRequest{})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != "rate_limited" {
+		t.Fatalf("APIError %+v", apiErr)
+	}
+	if apiErr.Tenant != "acme" || apiErr.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("tenant %q retry-after %v, want acme / 250ms", apiErr.Tenant, apiErr.RetryAfter)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("rate-limited submit ran %d times, want exactly 1", calls.Load())
+	}
+}
+
+// TestRetryAfterHeaderFallback: a shed 503 without a JSON envelope
+// still yields the Retry-After header through the typed error.
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetries(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Job(context.Background(), "j1")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.RetryAfter != 2*time.Second {
+		t.Fatalf("APIError %+v, want 503 with 2s Retry-After", apiErr)
+	}
+}
+
+// TestAPIKeySentAsBearer: WithAPIKey stamps every request with the
+// tenant credential.
+func TestAPIKeySentAsBearer(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(client.Job{ID: "j1", State: client.JobSucceeded})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithAPIKey("sekret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job(context.Background(), "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if auth, _ := got.Load().(string); auth != "Bearer sekret" {
+		t.Fatalf("Authorization %q, want Bearer sekret", auth)
+	}
+}

@@ -58,6 +58,9 @@ func (c *Client) StreamSweep(ctx context.Context, req SweepRequest) (*ResultStre
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if c.apiKey != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("client: open stream: %w", err)

@@ -42,6 +42,15 @@
 //	                                   # the same directory, and verify the
 //	                                   # recovered result pages are
 //	                                   # byte-identical
+//	optload -overload                  # overload drill: drive an
+//	                                   # in-process server with a tight
+//	                                   # admission gate at 3x its
+//	                                   # capacity and verify every
+//	                                   # rejection is an explicit 429/503
+//	                                   # with Retry-After — no other 5xx,
+//	                                   # no severed NDJSON streams, no
+//	                                   # leaked goroutines, admitted p99
+//	                                   # near the uncontended baseline
 //
 // With no -addr, optload starts an in-process server on a loopback
 // listener and drives it through the full HTTP stack — same handlers,
@@ -58,6 +67,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -74,6 +85,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"optspeed/internal/admit"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/service"
@@ -81,18 +93,26 @@ import (
 	"optspeed/internal/sweep"
 )
 
-// sample is one timed request.
+// sample is one timed request. A shed is an explicit 429/503 admission
+// rejection — expected behavior under overload, counted apart from hard
+// errors; noRetryAfter marks a shed that arrived without the mandatory
+// Retry-After header (a contract violation the -overload drill gates on).
 type sample struct {
-	workload string
-	latency  time.Duration
-	err      bool
+	workload     string
+	latency      time.Duration
+	err          bool
+	shed         bool
+	noRetryAfter bool
 }
 
 // WorkloadReport is one workload's aggregate in BENCH_http.json.
+// Latency percentiles cover admitted (2xx) requests only; Sheds counts
+// explicit 429/503 admission rejections, which are not errors.
 type WorkloadReport struct {
 	Name     string  `json:"name"`
 	Requests int     `json:"requests"`
 	Errors   int     `json:"errors"`
+	Sheds    int     `json:"sheds,omitempty"`
 	RPS      float64 `json:"rps"`
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
@@ -114,6 +134,7 @@ type Report struct {
 	DurationSec    float64          `json:"duration_sec"`
 	TotalRequests  int              `json:"total_requests"`
 	TotalErrors    int              `json:"total_errors"`
+	TotalSheds     int              `json:"total_sheds,omitempty"`
 	RPS            float64          `json:"rps"`
 	Durable        bool             `json:"durable,omitempty"`
 	Fsync          string           `json:"fsync,omitempty"`
@@ -269,9 +290,17 @@ func (w *worker) do(ctx context.Context, workload, method, path, body string, ke
 		_, err = io.Copy(io.Discard, resp.Body)
 	}
 	resp.Body.Close()
-	bad := err != nil || resp.StatusCode >= 300
-	w.samples = append(w.samples, sample{workload: workload, latency: time.Since(start), err: bad})
-	if bad {
+	s := sample{workload: workload, latency: time.Since(start)}
+	switch {
+	case err == nil && (resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable):
+		s.shed = true
+		s.noRetryAfter = resp.Header.Get("Retry-After") == ""
+	case err != nil || resp.StatusCode >= 300:
+		s.err = true
+	}
+	w.samples = append(w.samples, s)
+	if s.err || s.shed {
 		return nil
 	}
 	return out
@@ -351,6 +380,10 @@ func aggregate(name string, samples []sample, elapsed time.Duration) WorkloadRep
 			rep.Errors++
 			continue
 		}
+		if s.shed {
+			rep.Sheds++
+			continue
+		}
 		lats = append(lats, s.latency)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -369,9 +402,9 @@ func aggregate(name string, samples []sample, elapsed time.Duration) WorkloadRep
 // cleanup when done. A non-empty dataDir opens (or reopens) a durable
 // job store there, so the server journals v2 jobs and replays whatever
 // the directory already holds.
-func startServer(workers int, peers []string, shardSize int, dataDir string, fsync store.FsyncPolicy) (string, func()) {
+func startServer(workers int, peers []string, shardSize int, dataDir string, fsync store.FsyncPolicy, adm *admit.Controller) (string, func()) {
 	eng := sweep.New(sweep.Options{Workers: workers})
-	cfg := service.Config{Engine: eng}
+	cfg := service.Config{Engine: eng, Admission: adm}
 	if len(peers) > 0 {
 		cfg.Dispatcher = dispatch.New(dispatch.Options{
 			Engine:    eng,
@@ -462,6 +495,7 @@ func runPhase(label, base, mix string, deck []string, conc int, duration time.Du
 		DurationSec:   elapsed.Seconds(),
 		TotalRequests: total.Requests,
 		TotalErrors:   total.Errors,
+		TotalSheds:    total.Sheds,
 		RPS:           total.RPS,
 	}
 	fmt.Fprintf(os.Stderr, "--- %s\n", label)
@@ -471,11 +505,11 @@ func runPhase(label, base, mix string, deck []string, conc int, duration time.Du
 			continue
 		}
 		report.Workloads = append(report.Workloads, rep)
-		fmt.Fprintf(os.Stderr, "%-9s %7d req %4d err %9.1f rps  p50 %7.3fms  p95 %7.3fms  p99 %7.3fms\n",
-			name, rep.Requests, rep.Errors, rep.RPS, rep.P50Ms, rep.P95Ms, rep.P99Ms)
+		fmt.Fprintf(os.Stderr, "%-9s %7d req %4d err %4d shed %9.1f rps  p50 %7.3fms  p95 %7.3fms  p99 %7.3fms\n",
+			name, rep.Requests, rep.Errors, rep.Sheds, rep.RPS, rep.P50Ms, rep.P95Ms, rep.P99Ms)
 	}
-	fmt.Fprintf(os.Stderr, "%-9s %7d req %4d err %9.1f rps\n", "total",
-		report.TotalRequests, report.TotalErrors, report.RPS)
+	fmt.Fprintf(os.Stderr, "%-9s %7d req %4d err %4d shed %9.1f rps\n", "total",
+		report.TotalRequests, report.TotalErrors, report.TotalSheds, report.RPS)
 	return report
 }
 
@@ -503,6 +537,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable job store directory for the in-process server (empty = in-memory; -restart defaults to a temp dir)")
 		fsyncPol = flag.String("fsync", string(store.FsyncInterval), "WAL fsync policy with -data-dir: always, interval, or off")
 		restart  = flag.Bool("restart", false, "restart-recovery drill: run jobs to completion, restart the in-process server on the same data dir, verify recovered pages byte-identical")
+		overload = flag.Bool("overload", false, "overload drill: drive a tightly-gated in-process server at 3x capacity; fail unless every rejection is an explicit 429/503 with Retry-After, no streams sever, goroutines stay stable, and admitted p99 stays near baseline")
 	)
 	flag.Parse()
 	if *quick {
@@ -537,6 +572,14 @@ func main() {
 		return
 	}
 
+	if *overload {
+		if *addr != "" || *cluster > 0 || *dataDir != "" {
+			fatal(fmt.Errorf("-overload drives its own in-process server; drop -addr/-cluster/-data-dir"))
+		}
+		runOverload(*workers, *duration, *out)
+		return
+	}
+
 	if *cluster > 0 {
 		if *addr != "" {
 			fatal(fmt.Errorf("-cluster builds its own in-process topology; drop -addr"))
@@ -545,7 +588,7 @@ func main() {
 			fatal(fmt.Errorf("-data-dir does not combine with -cluster"))
 		}
 		// Phase 1: single node with the same per-node engine budget.
-		singleBase, stopSingle := startServer(*workers, nil, 0, "", policy)
+		singleBase, stopSingle := startServer(*workers, nil, 0, "", policy, nil)
 		baseline := runPhase(fmt.Sprintf("single node (workers=%d)", *workers),
 			singleBase, *mix, deck, *conc, *duration, true)
 		stopSingle()
@@ -553,11 +596,11 @@ func main() {
 		var peers []string
 		var stops []func()
 		for i := 0; i < *cluster; i++ {
-			base, stop := startServer(*workers, nil, 0, "", policy)
+			base, stop := startServer(*workers, nil, 0, "", policy, nil)
 			peers = append(peers, base)
 			stops = append(stops, stop)
 		}
-		coordBase, stopCoord := startServer(*workers, peers, *shardSz, "", policy)
+		coordBase, stopCoord := startServer(*workers, peers, *shardSz, "", policy, nil)
 		report := runPhase(fmt.Sprintf("coordinator (%d workers × workers=%d, shard=%d)",
 			*cluster, *workers, *shardSz), coordBase, *mix, deck, *conc, *duration, true)
 		stopCoord()
@@ -581,7 +624,7 @@ func main() {
 	inProcess := base == ""
 	var stop func()
 	if inProcess {
-		base, stop = startServer(*workers, nil, 0, *dataDir, policy)
+		base, stop = startServer(*workers, nil, 0, *dataDir, policy, nil)
 		defer stop()
 		if *dataDir != "" {
 			fmt.Fprintf(os.Stderr, "optload: in-process server at %s (data-dir %s, fsync %s)\n",
@@ -629,7 +672,7 @@ func runRestart(dataDir string, policy store.FsyncPolicy, workers int, out strin
 	hc := &http.Client{Timeout: time.Minute}
 	rep := RestartReport{DataDir: dataDir, Fsync: string(policy)}
 
-	base, stop := startServer(workers, nil, 0, dataDir, policy)
+	base, stop := startServer(workers, nil, 0, dataDir, policy, nil)
 	fmt.Fprintf(os.Stderr, "optload: restart drill at %s (data-dir %s, fsync %s)\n", base, dataDir, policy)
 
 	var ids []string
@@ -667,7 +710,7 @@ func runRestart(dataDir string, policy store.FsyncPolicy, workers int, out strin
 	}
 	stop()
 
-	base, stop = startServer(workers, nil, 0, dataDir, policy)
+	base, stop = startServer(workers, nil, 0, dataDir, policy, nil)
 	defer stop()
 	for _, id := range ids {
 		job, err := jobStatus(hc, base, id)
@@ -701,6 +744,247 @@ func runRestart(dataDir string, policy store.FsyncPolicy, workers int, out strin
 	writeReport(out, rep)
 	if !rep.OK {
 		fatal(fmt.Errorf("restart drill failed"))
+	}
+}
+
+// OverloadReport is the -overload drill artifact. The drill passes
+// (OK) only when overload degraded gracefully: plenty of explicit
+// sheds, every one carrying Retry-After, zero 5xx-other-than-503, zero
+// severed NDJSON streams, a settled goroutine count, and admitted-
+// request p99 within 2x of the uncontended baseline (plus a small
+// absolute floor so microsecond baselines don't gate on noise).
+type OverloadReport struct {
+	Capacity               int     `json:"capacity"`
+	BaselineConcurrency    int     `json:"baseline_concurrency"`
+	OverloadConcurrency    int     `json:"overload_concurrency"`
+	BaselineP99Ms          float64 `json:"baseline_p99_ms"`
+	OverloadP99Ms          float64 `json:"overload_p99_ms"`
+	P99Ratio               float64 `json:"p99_ratio"`
+	Admitted               int     `json:"admitted"`
+	Sheds                  int     `json:"sheds"`
+	ShedRate               float64 `json:"shed_rate"`
+	ShedsMissingRetryAfter int     `json:"sheds_missing_retry_after"`
+	HardErrors             int     `json:"hard_errors"`
+	StreamsCompleted       int     `json:"streams_completed"`
+	StreamsShed            int     `json:"streams_shed"`
+	StreamsSevered         int     `json:"streams_severed"`
+	GoroutineGrowth        int     `json:"goroutine_growth"`
+	OK                     bool    `json:"ok"`
+}
+
+// overloadStreamBody is a deliberately tiny space (2 specs), so stream
+// requests contend for gate slots without each one hogging the server.
+const overloadStreamBody = `{"space":{"ns":[96,160],"stencils":["5-point"],"shapes":["strip"],` +
+	`"machines":[{"type":"sync-bus"}]}}`
+
+// drive runs conc closed-loop workers over the deck for d and returns
+// every sample.
+func drive(base string, deck []string, conc int, d time.Duration) []sample {
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        conc * 2,
+			MaxIdleConnsPerHost: conc * 2,
+		},
+		Timeout: time.Minute,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	ws := make([]*worker, conc)
+	var wg sync.WaitGroup
+	for i := range ws {
+		ws[i] = &worker{id: i, base: base, client: client, deck: deck}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(ctx)
+		}(ws[i])
+	}
+	wg.Wait()
+	var all []sample
+	for _, w := range ws {
+		all = append(all, w.samples...)
+	}
+	return all
+}
+
+// streamTally is one stream worker's private outcome counters.
+type streamTally struct {
+	completed int // 200 and read through the done marker
+	shed      int // explicit 429/503 before the first stream byte
+	severed   int // 200 but the stream ended without a done marker
+	hard      int // transport error or any other status
+	missingRA int // sheds without a Retry-After header
+}
+
+// streamDrill repeatedly opens NDJSON sweep streams until ctx expires.
+// The admission contract under test: a stream is either rejected before
+// its first byte with an explicit 429/503, or — once the 200 is out —
+// runs to its done marker; it is never severed mid-flight by overload.
+func streamDrill(ctx context.Context, client *http.Client, base string, t *streamTally) {
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v2/sweeps/stream", strings.NewReader(overloadStreamBody))
+		if err != nil {
+			t.hard++
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				t.hard++
+			}
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			sc := bufio.NewScanner(resp.Body)
+			done := false
+			for sc.Scan() {
+				if bytes.Contains(sc.Bytes(), []byte(`"done":true`)) {
+					done = true
+				}
+			}
+			if (sc.Err() != nil || !done) && ctx.Err() == nil {
+				t.severed++
+			} else if done {
+				t.completed++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable:
+			t.shed++
+			if resp.Header.Get("Retry-After") == "" {
+				t.missingRA++
+			}
+			io.Copy(io.Discard, resp.Body)
+		default:
+			t.hard++
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+	}
+}
+
+// settledGoroutines polls the goroutine count until it stops shrinking
+// (or the window elapses) and returns the minimum seen — the settled
+// floor after in-flight request teardown.
+func settledGoroutines(window time.Duration) int {
+	min := runtime.NumGoroutine()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		if n := runtime.NumGoroutine(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// runOverload is the overload drill: an in-process server behind a
+// deliberately tiny admission gate, measured uncontended at exactly its
+// capacity and then at 3x capacity plus concurrent NDJSON streams. It
+// verifies the overload contract end to end and exits nonzero when any
+// clause fails, so CI can run it as a gate.
+func runOverload(workers int, duration time.Duration, out string) {
+	const capacity = 4
+	adm := admit.New(admit.Config{Gate: admit.GateConfig{
+		MaxConcurrent: capacity,
+		MaxQueue:      capacity,
+		MaxWait:       25 * time.Millisecond,
+	}})
+	base, stop := startServer(workers, nil, 0, "", store.FsyncInterval, adm)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "optload: overload drill at %s (gate capacity %d, queue %d, wait 25ms)\n",
+		base, capacity, capacity)
+
+	// A short single-worker warmup primes the engine cache and the
+	// connection pool before anything is measured.
+	deck := []string{"optimize"}
+	drive(base, deck, 1, 200*time.Millisecond)
+
+	phase := duration / 2
+	if phase < time.Second {
+		phase = time.Second
+	}
+	rep := OverloadReport{
+		Capacity:            capacity,
+		BaselineConcurrency: capacity,
+		OverloadConcurrency: 3 * capacity,
+	}
+
+	// Phase A: exactly capacity workers — the gate never queues, so this
+	// is the uncontended latency floor.
+	baseline := aggregate("total", drive(base, deck, capacity, phase), phase)
+	rep.BaselineP99Ms = baseline.P99Ms
+
+	g0 := settledGoroutines(2 * time.Second)
+
+	// Phase B: 3x capacity, plus two stream workers hammering the NDJSON
+	// route through the same gate.
+	streamClient := &http.Client{Timeout: time.Minute}
+	sctx, scancel := context.WithTimeout(context.Background(), phase)
+	tallies := make([]streamTally, 2)
+	var swg sync.WaitGroup
+	for i := range tallies {
+		swg.Add(1)
+		go func(t *streamTally) {
+			defer swg.Done()
+			streamDrill(sctx, streamClient, base, t)
+		}(&tallies[i])
+	}
+	overSamples := drive(base, deck, 3*capacity, phase)
+	over := aggregate("total", overSamples, phase)
+	scancel()
+	swg.Wait()
+
+	g1 := settledGoroutines(3 * time.Second)
+
+	rep.OverloadP99Ms = over.P99Ms
+	if rep.BaselineP99Ms > 0 {
+		rep.P99Ratio = rep.OverloadP99Ms / rep.BaselineP99Ms
+	}
+	rep.Admitted = over.Requests - over.Errors - over.Sheds
+	rep.Sheds = over.Sheds
+	rep.HardErrors = over.Errors
+	var missingRA int
+	for _, s := range overSamples {
+		if s.shed && s.noRetryAfter {
+			missingRA++
+		}
+	}
+	for _, t := range tallies {
+		rep.StreamsCompleted += t.completed
+		rep.StreamsShed += t.shed
+		rep.StreamsSevered += t.severed
+		rep.HardErrors += t.hard
+		missingRA += t.missingRA
+	}
+	rep.Sheds += rep.StreamsShed
+	if denom := rep.Admitted + rep.Sheds; denom > 0 {
+		rep.ShedRate = float64(rep.Sheds) / float64(denom)
+	}
+	rep.ShedsMissingRetryAfter = missingRA
+	rep.GoroutineGrowth = g1 - g0
+
+	// The graceful-degradation contract, clause by clause. The p99 gate
+	// allows 2x plus a 25ms absolute floor: the gate's own wait bound,
+	// so sub-millisecond baselines don't fail on scheduler noise.
+	p99OK := rep.OverloadP99Ms <= 2*rep.BaselineP99Ms+25
+	rep.OK = rep.HardErrors == 0 &&
+		rep.StreamsSevered == 0 &&
+		rep.ShedsMissingRetryAfter == 0 &&
+		rep.Sheds > 0 &&
+		rep.GoroutineGrowth <= 10 &&
+		p99OK
+	fmt.Fprintf(os.Stderr,
+		"optload: overload drill: admitted %d, sheds %d (rate %.2f), hard errors %d, "+
+			"streams %d done / %d shed / %d severed, p99 %.3fms vs baseline %.3fms (%.2fx), goroutines %+d\n",
+		rep.Admitted, rep.Sheds, rep.ShedRate, rep.HardErrors,
+		rep.StreamsCompleted, rep.StreamsShed, rep.StreamsSevered,
+		rep.OverloadP99Ms, rep.BaselineP99Ms, rep.P99Ratio, rep.GoroutineGrowth)
+	writeReport(out, rep)
+	if !rep.OK {
+		fatal(fmt.Errorf("overload drill failed (see report)"))
 	}
 }
 

@@ -70,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"optspeed/internal/admit"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/service"
@@ -93,6 +94,10 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable job store directory; empty keeps jobs in memory only")
 		fsyncPol = flag.String("fsync", string(store.FsyncInterval), "WAL fsync policy: always, interval, or off (with -data-dir)")
 		snapInt  = flag.Duration("snapshot-interval", jobs.DefaultSnapshotInterval, "snapshot + WAL compaction period (with -data-dir)")
+		tenants  = flag.String("tenants", "", "per-tenant quota config file (JSON, see docs/operations.md); empty serves everyone as an unlimited anonymous tenant")
+		maxInFl  = flag.Int("max-inflight", 0, "admission gate concurrency bound in evaluation units (0 = max(16, 4*GOMAXPROCS))")
+		maxQueue = flag.Int("max-queue", 0, "admission gate waiter bound before shedding (0 = 2*max-inflight, negative = no queue)")
+		qWait    = flag.Duration("queue-wait", admit.DefaultMaxWait, "max time a request waits for an evaluation slot before a 503 shed")
 	)
 	flag.Parse()
 
@@ -151,6 +156,26 @@ func main() {
 			"data_dir", *dataDir, "fsync", string(policy),
 			"recovered_jobs", len(recovered), "snapshot_interval", *snapInt)
 	}
+	var tenantsFile *admit.TenantsFile
+	if *tenants != "" {
+		tf, err := admit.LoadTenantsFile(*tenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optspeedd: %v\n", err)
+			os.Exit(2)
+		}
+		tenantsFile = tf
+		logger.Info("tenant quotas loaded", "file", *tenants, "tenants", len(tf.Tenants))
+	}
+	admission := admit.New(admit.Config{
+		Tenants: tenantsFile,
+		Gate: admit.GateConfig{
+			MaxConcurrent: *maxInFl,
+			MaxQueue:      *maxQueue,
+			MaxWait:       *qWait,
+		},
+	})
+	logger.Info("admission gate armed",
+		"max_inflight", admission.Gate().Capacity(), "queue_wait", *qWait)
 	srv := service.New(service.Config{
 		Engine:           engine,
 		Dispatcher:       dispatcher,
@@ -161,6 +186,7 @@ func main() {
 		Recovered:        recovered,
 		SnapshotInterval: *snapInt,
 		Logger:           logger,
+		Admission:        admission,
 	})
 	// Shutdown order matters: the job store's Close (inside srv.Close)
 	// cancels and drains jobs and writes a final snapshot through the

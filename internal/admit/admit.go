@@ -1,0 +1,275 @@
+// Package admit is the overload-protection layer: per-tenant token
+// buckets and job quotas, a server-wide admission gate that sheds load
+// instead of queueing unboundedly, and the peer circuit breaker the
+// dispatch layer uses to eject flapping workers.
+//
+// The design point mirrors the model this repository serves: past the
+// optimal operating point, adding work makes everything slower. The
+// gate keeps the engine at its knee — a bounded number of concurrently
+// admitted requests, a bounded wait behind them, then an explicit,
+// cheap rejection (429 for per-tenant limits, 503 for server-wide
+// overload) that the client can pace itself against via Retry-After.
+// Under sustained overload the gate grants newest-first (adaptive
+// LIFO): fresh requests ride through at near-uncontended latency while
+// stale waiters — whose callers have likely timed out already — are
+// the ones shed.
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Rejection codes, mirrored by the service's error envelope.
+const (
+	// CodeRateLimited is a per-tenant token-bucket rejection (429).
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded is a per-tenant concurrency or queued-cost
+	// quota rejection (429).
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeOverloaded is a server-wide admission-gate shed (503).
+	CodeOverloaded = "overloaded"
+)
+
+// Rejection is a typed admission refusal: which limit fired, the HTTP
+// status it maps to, and how long the caller should wait before
+// retrying. It implements error so gate and quota failures flow
+// through ordinary error returns.
+type Rejection struct {
+	// Status is the HTTP status the service maps this rejection to:
+	// 429 for per-tenant limits, 503 for server-wide overload.
+	Status int
+	// Code is the stable machine-readable cause (CodeRateLimited,
+	// CodeQuotaExceeded, CodeOverloaded).
+	Code string
+	// Message is the human explanation.
+	Message string
+	// Tenant names the tenant the rejection applies to ("" until the
+	// service stamps it).
+	Tenant string
+	// RetryAfter is the advisory wait before retrying: the bucket's
+	// refill time for rate limits, the gate's wait bound for sheds.
+	RetryAfter time.Duration
+}
+
+func (r *Rejection) Error() string { return "admit: " + r.Message }
+
+// ErrUnknownKey reports an API key that matches no configured tenant.
+// It is a hard authentication failure (401), not a quota rejection:
+// an unknown key must not silently fall into the anonymous tier.
+var ErrUnknownKey = errors.New("admit: unknown API key")
+
+// DefaultQuotaRetryAfter is the advisory retry interval for quota
+// rejections, where no refill schedule exists to derive one from.
+const DefaultQuotaRetryAfter = time.Second
+
+// Config configures a Controller.
+type Config struct {
+	// Tenants is the static tenant registry (see LoadTenantsFile); nil
+	// serves every request as the anonymous tenant with no rate or
+	// quota limits — the gate is then the only admission control.
+	Tenants *TenantsFile
+	// Gate configures the server-wide admission gate.
+	Gate GateConfig
+	// Now is the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Controller is the service's admission authority: it resolves API
+// keys to tenants, owns the per-tenant buckets and quotas, and owns
+// the server-wide gate.
+type Controller struct {
+	gate  *Gate
+	anon  *Tenant
+	byKey map[string]*Tenant
+	all   []*Tenant // stats order: anonymous first, then config order
+}
+
+// New builds a controller. A nil Tenants config yields an unlimited
+// anonymous tenant (the gate still applies).
+func New(cfg Config) *Controller {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Controller{
+		gate:  NewGate(cfg.Gate),
+		byKey: make(map[string]*Tenant),
+	}
+	var anonLimits Limits
+	if cfg.Tenants != nil && cfg.Tenants.Anonymous != nil {
+		anonLimits = cfg.Tenants.Anonymous.Limits()
+	}
+	c.anon = newTenant(AnonymousTenant, anonLimits, now)
+	c.all = append(c.all, c.anon)
+	if cfg.Tenants != nil {
+		for _, tc := range cfg.Tenants.Tenants {
+			t := newTenant(tc.Name, tc.Limits(), now)
+			c.byKey[tc.Key] = t
+			c.all = append(c.all, t)
+		}
+	}
+	return c
+}
+
+// Gate returns the server-wide admission gate.
+func (c *Controller) Gate() *Gate { return c.gate }
+
+// Resolve maps an API key to its tenant. An empty key is the anonymous
+// tenant; an unknown non-empty key is ErrUnknownKey.
+func (c *Controller) Resolve(key string) (*Tenant, error) {
+	if key == "" {
+		return c.anon, nil
+	}
+	t, ok := c.byKey[key]
+	if !ok {
+		return nil, ErrUnknownKey
+	}
+	return t, nil
+}
+
+// Anonymous returns the default tenant.
+func (c *Controller) Anonymous() *Tenant { return c.anon }
+
+// Stats snapshots the controller: the gate's counters plus every
+// tenant's.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Gate:    c.gate.Stats(),
+		Tenants: make(map[string]TenantStats, len(c.all)),
+	}
+	for _, t := range c.all {
+		st.Tenants[t.Name()] = t.Stats()
+	}
+	return st
+}
+
+// Stats is the controller's metrics snapshot, embedded in the
+// service's /v1/metrics response.
+type Stats struct {
+	Gate    GateStats              `json:"gate"`
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// TenantStats is one tenant's admission counters.
+type TenantStats struct {
+	// Admitted counts requests that passed this tenant's rate check.
+	Admitted uint64 `json:"admitted"`
+	// RateLimited counts token-bucket rejections (429 rate_limited).
+	RateLimited uint64 `json:"rate_limited"`
+	// QuotaRejected counts concurrency/queued-cost rejections
+	// (429 quota_exceeded).
+	QuotaRejected uint64 `json:"quota_rejected"`
+	// InFlightJobs is the tenant's currently resident submitted jobs.
+	InFlightJobs int `json:"in_flight_jobs"`
+	// QueuedCost is the summed estimated spec count of those jobs.
+	QueuedCost int `json:"queued_cost"`
+}
+
+// Tenant is one admission principal: a token bucket for request rate
+// and two job quotas (concurrent jobs, queued evaluation cost). All
+// methods are safe for concurrent use.
+type Tenant struct {
+	name   string
+	limits Limits
+	now    func() time.Time
+
+	mu            sync.Mutex
+	bucket        bucket
+	inFlightJobs  int
+	queuedCost    int
+	admitted      uint64
+	rateLimited   uint64
+	quotaRejected uint64
+}
+
+func newTenant(name string, limits Limits, now func() time.Time) *Tenant {
+	return &Tenant{
+		name:   name,
+		limits: limits,
+		now:    now,
+		bucket: newBucket(limits.RatePerSec, limits.Burst),
+	}
+}
+
+// Name returns the tenant's configured name ("anonymous" for the
+// default tier).
+func (t *Tenant) Name() string { return t.name }
+
+// AllowRequest runs the tenant's token bucket for one request. It
+// returns nil when admitted, or a 429 rate_limited Rejection carrying
+// the bucket's refill time.
+func (t *Tenant) AllowRequest() *Rejection {
+	t.mu.Lock()
+	ok, wait := t.bucket.take(t.now(), 1)
+	if ok {
+		t.admitted++
+		t.mu.Unlock()
+		return nil
+	}
+	t.rateLimited++
+	t.mu.Unlock()
+	return &Rejection{
+		Status:     429,
+		Code:       CodeRateLimited,
+		Message:    fmt.Sprintf("tenant %s exceeded its request rate", t.name),
+		Tenant:     t.name,
+		RetryAfter: wait,
+	}
+}
+
+// AcquireJob reserves one job slot and cost units of queued evaluation
+// against the tenant's quotas. On success it returns a release that
+// must be called exactly when the job leaves the system (terminal
+// state or failed submission); the release is idempotent. On failure
+// it returns a 429 quota_exceeded Rejection.
+func (t *Tenant) AcquireJob(cost int) (func(), *Rejection) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max := t.limits.MaxConcurrentJobs; max > 0 && t.inFlightJobs+1 > max {
+		t.quotaRejected++
+		return nil, &Rejection{
+			Status:     429,
+			Code:       CodeQuotaExceeded,
+			Message:    fmt.Sprintf("tenant %s is at its limit of %d concurrent jobs", t.name, max),
+			Tenant:     t.name,
+			RetryAfter: DefaultQuotaRetryAfter,
+		}
+	}
+	if max := t.limits.MaxQueuedCost; max > 0 && t.queuedCost+cost > max {
+		t.quotaRejected++
+		return nil, &Rejection{
+			Status:     429,
+			Code:       CodeQuotaExceeded,
+			Message:    fmt.Sprintf("tenant %s would exceed its queued-cost limit of %d specs", t.name, max),
+			Tenant:     t.name,
+			RetryAfter: DefaultQuotaRetryAfter,
+		}
+	}
+	t.inFlightJobs++
+	t.queuedCost += cost
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.inFlightJobs--
+			t.queuedCost -= cost
+			t.mu.Unlock()
+		})
+	}, nil
+}
+
+// Stats snapshots the tenant's counters.
+func (t *Tenant) Stats() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TenantStats{
+		Admitted:      t.admitted,
+		RateLimited:   t.rateLimited,
+		QuotaRejected: t.quotaRejected,
+		InFlightJobs:  t.inFlightJobs,
+		QueuedCost:    t.queuedCost,
+	}
+}

@@ -1,0 +1,233 @@
+package admit
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() *TenantsFile {
+	tf, err := ParseTenants([]byte(`{
+		"anonymous": {"rate": 5, "burst": 2},
+		"tenants": [
+			{"name": "team-a", "key": "ka", "rate": 100, "burst": 10,
+			 "max_concurrent_jobs": 2, "max_queued_cost": 1000},
+			{"name": "team-b", "key": "kb"}
+		]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	return tf
+}
+
+func TestResolve(t *testing.T) {
+	c := New(Config{Tenants: testConfig()})
+	anon, err := c.Resolve("")
+	if err != nil || anon.Name() != AnonymousTenant {
+		t.Fatalf("anonymous resolve: %v %v", anon, err)
+	}
+	a, err := c.Resolve("ka")
+	if err != nil || a.Name() != "team-a" {
+		t.Fatalf("keyed resolve: %v %v", a, err)
+	}
+	if _, err := c.Resolve("nope"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key: %v", err)
+	}
+}
+
+func TestRateLimitAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{Tenants: testConfig(), Now: clk.now})
+	anon := c.Anonymous()
+	// Burst 2: two admits, then a rejection with a refill hint.
+	for i := 0; i < 2; i++ {
+		if rej := anon.AllowRequest(); rej != nil {
+			t.Fatalf("burst admit %d rejected: %v", i, rej)
+		}
+	}
+	rej := anon.AllowRequest()
+	if rej == nil {
+		t.Fatal("third request should be rate limited")
+	}
+	if rej.Code != CodeRateLimited || rej.Status != 429 || rej.Tenant != AnonymousTenant {
+		t.Fatalf("rejection %+v", rej)
+	}
+	// Rate 5/s: one token refills in 200ms.
+	if rej.RetryAfter <= 0 || rej.RetryAfter > 200*time.Millisecond {
+		t.Fatalf("RetryAfter %v, want (0, 200ms]", rej.RetryAfter)
+	}
+	clk.advance(rej.RetryAfter)
+	if rej := anon.AllowRequest(); rej != nil {
+		t.Fatalf("post-refill request rejected: %v", rej)
+	}
+	st := anon.Stats()
+	if st.Admitted != 3 || st.RateLimited != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnlimitedTenant(t *testing.T) {
+	c := New(Config{Tenants: testConfig()})
+	b, _ := c.Resolve("kb")
+	for i := 0; i < 1000; i++ {
+		if rej := b.AllowRequest(); rej != nil {
+			t.Fatalf("unlimited tenant rejected at %d: %v", i, rej)
+		}
+	}
+	if rel, rej := b.AcquireJob(1 << 30); rej != nil {
+		t.Fatalf("unlimited tenant job rejected: %v", rej)
+	} else {
+		rel()
+	}
+}
+
+func TestJobQuotas(t *testing.T) {
+	c := New(Config{Tenants: testConfig()})
+	a, _ := c.Resolve("ka")
+	rel1, rej := a.AcquireJob(400)
+	if rej != nil {
+		t.Fatalf("first job: %v", rej)
+	}
+	// Queued cost 400+700 > 1000: rejected on cost.
+	if _, rej := a.AcquireJob(700); rej == nil || rej.Code != CodeQuotaExceeded {
+		t.Fatalf("cost quota: %+v", rej)
+	}
+	rel2, rej := a.AcquireJob(500)
+	if rej != nil {
+		t.Fatalf("second job: %v", rej)
+	}
+	// Concurrency 2: a third job is rejected even though cost fits.
+	if _, rej := a.AcquireJob(1); rej == nil || rej.Code != CodeQuotaExceeded {
+		t.Fatalf("concurrency quota: %+v", rej)
+	}
+	if st := a.Stats(); st.InFlightJobs != 2 || st.QueuedCost != 900 || st.QuotaRejected != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	if st := a.Stats(); st.InFlightJobs != 0 || st.QueuedCost != 0 {
+		t.Fatalf("stats after release %+v", st)
+	}
+}
+
+// TestConcurrentMultiTenantAdmission is the multi-tenant race test: a
+// chaotic burst across tenants must leave every counter balanced — no
+// leaked job slots, no leaked queued cost — asserted by draining each
+// tenant back to its exact quota afterwards.
+func TestConcurrentMultiTenantAdmission(t *testing.T) {
+	tf, err := ParseTenants([]byte(`{
+		"tenants": [
+			{"name": "t1", "key": "k1", "rate": 100000, "burst": 100000,
+			 "max_concurrent_jobs": 3, "max_queued_cost": 50},
+			{"name": "t2", "key": "k2", "rate": 100000, "burst": 100000,
+			 "max_concurrent_jobs": 5, "max_queued_cost": 100}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Tenants: tf})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := "k1"
+			if i%2 == 0 {
+				key = "k2"
+			}
+			tn, err := c.Resolve(key)
+			if err != nil {
+				t.Errorf("resolve: %v", err)
+				return
+			}
+			for n := 0; n < 500; n++ {
+				tn.AllowRequest()
+				if rel, rej := tn.AcquireJob(1 + n%10); rej == nil {
+					if n%3 == 0 {
+						time.Sleep(time.Microsecond)
+					}
+					rel()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for key, wantJobs := range map[string]int{"k1": 3, "k2": 5} {
+		tn, _ := c.Resolve(key)
+		if st := tn.Stats(); st.InFlightJobs != 0 || st.QueuedCost != 0 {
+			t.Fatalf("tenant %s after burst: %+v, want zero in-flight and cost", key, st)
+		}
+		// Drain to exact capacity: exactly MaxConcurrentJobs slots of
+		// cost 1 must be acquirable, and not one more.
+		var rels []func()
+		for n := 0; n < wantJobs; n++ {
+			rel, rej := tn.AcquireJob(1)
+			if rej != nil {
+				t.Fatalf("tenant %s drain %d/%d: %v (leaked slot)", key, n+1, wantJobs, rej)
+			}
+			rels = append(rels, rel)
+		}
+		if _, rej := tn.AcquireJob(1); rej == nil {
+			t.Fatalf("tenant %s acquired past its quota: minted slot", key)
+		}
+		for _, rel := range rels {
+			rel()
+		}
+	}
+}
+
+func TestControllerStats(t *testing.T) {
+	c := New(Config{Tenants: testConfig()})
+	c.Anonymous().AllowRequest()
+	a, _ := c.Resolve("ka")
+	rel, _ := a.AcquireJob(10)
+	defer rel()
+	st := c.Stats()
+	if len(st.Tenants) != 3 {
+		t.Fatalf("tenants in stats: %d", len(st.Tenants))
+	}
+	if st.Tenants["team-a"].InFlightJobs != 1 || st.Tenants["team-a"].QueuedCost != 10 {
+		t.Fatalf("team-a stats %+v", st.Tenants["team-a"])
+	}
+	if st.Gate.Capacity <= 0 {
+		t.Fatalf("gate stats %+v", st.Gate)
+	}
+}
+
+func TestParseTenantsRejectsBadConfigs(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"tenants": [{"name": "x", "key": "k", "rates": 5}]}`,
+		"missing name":   `{"tenants": [{"key": "k"}]}`,
+		"missing key":    `{"tenants": [{"name": "x"}]}`,
+		"duplicate name": `{"tenants": [{"name": "x", "key": "a"}, {"name": "x", "key": "b"}]}`,
+		"duplicate key":  `{"tenants": [{"name": "x", "key": "a"}, {"name": "y", "key": "a"}]}`,
+		"negative limit": `{"tenants": [{"name": "x", "key": "a", "rate": -1}]}`,
+		"anonymous key":  `{"anonymous": {"key": "a"}}`,
+		"renamed anon":   `{"anonymous": {"name": "root"}}`,
+		"reserved name":  `{"tenants": [{"name": "anonymous", "key": "a"}]}`,
+	}
+	for what, doc := range cases {
+		if _, err := ParseTenants([]byte(doc)); err == nil {
+			t.Errorf("%s accepted: %s", what, doc)
+		}
+	}
+	if _, err := ParseTenants([]byte(`{}`)); err != nil {
+		t.Fatalf("empty config rejected: %v", err)
+	}
+}
+
+func TestRejectionError(t *testing.T) {
+	rej := &Rejection{Status: 429, Code: CodeRateLimited, Message: "slow down"}
+	var target *Rejection
+	if !errors.As(error(rej), &target) {
+		t.Fatal("Rejection must satisfy errors.As")
+	}
+	if !strings.Contains(rej.Error(), "slow down") {
+		t.Fatalf("error text %q", rej.Error())
+	}
+}

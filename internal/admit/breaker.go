@@ -1,0 +1,255 @@
+package admit
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Breaker defaults.
+const (
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// opens a closed breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerBaseCooldown is the first open period; each
+	// consecutive reopen doubles it.
+	DefaultBreakerBaseCooldown = 500 * time.Millisecond
+	// DefaultBreakerMaxCooldown caps the exponential backoff.
+	DefaultBreakerMaxCooldown = 30 * time.Second
+	// DefaultBreakerJitter is the ± fraction of random spread applied
+	// to each cooldown, so a fleet of coordinators doesn't re-probe a
+	// recovering peer in lockstep.
+	DefaultBreakerJitter = 0.2
+)
+
+// BreakerState is a breaker's position in the closed → open →
+// half-open cycle.
+type BreakerState string
+
+// Breaker states.
+const (
+	// BreakerClosed admits every attempt.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen rejects every attempt until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen admits exactly one probe attempt; its outcome
+	// closes or reopens the breaker.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig configures a Breaker. Zero values take defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive failures that open a closed
+	// breaker; 0 means DefaultBreakerThreshold.
+	Threshold int
+	// BaseCooldown is the first open period; 0 means
+	// DefaultBreakerBaseCooldown. Each consecutive reopen doubles the
+	// cooldown up to MaxCooldown.
+	BaseCooldown time.Duration
+	// MaxCooldown caps the backoff; 0 means DefaultBreakerMaxCooldown.
+	MaxCooldown time.Duration
+	// Jitter is the ± fraction applied to each cooldown; 0 means
+	// DefaultBreakerJitter, negative disables jitter (tests).
+	Jitter float64
+	// OnTransition, when non-nil, observes every state change exactly
+	// once per transition (the once-per-transition logging hook). It is
+	// called without the breaker's lock held.
+	OnTransition func(from, to BreakerState, cooldown time.Duration)
+	// Now is the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Rand yields [0,1) for jitter (tests); nil means math/rand/v2.
+	Rand func() float64
+}
+
+// Breaker is a per-peer circuit breaker with exponential-backoff
+// cooldowns and a single-probe half-open state. It is safe for
+// concurrent use. The failure signal is consecutive: any success fully
+// closes the breaker and resets the backoff.
+type Breaker struct {
+	threshold    int
+	baseCooldown time.Duration
+	maxCooldown  time.Duration
+	jitter       float64
+	onTransition func(from, to BreakerState, cooldown time.Duration)
+	now          func() time.Time
+	rand         func() float64
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openings int       // consecutive opens; the backoff exponent
+	until    time.Time // open until (open state)
+	probing  bool      // half-open probe outstanding
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{
+		threshold:    cfg.Threshold,
+		baseCooldown: cfg.BaseCooldown,
+		maxCooldown:  cfg.MaxCooldown,
+		jitter:       cfg.Jitter,
+		onTransition: cfg.OnTransition,
+		now:          cfg.Now,
+		rand:         cfg.Rand,
+		state:        BreakerClosed,
+	}
+	if b.threshold <= 0 {
+		b.threshold = DefaultBreakerThreshold
+	}
+	if b.baseCooldown <= 0 {
+		b.baseCooldown = DefaultBreakerBaseCooldown
+	}
+	if b.maxCooldown <= 0 {
+		b.maxCooldown = DefaultBreakerMaxCooldown
+	}
+	switch {
+	case b.jitter == 0:
+		b.jitter = DefaultBreakerJitter
+	case b.jitter < 0:
+		b.jitter = 0
+	}
+	if b.now == nil {
+		b.now = time.Now
+	}
+	if b.rand == nil {
+		b.rand = rand.Float64
+	}
+	return b
+}
+
+// Allow reports whether an attempt may proceed now. An open breaker
+// whose cooldown has elapsed transitions to half-open and admits
+// exactly one probe; every Allow=true must be matched by Success,
+// Failure, or Abort, or a half-open breaker would wedge.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var tr *transition
+	allowed := false
+	switch b.state {
+	case BreakerClosed:
+		allowed = true
+	case BreakerOpen:
+		if !b.now().Before(b.until) {
+			tr = b.setStateLocked(BreakerHalfOpen, 0)
+			b.probing = true
+			allowed = true
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	tr.notify(b.onTransition)
+	return allowed
+}
+
+// Success records a successful attempt: the breaker closes fully and
+// the backoff resets, whatever state it was in.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openings = 0
+	b.probing = false
+	tr := b.setStateLocked(BreakerClosed, 0)
+	b.mu.Unlock()
+	tr.notify(b.onTransition)
+}
+
+// Failure records a failed attempt. A closed breaker opens at the
+// threshold; a half-open breaker reopens immediately with a doubled
+// cooldown. Failures reported while already open (attempts that were
+// in flight when the breaker tripped) don't extend the cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	var tr *transition
+	switch b.state {
+	case BreakerClosed:
+		if b.fails++; b.fails >= b.threshold {
+			tr = b.openLocked()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		tr = b.openLocked()
+	}
+	b.mu.Unlock()
+	tr.notify(b.onTransition)
+}
+
+// Abort releases a half-open probe slot without a verdict — the
+// attempt died for an unrelated reason (the parent request was
+// cancelled), so the breaker stays half-open and the next Allow may
+// probe again.
+func (b *Breaker) Abort() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// openLocked transitions to open with the next backoff cooldown.
+// Caller holds b.mu.
+func (b *Breaker) openLocked() *transition {
+	b.openings++
+	cd := b.baseCooldown << (b.openings - 1)
+	if b.openings > 30 || cd > b.maxCooldown || cd <= 0 {
+		cd = b.maxCooldown
+	}
+	if b.jitter > 0 {
+		cd = time.Duration(float64(cd) * (1 + b.jitter*(2*b.rand()-1)))
+	}
+	b.until = b.now().Add(cd)
+	b.fails = 0
+	return b.setStateLocked(BreakerOpen, cd)
+}
+
+// transition carries one state change out of the lock to the
+// OnTransition hook.
+type transition struct {
+	from, to BreakerState
+	cooldown time.Duration
+}
+
+func (t *transition) notify(f func(from, to BreakerState, cooldown time.Duration)) {
+	if t != nil && f != nil {
+		f(t.from, t.to, t.cooldown)
+	}
+}
+
+// setStateLocked applies a state change, returning a transition record
+// only when the state actually changed. Caller holds b.mu.
+func (b *Breaker) setStateLocked(to BreakerState, cooldown time.Duration) *transition {
+	if b.state == to {
+		return nil
+	}
+	from := b.state
+	b.state = to
+	return &transition{from: from, to: to, cooldown: cooldown}
+}
+
+// State returns the breaker's current position. It does not advance an
+// elapsed open cooldown — only Allow performs the open → half-open
+// transition — so a reporting read never steals the probe slot.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryIn reports how long until an open breaker admits its probe
+// (zero for closed and half-open breakers, or an elapsed cooldown).
+func (b *Breaker) RetryIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	d := b.until.Sub(b.now())
+	if d < 0 {
+		return 0
+	}
+	return d
+}

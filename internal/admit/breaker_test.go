@@ -1,0 +1,201 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(clk *fakeClock, transitions *[]string) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Threshold:    3,
+		BaseCooldown: 100 * time.Millisecond,
+		MaxCooldown:  time.Second,
+		Jitter:       -1, // deterministic
+		Now:          clk.now,
+		OnTransition: func(from, to BreakerState, _ time.Duration) {
+			if transitions != nil {
+				*transitions = append(*transitions, string(from)+"->"+string(to))
+			}
+		},
+	})
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []string
+	b := newTestBreaker(clk, &transitions)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s below threshold", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure: opens
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after threshold", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt inside the cooldown")
+	}
+	if got := b.RetryIn(); got != 100*time.Millisecond {
+		t.Fatalf("RetryIn %v, want the base cooldown", got)
+	}
+	// Exactly one transition so far, not one per refused attempt.
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions %v", transitions)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbeAndRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []string
+	b := newTestBreaker(clk, &transitions)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("elapsed cooldown should admit a probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s during probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after successful probe", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerBackoffDoublesAndCaps(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	cooldowns := []time.Duration{b.RetryIn()}
+	// Fail each half-open probe: the cooldown must double, capped at 1s.
+	for i := 0; i < 5; i++ {
+		clk.advance(b.RetryIn() + time.Millisecond)
+		if !b.Allow() {
+			t.Fatalf("probe %d refused", i)
+		}
+		b.Failure()
+		cooldowns = append(cooldowns, b.RetryIn())
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i := range want {
+		if cooldowns[i] != want[i] {
+			t.Fatalf("cooldown %d = %v, want %v (%v)", i, cooldowns[i], want[i], cooldowns)
+		}
+	}
+	// A success resets the exponent: the next opening starts from base.
+	clk.advance(2 * time.Second)
+	b.Allow()
+	b.Success()
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	if got := b.RetryIn(); got != 100*time.Millisecond {
+		t.Fatalf("post-recovery cooldown %v, want base", got)
+	}
+}
+
+func TestBreakerAbortFreesProbeSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Abort() // probe died without a verdict (parent cancelled)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s after abort", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("aborted probe slot not freed: breaker wedged half-open")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveFailures(t *testing.T) {
+	b := newTestBreaker(&fakeClock{t: time.Unix(1000, 0)}, nil)
+	for round := 0; round < 5; round++ {
+		b.Failure()
+		b.Failure()
+		b.Success() // never 3 consecutive: must stay closed
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after interleaved successes", b.State())
+	}
+}
+
+func TestBreakerJitterSpreadsCooldown(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := 0.0
+	b := NewBreaker(BreakerConfig{
+		Threshold:    1,
+		BaseCooldown: time.Second,
+		MaxCooldown:  time.Minute,
+		Jitter:       0.2,
+		Now:          clk.now,
+		Rand:         func() float64 { return r },
+	})
+	b.Failure() // rand 0 → -20%
+	if got := b.RetryIn(); got != 800*time.Millisecond {
+		t.Fatalf("cooldown %v, want 800ms at rand=0", got)
+	}
+	clk.advance(time.Second)
+	b.Allow()
+	r = 1.0
+	b.Failure() // doubled base ×(1+0.2) = 2.4s
+	if got := b.RetryIn(); got != 2400*time.Millisecond {
+		t.Fatalf("cooldown %v, want 2.4s at rand=1", got)
+	}
+}

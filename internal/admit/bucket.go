@@ -1,0 +1,57 @@
+package admit
+
+import "time"
+
+// bucket is a continuous-refill token bucket. It is not self-locking:
+// the owning Tenant serializes access under its own mutex, which keeps
+// one lock acquisition per admission decision.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket builds a bucket that starts full. A non-positive rate
+// disables limiting; a non-positive burst with a positive rate gets a
+// one-second burst window (rate tokens), never less than one token —
+// a bucket that can't hold one token admits nothing.
+func newBucket(rate float64, burst int) bucket {
+	b := bucket{rate: rate, burst: float64(burst)}
+	if rate > 0 && b.burst <= 0 {
+		b.burst = rate
+	}
+	if rate > 0 && b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst
+	return b
+}
+
+// take removes n tokens at time now. On refusal it reports how long
+// until n tokens will have refilled — the Retry-After hint.
+func (b *bucket) take(now time.Time, n float64) (bool, time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	// A clock that moves backwards (or stands still) simply doesn't
+	// refill; last only ever advances.
+	if now.After(b.last) {
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	wait := time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,332 @@
+package admit
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Gate defaults.
+const (
+	// DefaultMaxWait bounds how long an impatient request waits for an
+	// evaluation slot before being shed.
+	DefaultMaxWait = time.Second
+	// defaultMinConcurrent floors the derived concurrency bound so
+	// small machines still overlap I/O with evaluation.
+	defaultMinConcurrent = 16
+)
+
+// GateConfig configures a Gate. Zero values take defaults.
+type GateConfig struct {
+	// MaxConcurrent bounds concurrently admitted units of work;
+	// 0 means max(16, 4×GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds waiting impatient requests before the gate sheds;
+	// 0 means 2×MaxConcurrent, negative disables queueing entirely
+	// (immediate shed once the slots are full).
+	MaxQueue int
+	// MaxWait bounds one impatient request's time in the queue;
+	// 0 means DefaultMaxWait.
+	MaxWait time.Duration
+}
+
+// Gate is the server-wide admission gate: a fixed number of
+// concurrency slots, a bounded waiter queue, and explicit shedding.
+//
+// Two admission disciplines share the slots. Acquire is for
+// synchronous requests: bounded queue, bounded wait, and under
+// overload the *newest* waiter is granted first (adaptive LIFO) while
+// stale waiters age out and shed — latency for admitted requests stays
+// near the uncontended floor, and the queue can't silently turn into
+// an unbounded latency reservoir. When the queue is full, shedding is
+// cost-aware: a cheap arrival evicts the most expensive waiter rather
+// than being dropped itself, so one giant sweep can't starve a stream
+// of small queries. AcquirePatient is for background job runners:
+// FIFO, no wait bound, no queue bound, served only when no synchronous
+// request is waiting — jobs soak up idle capacity without competing
+// with interactive traffic.
+type Gate struct {
+	capacity int
+	maxQueue int
+	maxWait  time.Duration
+
+	mu      sync.Mutex
+	inUse   int
+	queue   []*gateWaiter // impatient; append at tail, grant from tail
+	patient []*gateWaiter // background; append at tail, grant from head
+
+	admitted     uint64
+	shedQueue    uint64
+	shedWait     uint64
+	shedEvicted  uint64
+	queuedPeak   int
+	inFlightPeak int
+}
+
+// gateWaiter is one parked acquirer. ready is buffered so a grant or
+// eviction never blocks on a waiter that is timing out concurrently.
+type gateWaiter struct {
+	ready chan bool // true = slot granted, false = evicted
+	cost  int
+}
+
+// NewGate builds a gate.
+func NewGate(cfg GateConfig) *Gate {
+	capacity := cfg.MaxConcurrent
+	if capacity <= 0 {
+		capacity = 4 * runtime.GOMAXPROCS(0)
+		if capacity < defaultMinConcurrent {
+			capacity = defaultMinConcurrent
+		}
+	}
+	maxQueue := cfg.MaxQueue
+	switch {
+	case maxQueue == 0:
+		maxQueue = 2 * capacity
+	case maxQueue < 0:
+		maxQueue = 0
+	}
+	maxWait := cfg.MaxWait
+	if maxWait <= 0 {
+		maxWait = DefaultMaxWait
+	}
+	return &Gate{capacity: capacity, maxQueue: maxQueue, maxWait: maxWait}
+}
+
+// Capacity returns the gate's concurrency bound.
+func (g *Gate) Capacity() int { return g.capacity }
+
+// shedRejection builds the 503 the service sends for a shed request.
+func (g *Gate) shedRejection() *Rejection {
+	return &Rejection{
+		Status:     503,
+		Code:       CodeOverloaded,
+		Message:    "server is at capacity; request shed",
+		RetryAfter: g.maxWait,
+	}
+}
+
+// Acquire claims one slot for a synchronous request of the given cost
+// (its estimated spec count). It returns an idempotent release that
+// must be called when the work finishes, or an error: a *Rejection
+// when the request was shed (queue full, wait bound, or evicted by a
+// cheaper arrival), otherwise the context's own error. A nil error
+// always comes with a non-nil release.
+func (g *Gate) Acquire(ctx context.Context, cost int) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	if g.inUse < g.capacity {
+		g.grantLocked()
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	}
+	if len(g.queue) >= g.maxQueue {
+		// Queue full: cost-aware shed. If some waiter is strictly more
+		// expensive than this arrival, evict it and take its place —
+		// cheap requests survive overload; otherwise shed the arrival.
+		vi := -1
+		for i, w := range g.queue {
+			if w.cost > cost && (vi < 0 || w.cost > g.queue[vi].cost) {
+				vi = i
+			}
+		}
+		if vi < 0 {
+			g.shedQueue++
+			g.mu.Unlock()
+			return nil, g.shedRejection()
+		}
+		victim := g.queue[vi]
+		g.queue = append(g.queue[:vi], g.queue[vi+1:]...)
+		g.shedEvicted++
+		victim.ready <- false
+	}
+	w := &gateWaiter{ready: make(chan bool, 1), cost: cost}
+	g.queue = append(g.queue, w)
+	if q := len(g.queue); q > g.queuedPeak {
+		g.queuedPeak = q
+	}
+	g.mu.Unlock()
+
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case ok := <-w.ready:
+		if !ok {
+			return nil, g.shedRejection()
+		}
+		return g.releaseFunc(), nil
+	case <-timer.C:
+		return g.abandon(w, nil)
+	case <-ctx.Done():
+		return g.abandon(w, ctx.Err())
+	}
+}
+
+// abandon removes a waiter that stopped waiting (timeout when ctxErr
+// is nil, context death otherwise), racing a concurrent grant or
+// eviction: if the waiter already left the queue, its ready value is
+// guaranteed to arrive, and a granted slot is kept (timeout) or
+// released (dead context) rather than leaked.
+func (g *Gate) abandon(w *gateWaiter, ctxErr error) (func(), error) {
+	g.mu.Lock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			if ctxErr == nil {
+				g.shedWait++
+			}
+			g.mu.Unlock()
+			if ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, g.shedRejection()
+		}
+	}
+	g.mu.Unlock()
+	if ok := <-w.ready; ok {
+		if ctxErr != nil {
+			// The slot arrived just as the caller's context died; hand it
+			// straight back so it is never leaked.
+			g.release()
+			return nil, ctxErr
+		}
+		// The slot arrived as the wait bound fired: use it. Shedding a
+		// request that already holds capacity would waste the grant.
+		return g.releaseFunc(), nil
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return nil, g.shedRejection()
+}
+
+// AcquirePatient claims one slot for a background job runner: FIFO,
+// exempt from the queue bound and the wait bound, served only when no
+// synchronous request is waiting. It fails only when ctx dies.
+func (g *Gate) AcquirePatient(ctx context.Context, cost int) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	if g.inUse < g.capacity {
+		g.grantLocked()
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	}
+	w := &gateWaiter{ready: make(chan bool, 1), cost: cost}
+	g.patient = append(g.patient, w)
+	g.mu.Unlock()
+	select {
+	case <-w.ready: // patient waiters are never evicted: always true
+		return g.releaseFunc(), nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, q := range g.patient {
+			if q == w {
+				g.patient = append(g.patient[:i], g.patient[i+1:]...)
+				g.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		g.mu.Unlock()
+		<-w.ready // grant already in flight; hand the slot back
+		g.release()
+		return nil, ctx.Err()
+	}
+}
+
+// grantLocked takes a free slot. Caller holds g.mu.
+func (g *Gate) grantLocked() {
+	g.inUse++
+	g.admitted++
+	if g.inUse > g.inFlightPeak {
+		g.inFlightPeak = g.inUse
+	}
+}
+
+// releaseFunc wraps release in a sync.Once so double-release bugs in
+// callers can never mint capacity.
+func (g *Gate) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(g.release) }
+}
+
+// release hands the slot to the newest impatient waiter (LIFO — the
+// freshest request has the most patience budget left and the liveliest
+// client), then to the oldest patient waiter, and only then back to
+// the free pool.
+func (g *Gate) release() {
+	g.mu.Lock()
+	if n := len(g.queue); n > 0 {
+		w := g.queue[n-1]
+		g.queue = g.queue[:n-1]
+		g.admitted++
+		g.mu.Unlock()
+		w.ready <- true
+		return
+	}
+	if len(g.patient) > 0 {
+		w := g.patient[0]
+		g.patient = g.patient[1:]
+		g.admitted++
+		g.mu.Unlock()
+		w.ready <- true
+		return
+	}
+	g.inUse--
+	g.mu.Unlock()
+}
+
+// GateStats is the gate's metrics snapshot.
+type GateStats struct {
+	// Capacity is the concurrency bound.
+	Capacity int `json:"capacity"`
+	// InFlight is the currently admitted unit count.
+	InFlight int `json:"in_flight"`
+	// InFlightPeak is the high-water mark of InFlight.
+	InFlightPeak int `json:"in_flight_peak"`
+	// Queued is the current impatient + patient waiter count.
+	Queued int `json:"queued"`
+	// QueuedPeak is the high-water mark of the impatient queue.
+	QueuedPeak int `json:"queued_peak"`
+	// Admitted counts slot grants.
+	Admitted uint64 `json:"admitted"`
+	// ShedQueueFull counts arrivals shed because the queue was full.
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	// ShedWaitExpired counts waiters shed at the wait bound.
+	ShedWaitExpired uint64 `json:"shed_wait_expired"`
+	// ShedEvicted counts expensive waiters evicted by cheaper arrivals.
+	ShedEvicted uint64 `json:"shed_evicted"`
+}
+
+// Sheds sums every shed class.
+func (s GateStats) Sheds() uint64 {
+	return s.ShedQueueFull + s.ShedWaitExpired + s.ShedEvicted
+}
+
+// String renders the snapshot for logs.
+func (s GateStats) String() string {
+	return fmt.Sprintf("capacity=%d in_flight=%d queued=%d admitted=%d sheds=%d",
+		s.Capacity, s.InFlight, s.Queued, s.Admitted, s.Sheds())
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{
+		Capacity:        g.capacity,
+		InFlight:        g.inUse,
+		InFlightPeak:    g.inFlightPeak,
+		Queued:          len(g.queue) + len(g.patient),
+		QueuedPeak:      g.queuedPeak,
+		Admitted:        g.admitted,
+		ShedQueueFull:   g.shedQueue,
+		ShedWaitExpired: g.shedWait,
+		ShedEvicted:     g.shedEvicted,
+	}
+}

@@ -1,0 +1,271 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, g *Gate, cost int) func() {
+	t.Helper()
+	release, err := g.Acquire(context.Background(), cost)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	return release
+}
+
+func TestGateFastPathAndRelease(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 2, MaxQueue: -1})
+	r1 := mustAcquire(t, g, 1)
+	r2 := mustAcquire(t, g, 1)
+	if _, err := g.Acquire(context.Background(), 1); err == nil {
+		t.Fatal("third acquire should shed with no queue")
+	}
+	r1()
+	r1() // idempotent: a double release must not mint capacity
+	r3 := mustAcquire(t, g, 1)
+	r2()
+	r3()
+	if st := g.Stats(); st.InFlight != 0 || st.Admitted != 3 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestGateShedsAtWaitBound(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: 30 * time.Millisecond})
+	release := mustAcquire(t, g, 1)
+	defer release()
+	start := time.Now()
+	_, err := g.Acquire(context.Background(), 1)
+	var rej *Rejection
+	if !errors.As(err, &rej) {
+		t.Fatalf("want *Rejection, got %v", err)
+	}
+	if rej.Code != CodeOverloaded || rej.Status != 503 {
+		t.Fatalf("rejection %+v", rej)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("shed rejection has no Retry-After hint: %+v", rej)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("shed after only %v, want the wait bound honored", waited)
+	}
+	if st := g.Stats(); st.ShedWaitExpired != 1 || st.Queued != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestGateLIFOGrantsNewestFirst(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 8, MaxWait: time.Second})
+	hold := mustAcquire(t, g, 1)
+
+	type outcome struct {
+		order int
+		err   error
+	}
+	results := make(chan outcome, 2)
+	acquireAsync := func(order int) {
+		go func() {
+			release, err := g.Acquire(context.Background(), 1)
+			if err == nil {
+				defer release()
+			}
+			results <- outcome{order: order, err: err}
+		}()
+	}
+	acquireAsync(1)
+	waitQueued(t, g, 1)
+	acquireAsync(2)
+	waitQueued(t, g, 2)
+	hold() // one slot frees: the NEWER waiter (2) must get it
+	first := <-results
+	if first.order != 2 || first.err != nil {
+		t.Fatalf("first grant went to waiter %d (err %v), want the newest (2)", first.order, first.err)
+	}
+	second := <-results
+	if second.err != nil {
+		t.Fatalf("older waiter should be granted once the slot frees again: %v", second.err)
+	}
+}
+
+func TestGateCostAwareEviction(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 1, MaxWait: 2 * time.Second})
+	hold := mustAcquire(t, g, 1)
+	defer hold()
+
+	expensiveErr := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background(), 1000)
+		expensiveErr <- err
+	}()
+	waitQueued(t, g, 1)
+	// A cheap arrival finds the queue full; the expensive waiter must be
+	// evicted in its favor, not the cheap one shed.
+	cheapDone := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background(), 1)
+		cheapDone <- err
+	}()
+	var rej *Rejection
+	if err := <-expensiveErr; !errors.As(err, &rej) {
+		t.Fatalf("expensive waiter: want eviction *Rejection, got %v", err)
+	}
+	// An equally cheap second arrival must be shed itself, not evict.
+	_, err := g.Acquire(context.Background(), 1)
+	if !errors.As(err, &rej) {
+		t.Fatalf("equal-cost arrival: want *Rejection, got %v", err)
+	}
+	st := g.Stats()
+	if st.ShedEvicted != 1 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats %+v, want one eviction and one queue-full shed", st)
+	}
+	hold()
+	if err := <-cheapDone; err != nil {
+		t.Fatalf("surviving cheap waiter: %v", err)
+	}
+}
+
+func TestGatePatientServedAfterImpatient(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: time.Second})
+	hold := mustAcquire(t, g, 1)
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		release, err := g.AcquirePatient(context.Background(), 1)
+		if err != nil {
+			t.Errorf("patient: %v", err)
+			return
+		}
+		order <- "patient"
+		release()
+	}()
+	waitQueued(t, g, 1)
+	go func() {
+		defer wg.Done()
+		release, err := g.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("impatient: %v", err)
+			return
+		}
+		order <- "impatient"
+		release()
+	}()
+	waitQueued(t, g, 2)
+	hold()
+	wg.Wait()
+	if first := <-order; first != "impatient" {
+		t.Fatalf("first grant went to %q, want the impatient waiter", first)
+	}
+}
+
+func TestGatePatientCancellation(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 4})
+	hold := mustAcquire(t, g, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.AcquirePatient(ctx, 1)
+		errCh <- err
+	}()
+	waitQueued(t, g, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	hold()
+	if st := g.Stats(); st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("stats %+v after cancelled patient waiter", st)
+	}
+}
+
+func TestGateAcquireContextAlreadyDead(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := g.AcquirePatient(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestGateChaoticBurstDrainsToExactCapacity is the no-token-leak
+// property test: a racing burst of acquires (mixed costs, timeouts,
+// cancellations, evictions) must leave the gate with exactly zero
+// in-flight slots once every winner has released — asserted by
+// draining the gate back to its exact capacity afterwards.
+func TestGateChaoticBurstDrainsToExactCapacity(t *testing.T) {
+	const capacity = 4
+	g := NewGate(GateConfig{MaxConcurrent: capacity, MaxQueue: 8, MaxWait: 10 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%5 == 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(rand.IntN(8))*time.Millisecond)
+				defer cancel()
+			}
+			cost := 1 << (i % 10) // mixed costs drive the eviction path
+			var release func()
+			var err error
+			if i%7 == 0 {
+				release, err = g.AcquirePatient(ctx, cost)
+			} else {
+				release, err = g.Acquire(ctx, cost)
+			}
+			if err != nil {
+				return
+			}
+			time.Sleep(time.Duration(rand.IntN(3)) * time.Millisecond)
+			release()
+		}(i)
+	}
+	wg.Wait()
+	if st := g.Stats(); st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("after burst: %+v, want zero in flight and zero queued", st)
+	}
+	// Drain: exactly capacity slots must be immediately acquirable, and
+	// not one more.
+	releases := make([]func(), 0, capacity)
+	for i := 0; i < capacity; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		release, err := g.Acquire(ctx, 1)
+		cancel()
+		if err != nil {
+			t.Fatalf("drain acquire %d/%d failed (%v): leaked slot", i+1, capacity, err)
+		}
+		releases = append(releases, release)
+	}
+	if _, err := g.Acquire(context.Background(), 1); err == nil {
+		t.Fatal("acquired past capacity: minted slot")
+	}
+	for _, r := range releases {
+		r()
+	}
+	if st := g.Stats(); st.InFlight != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+// waitQueued spins until the gate reports n queued waiters.
+func waitQueued(t *testing.T, g *Gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, g.Stats().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

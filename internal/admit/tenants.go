@@ -1,0 +1,131 @@
+package admit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// AnonymousTenant is the name of the default tier every request
+// without an API key resolves to.
+const AnonymousTenant = "anonymous"
+
+// Limits is one tenant's admission limits. Zero values mean unlimited
+// — absence of a limit, not absence of service.
+type Limits struct {
+	// RatePerSec is the token-bucket refill rate in requests/second.
+	RatePerSec float64
+	// Burst is the bucket capacity (peak back-to-back requests);
+	// 0 with a positive rate defaults to one second's worth.
+	Burst int
+	// MaxConcurrentJobs bounds resident submitted v2 jobs.
+	MaxConcurrentJobs int
+	// MaxQueuedCost bounds the summed estimated spec count of the
+	// tenant's resident jobs.
+	MaxQueuedCost int
+}
+
+// TenantConfig is one tenant entry in the -tenants file.
+type TenantConfig struct {
+	// Name identifies the tenant in metrics, logs, and error bodies.
+	Name string `json:"name"`
+	// Key is the API key (Authorization: Bearer <key> or X-API-Key)
+	// that resolves to this tenant. Required for named tenants, absent
+	// for the anonymous entry.
+	Key string `json:"key,omitempty"`
+	// Rate is the request rate limit in requests/second (0 =
+	// unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket capacity (0 = one second's worth).
+	Burst int `json:"burst,omitempty"`
+	// MaxConcurrentJobs bounds resident v2 jobs (0 = unlimited).
+	MaxConcurrentJobs int `json:"max_concurrent_jobs,omitempty"`
+	// MaxQueuedCost bounds the summed estimated spec count of resident
+	// jobs (0 = unlimited).
+	MaxQueuedCost int `json:"max_queued_cost,omitempty"`
+}
+
+// Limits extracts the config's limit set.
+func (tc TenantConfig) Limits() Limits {
+	return Limits{
+		RatePerSec:        tc.Rate,
+		Burst:             tc.Burst,
+		MaxConcurrentJobs: tc.MaxConcurrentJobs,
+		MaxQueuedCost:     tc.MaxQueuedCost,
+	}
+}
+
+// TenantsFile is the -tenants config file shape:
+//
+//	{
+//	  "anonymous": {"rate": 50, "burst": 100, "max_concurrent_jobs": 8},
+//	  "tenants": [
+//	    {"name": "team-a", "key": "ta-8c1...", "rate": 200, "burst": 400,
+//	     "max_concurrent_jobs": 32, "max_queued_cost": 100000}
+//	  ]
+//	}
+//
+// The anonymous entry limits keyless requests; omitting it leaves them
+// unlimited (the admission gate still applies). See docs/operations.md.
+type TenantsFile struct {
+	// Anonymous limits keyless requests; nil means unlimited.
+	Anonymous *TenantConfig `json:"anonymous,omitempty"`
+	// Tenants are the keyed tenants.
+	Tenants []TenantConfig `json:"tenants,omitempty"`
+}
+
+// ParseTenants decodes and validates a tenants config document.
+// Unknown fields are rejected: a misspelled limit silently becoming
+// "unlimited" is exactly the failure mode a quota file must not have.
+func ParseTenants(data []byte) (*TenantsFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var tf TenantsFile
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("admit: parse tenants config: %w", err)
+	}
+	if tf.Anonymous != nil {
+		if tf.Anonymous.Key != "" {
+			return nil, fmt.Errorf("admit: the anonymous entry must not have a key")
+		}
+		if tf.Anonymous.Name != "" && tf.Anonymous.Name != AnonymousTenant {
+			return nil, fmt.Errorf("admit: the anonymous entry must not be renamed (got %q)", tf.Anonymous.Name)
+		}
+	}
+	names := map[string]bool{AnonymousTenant: true}
+	keys := map[string]bool{}
+	for i, tc := range tf.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("admit: tenant %d has no name", i)
+		}
+		if tc.Key == "" {
+			return nil, fmt.Errorf("admit: tenant %q has no key", tc.Name)
+		}
+		if names[tc.Name] {
+			return nil, fmt.Errorf("admit: duplicate tenant name %q", tc.Name)
+		}
+		if keys[tc.Key] {
+			return nil, fmt.Errorf("admit: tenant %q reuses another tenant's key", tc.Name)
+		}
+		if tc.Rate < 0 || tc.Burst < 0 || tc.MaxConcurrentJobs < 0 || tc.MaxQueuedCost < 0 {
+			return nil, fmt.Errorf("admit: tenant %q has a negative limit", tc.Name)
+		}
+		names[tc.Name] = true
+		keys[tc.Key] = true
+	}
+	return &tf, nil
+}
+
+// LoadTenantsFile reads and parses a -tenants config file.
+func LoadTenantsFile(path string) (*TenantsFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("admit: read tenants config: %w", err)
+	}
+	tf, err := ParseTenants(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return tf, nil
+}

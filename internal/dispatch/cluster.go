@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"optspeed/internal/admit"
 )
 
 // PeerStatus is one peer's health snapshot: the rolling shard ledger
@@ -27,6 +29,12 @@ type PeerStatus struct {
 	// LastErrorAt timestamps LastError (nil when it never fired —
 	// omitempty does not elide zero time.Time structs, a pointer does).
 	LastErrorAt *time.Time `json:"last_error_at,omitempty"`
+	// Breaker is the peer's circuit-breaker state: "closed", "open",
+	// or "half-open".
+	Breaker string `json:"breaker"`
+	// BreakerRetryInMs is how long until an open breaker next admits a
+	// probe attempt (0 when closed or the cooldown already elapsed).
+	BreakerRetryInMs float64 `json:"breaker_retry_in_ms,omitempty"`
 }
 
 // ClusterStatus is the coordinator's view of its worker fleet.
@@ -57,7 +65,17 @@ func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
 		wg.Add(1)
 		go func(i int, p *peerState) {
 			defer wg.Done()
-			healthy, rtt, probeErr := d.probe(ctx, p.url)
+			// The probe's leash follows the breaker: a peer already
+			// known bad gets the short timeout, so a status read never
+			// stalls two seconds behind each black-holed peer.
+			timeout := DefaultProbeTimeout
+			if p.breaker.State() != admit.BreakerClosed {
+				timeout = DefaultProbeTimeoutDegraded
+			}
+			healthy, rtt, probeErr := d.probe(ctx, p.url, timeout)
+			if ctx.Err() == nil {
+				d.recordProbe(p, healthy)
+			}
 			p.mu.Lock()
 			ps := PeerStatus{
 				URL:          p.url,
@@ -75,6 +93,8 @@ func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
 			if probeErr != nil && ps.LastError == "" {
 				ps.LastError = probeErr.Error()
 			}
+			ps.Breaker = string(p.breaker.State())
+			ps.BreakerRetryInMs = float64(p.breaker.RetryIn()) / float64(time.Millisecond)
 			st.Peers[i] = ps
 		}(i, p)
 	}
@@ -82,9 +102,25 @@ func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
 	return st
 }
 
+// recordProbe feeds a health-probe verdict into the peer's breaker. A
+// success matters only to a non-closed breaker — it re-admits an
+// ejected peer without waiting for a sweep to chance by — while a
+// closed breaker ignores it so a liveness blip cannot mask real shard
+// failures' consecutive count. A failure always counts: three dead
+// probes eject a peer before any sweep wastes an attempt on it.
+func (d *Dispatcher) recordProbe(p *peerState, healthy bool) {
+	if healthy {
+		if p.breaker.State() != admit.BreakerClosed {
+			p.breaker.Success()
+		}
+		return
+	}
+	p.breaker.Failure()
+}
+
 // probe checks one peer's liveness endpoint.
-func (d *Dispatcher) probe(ctx context.Context, base string) (bool, time.Duration, error) {
-	ctx, cancel := context.WithTimeout(ctx, DefaultProbeTimeout)
+func (d *Dispatcher) probe(ctx context.Context, base string, timeout time.Duration) (bool, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {

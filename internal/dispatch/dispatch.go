@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"optspeed/internal/admit"
 	"optspeed/internal/sweep"
 )
 
@@ -37,8 +38,15 @@ const (
 	DefaultMaxInFlightPerPeer = 2
 	// DefaultShardTimeout bounds one shard attempt end to end.
 	DefaultShardTimeout = 2 * time.Minute
-	// DefaultProbeTimeout bounds one peer health probe.
+	// DefaultProbeTimeout bounds one health probe of a peer whose
+	// breaker is closed (a healthy peer answers /healthz in
+	// microseconds; 2s is generous).
 	DefaultProbeTimeout = 2 * time.Second
+	// DefaultProbeTimeoutDegraded bounds one health probe of a peer
+	// whose breaker is open or half-open: the probe cadence follows the
+	// breaker — a peer already known bad gets a short leash, so a
+	// cluster-status read never stalls behind a black-holed peer.
+	DefaultProbeTimeoutDegraded = 500 * time.Millisecond
 )
 
 // Request is the work one dispatch call evaluates — the same
@@ -111,11 +119,18 @@ type Options struct {
 	HTTPClient *http.Client
 	// Logger receives shard failure and fallback events; nil disables.
 	Logger *slog.Logger
+	// Breaker configures the per-peer circuit breakers (zero values
+	// take the admit package defaults: 3 consecutive failures open,
+	// 500ms cooldown doubling to 30s with ±20% jitter, single-probe
+	// half-open).
+	Breaker admit.BreakerConfig
 }
 
-// peerState is one peer's rolling health ledger.
+// peerState is one peer's rolling health ledger plus its circuit
+// breaker.
 type peerState struct {
-	url string
+	url     string
+	breaker *admit.Breaker
 
 	mu        sync.Mutex
 	shardsOK  int
@@ -200,7 +215,19 @@ func New(opts Options) *Dispatcher {
 		logger:       opts.Logger,
 	}
 	for _, u := range opts.Peers {
-		d.peers = append(d.peers, &peerState{url: u})
+		url := u
+		bc := opts.Breaker
+		userHook := bc.OnTransition
+		bc.OnTransition = func(from, to admit.BreakerState, cooldown time.Duration) {
+			if d.logger != nil {
+				d.logger.Warn("peer breaker transition",
+					"peer", url, "from", string(from), "to", string(to), "cooldown", cooldown)
+			}
+			if userHook != nil {
+				userHook(from, to, cooldown)
+			}
+		}
+		d.peers = append(d.peers, &peerState{url: u, breaker: admit.NewBreaker(bc)})
 	}
 	return d
 }
@@ -359,8 +386,8 @@ func (d *Dispatcher) emitChunks(ctx context.Context, out chan<- *sweep.Chunk, re
 }
 
 // runShard drives one shard to completion: peers in rotation order
-// first (each at most once, skipping any that already failed this
-// shard), then the local engine. It returns the shard's results in
+// first (each at most once, skipping any whose circuit breaker is
+// open), then the local engine. It returns the shard's results in
 // local index order, or nil if the context died first. Results
 // accepted from a failed attempt are kept — they are valid
 // evaluations — and the replacement peer's duplicate deliveries are
@@ -369,21 +396,35 @@ func (d *Dispatcher) emitChunks(ctx context.Context, out chan<- *sweep.Chunk, re
 func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardDone)) []sweep.Result {
 	acc := newShardAccumulator(sh)
 	attempts := 0
+	var last *peerState
 	for i := 0; i < len(d.peers) && acc.missing() > 0; i++ {
 		if ctx.Err() != nil {
 			return nil
 		}
 		peer := d.peers[(sh.index+i)%len(d.peers)]
+		if !peer.breaker.Allow() {
+			// Open breaker: skip without consuming an attempt. Only
+			// genuine contact with a peer counts toward the retry
+			// stats, and an ejected peer costs the shard nothing.
+			continue
+		}
 		attempts++
+		last = peer
 		err := d.fetchShard(ctx, peer, sh, acc)
 		if err == nil {
 			peer.ok()
+			peer.breaker.Success()
 			break
 		}
 		if ctx.Err() != nil {
+			// The parent died mid-attempt: the failure says nothing
+			// about the peer's health, so free a half-open probe slot
+			// instead of reopening the breaker.
+			peer.breaker.Abort()
 			return nil
 		}
 		peer.fail(err, time.Now())
+		peer.breaker.Failure()
 		if d.logger != nil {
 			d.logger.Warn("shard attempt failed",
 				"shard", sh.index, "peer", peer.url, "attempt", attempts, "error", err)
@@ -411,8 +452,8 @@ func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardD
 			acc.accept(results[i].Index-sh.start, results[i])
 		}
 		retried = attempts > 0
-	} else if attempts > 0 {
-		doneVia = d.peers[(sh.index+attempts-1)%len(d.peers)].url
+	} else if last != nil {
+		doneVia = last.url
 	}
 	if retried {
 		d.mu.Lock()

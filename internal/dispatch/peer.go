@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"optspeed/internal/core"
 	"optspeed/internal/sweep"
@@ -112,6 +113,12 @@ func (d *Dispatcher) fetchShard(ctx context.Context, peer *peerState, sh shard, 
 	// ask the peer to let net/http coalesce lines into full frames
 	// instead of flushing per chunk.
 	req.Header.Set("X-Stream-Flush", "batch")
+	// Propagate the attempt's deadline (the parent request's, capped by
+	// the shard timeout) so the peer stops evaluating the moment the
+	// coordinator would discard its results anyway.
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set("X-Request-Deadline", dl.UTC().Format(time.RFC3339Nano))
+	}
 	resp, err := d.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dispatch: shard post: %w", err)

@@ -78,6 +78,21 @@ type Request struct {
 	Kind  Kind
 	Specs []sweep.Spec
 	Space *sweep.Space
+	// OnDone, when non-nil, is called exactly once when the job leaves
+	// the system (terminal transition) — the hook the service releases
+	// per-tenant quota reservations through. It is not persisted: a
+	// recovered job's quota reservation died with the old process.
+	OnDone func() `json:"-"`
+}
+
+// Size is the request's estimated evaluation cost in specs — the
+// admission-control cost estimate (saturating for overflowing spaces,
+// which validation rejects upstream).
+func (r Request) Size() int {
+	if r.Space != nil {
+		return r.Space.Size()
+	}
+	return len(r.Specs)
 }
 
 // Snapshot is a point-in-time copy of a job's externally visible state.

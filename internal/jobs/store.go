@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"optspeed/internal/admit"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/sweep"
 )
@@ -71,6 +72,12 @@ type Options struct {
 	// Logger receives persistence warnings (snapshot failures); nil
 	// discards them.
 	Logger *slog.Logger
+	// Gate is the server-wide admission gate job runners acquire an
+	// evaluation slot from before touching the engine (as patient
+	// waiters: unbounded FIFO wait, served when no synchronous request
+	// is queued). nil runs jobs unthrottled — library embedders and
+	// pre-admission behavior.
+	Gate *admit.Gate
 	// Now is the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -94,6 +101,7 @@ type Store struct {
 	snapshotGap time.Duration
 	persister   Persister
 	logger      *slog.Logger
+	gate        *admit.Gate
 	now         func() time.Time
 
 	// persistMu orders mutations against snapshots: every
@@ -156,6 +164,7 @@ func NewStore(opts Options) *Store {
 		snapshotGap: snapEvery,
 		persister:   opts.Persister,
 		logger:      opts.Logger,
+		gate:        opts.Gate,
 		now:         now,
 		jobs:        make(map[string]*Job),
 		stop:        make(chan struct{}),
@@ -338,6 +347,31 @@ func (s *Store) Submit(req Request) (Snapshot, error) {
 // before recycling, so the log never references pooled memory.
 func (s *Store) run(ctx context.Context, j *Job, req Request) {
 	defer j.cancel() // release the context's resources
+	if req.OnDone != nil {
+		// The quota-release hook fires exactly once, after the terminal
+		// transition below (every path through run ends terminal).
+		defer req.OnDone()
+	}
+	if s.gate != nil {
+		// Jobs wait patiently for an evaluation slot: they never shed
+		// (the tenant quota already bounded what got in) and never
+		// compete with queued synchronous requests.
+		release, err := s.gate.AcquirePatient(ctx, req.Size())
+		if err != nil {
+			// Cancelled (or the store closed) while still queued.
+			now := s.now()
+			s.withPersist(func() {
+				j.start(now, 0)
+				j.finish(now, s.ttl, StateCancelled, "cancelled before evaluation started")
+				s.record(func(p Persister) {
+					p.Started(j.id, now, 0)
+					p.Finished(j.id, StateCancelled, "cancelled before evaluation started", now)
+				})
+			})
+			return
+		}
+		defer release()
+	}
 	opened, err := s.open(ctx, req, j.shardDone)
 	if err != nil {
 		now := s.now()

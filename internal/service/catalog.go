@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"optspeed/internal/admit"
 	"optspeed/internal/core"
 	"optspeed/internal/stencil"
 	"optspeed/internal/store"
@@ -30,18 +31,23 @@ func (s *Server) handleArchitectures(w http.ResponseWriter, r *http.Request) {
 
 // MetricsResponse reports per-endpoint latency and engine counters.
 // Persistence appears only on servers running with a durable store.
+// Admission is the overload-protection block: the gate's capacity,
+// in-flight, and shed counters plus every tenant's admission stats.
 type MetricsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Engine        sweep.Stats                 `json:"engine"`
+	Admission     *admit.Stats                `json:"admission,omitempty"`
 	Persistence   *store.Stats                `json:"persistence,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	adm := s.admission.Stats()
 	resp := MetricsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Endpoints:     s.metrics.snapshot(),
 		Engine:        s.engine.Stats(),
+		Admission:     &adm,
 	}
 	if s.persistence != nil {
 		stats := s.persistence.Stats()

@@ -115,6 +115,10 @@ func storeProblem(err error) *requestProblem {
 // the pending job resource immediately; evaluation proceeds detached
 // from this request.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
 	var req JobSubmitRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
 		prob.writeV2(s, w, r)
@@ -150,8 +154,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			"provide a sweep or optimize payload")
 		return
 	}
+	// Reserve the tenant's job quota for the job's whole lifetime: the
+	// release rides the request as OnDone, fired exactly once when the
+	// job reaches a terminal state (or below, if submission fails).
+	release, rej := tenant.AcquireJob(jreq.Size())
+	if rej != nil {
+		s.writeRejection(w, r, rej)
+		return
+	}
+	jreq.OnDone = release
 	snap, err := s.store.Submit(jreq)
 	if err != nil {
+		release()
 		storeProblem(err).writeV2(s, w, r)
 		return
 	}

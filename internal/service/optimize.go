@@ -38,16 +38,22 @@ type OptimizeResponse struct {
 // single-spec request through the same jobs core as v2, bound to the
 // request context and never retained.
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.admitRequest(w, r); !ok {
+		return
+	}
 	var req OptimizeRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
 		prob.writeV1(s, w, r)
 		return
 	}
+	release, ok := s.admitEvaluation(w, r, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	results, err := s.store.RunSync(r.Context(), optimizeJobRequest(req))
 	if err != nil {
-		// A dead request context: nobody reads the response, but metrics
-		// should see the abort, not a 200.
-		w.WriteHeader(statusClientClosedRequest)
+		s.writeSyncFailure(w, r)
 		return
 	}
 	res := results[0]

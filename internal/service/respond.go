@@ -76,6 +76,11 @@ const (
 	codeAlreadyTerminal = "already_terminal"
 	codeUnavailable     = "unavailable"
 	codeInternal        = "internal"
+	// Admission-control codes. rate_limited/quota_exceeded/overloaded
+	// mirror the admit package's Rejection codes; these two are the
+	// service's own.
+	codeUnknownAPIKey    = "unknown_api_key"
+	codeDeadlineExceeded = "deadline_exceeded"
 )
 
 // apiErrorBody is the v2 error payload: a stable code, a human
@@ -85,6 +90,13 @@ type apiErrorBody struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	RequestID string `json:"request_id,omitempty"`
+	// Tenant names the admission principal a 429 applies to; empty on
+	// non-admission errors (omitempty keeps older envelopes identical).
+	Tenant string `json:"tenant,omitempty"`
+	// RetryAfterMs is the advisory retry interval for 429/503
+	// rejections, duplicating the Retry-After header at millisecond
+	// resolution for clients that want finer pacing.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // v2ErrorResponse is the uniform v2 error envelope.

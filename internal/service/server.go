@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"time"
 
+	"optspeed/internal/admit"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/store"
@@ -84,6 +85,12 @@ type Config struct {
 	// Logger receives the structured per-request access log; nil
 	// disables access logging (request IDs are still assigned).
 	Logger *slog.Logger
+	// Admission is the overload-protection controller: API-key tenants
+	// with rate limits and job quotas, plus the server-wide admission
+	// gate. nil builds a default controller — an unlimited anonymous
+	// tenant and a default-size gate — whose behavior is invisible to
+	// unloaded traffic.
+	Admission *admit.Controller
 }
 
 // Server is the HTTP facade over the sweep engine and the job store.
@@ -93,6 +100,7 @@ type Server struct {
 	store       *jobs.Store
 	persistence *store.Store
 	metrics     *metricsRegistry
+	admission   *admit.Controller
 	mux         *http.ServeMux
 	handler     http.Handler
 	maxSpecs    int
@@ -124,6 +132,10 @@ func New(cfg Config) *Server {
 	if cfg.Persistence != nil {
 		persister = cfg.Persistence
 	}
+	adm := cfg.Admission
+	if adm == nil {
+		adm = admit.New(admit.Config{})
+	}
 	s := &Server{
 		engine:      eng,
 		dispatcher:  disp,
@@ -137,18 +149,22 @@ func New(cfg Config) *Server {
 			Recovered:        cfg.Recovered,
 			SnapshotInterval: cfg.SnapshotInterval,
 			Logger:           cfg.Logger,
+			Gate:             adm.Gate(),
 		}),
-		metrics:  newMetricsRegistry(),
-		mux:      http.NewServeMux(),
-		maxSpecs: maxSpecs,
-		maxBody:  maxBody,
-		logger:   cfg.Logger,
-		started:  time.Now(),
+		metrics:   newMetricsRegistry(),
+		admission: adm,
+		mux:       http.NewServeMux(),
+		maxSpecs:  maxSpecs,
+		maxBody:   maxBody,
+		logger:    cfg.Logger,
+		started:   time.Now(),
 	}
 	s.routes()
 	// Middleware order (outermost first): request IDs are assigned
-	// before the access log runs, so every log line carries one.
-	s.handler = s.withRequestID(s.withAccessLog(s.mux))
+	// before the access log runs, so every log line carries one; the
+	// tenant must be resolved before the deadline middleware can reject
+	// under the caller's identity, and both before any handler runs.
+	s.handler = s.withRequestID(s.withAccessLog(s.withTenant(s.withDeadline(s.mux))))
 	return s
 }
 
@@ -184,6 +200,9 @@ func (s *Server) Engine() *sweep.Engine { return s.engine }
 
 // Jobs returns the server's job store.
 func (s *Server) Jobs() *jobs.Store { return s.store }
+
+// Admission returns the server's admission controller.
+func (s *Server) Admission() *admit.Controller { return s.admission }
 
 // Close stops the job store: its GC loop ends and resident running
 // jobs are cancelled and drained.

@@ -107,6 +107,9 @@ type SweepResponse struct {
 // AppendJSON encoder (byte-identical to the old encoding/json output,
 // without its per-result reflection and allocation).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.admitRequest(w, r); !ok {
+		return
+	}
 	var req SweepRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
 		prob.writeV1(s, w, r)
@@ -117,11 +120,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		prob.writeV1(s, w, r)
 		return
 	}
+	release, ok := s.admitEvaluation(w, r, jreq.Size())
+	if !ok {
+		return
+	}
+	defer release()
 	results, err := s.store.RunSync(r.Context(), jreq)
 	if err != nil {
-		// Cancelled by the client; nobody reads the response, but the
-		// abort should be visible in metrics.
-		w.WriteHeader(statusClientClosedRequest)
+		s.writeSyncFailure(w, r)
 		return
 	}
 	var stats SweepStats
@@ -157,6 +163,9 @@ type StreamLine struct {
 // coalesces lines into full TCP frames, cutting a fast sweep's
 // syscalls per result to syscalls per response buffer.
 func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.admitRequest(w, r); !ok {
+		return
+	}
 	var req SweepRequest
 	if prob := s.decodeBody(r, w, &req); prob != nil {
 		prob.writeV2(s, w, r)
@@ -167,6 +176,14 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		prob.writeV2(s, w, r)
 		return
 	}
+	// The gate slot is held for the stream's whole duration: rejection
+	// happens here, before the 200 and the first byte, so an admitted
+	// stream is never severed by admission control.
+	release, ok := s.admitEvaluation(w, r, jreq.Size())
+	if !ok {
+		return
+	}
+	defer release()
 	// The jobs core owns the request→engine dispatch (space fast path
 	// vs flat specs); the stream endpoint just doesn't register a job.
 	ch, _, err := s.store.Open(r.Context(), jreq)
