@@ -80,6 +80,19 @@ type Job struct {
 	// job that was replayed from that store after a restart.
 	Persisted bool `json:"persisted,omitempty"`
 	Recovered bool `json:"recovered,omitempty"`
+	// Trace summarizes the job's recorded trace when the server runs
+	// with tracing on; pass Trace.ID to Client.Trace for the full span
+	// list.
+	Trace *JobTrace `json:"trace,omitempty"`
+}
+
+// JobTrace is the job resource's trace summary.
+type JobTrace struct {
+	ID             string  `json:"id"`
+	Spans          int     `json:"spans"`
+	WallMs         float64 `json:"wall_ms"`
+	CriticalPathMs float64 `json:"critical_path_ms"`
+	SerialMs       float64 `json:"serial_ms"`
 }
 
 // Result is the wire form of one evaluated spec.

@@ -91,6 +91,7 @@ import (
 	"optspeed/internal/service"
 	"optspeed/internal/store"
 	"optspeed/internal/sweep"
+	"optspeed/internal/telemetry"
 )
 
 // sample is one timed request. A shed is an explicit 429/503 admission
@@ -124,25 +125,41 @@ type WorkloadReport struct {
 // for -cluster runs: the top level is then the coordinator phase and
 // Baseline the single-node phase under identical load.
 type Report struct {
-	GoVersion      string           `json:"go_version"`
-	GoOS           string           `json:"goos"`
-	GoArch         string           `json:"goarch"`
-	GOMAXPROCS     int              `json:"gomaxprocs"`
-	InProcess      bool             `json:"in_process"`
-	Concurrency    int              `json:"concurrency"`
-	Mix            string           `json:"mix"`
-	DurationSec    float64          `json:"duration_sec"`
-	TotalRequests  int              `json:"total_requests"`
-	TotalErrors    int              `json:"total_errors"`
-	TotalSheds     int              `json:"total_sheds,omitempty"`
-	RPS            float64          `json:"rps"`
-	Durable        bool             `json:"durable,omitempty"`
-	Fsync          string           `json:"fsync,omitempty"`
-	ClusterWorkers int              `json:"cluster_workers,omitempty"`
-	ShardSize      int              `json:"shard_size,omitempty"`
-	ClusterSpeedup float64          `json:"cluster_speedup,omitempty"`
-	Workloads      []WorkloadReport `json:"workloads"`
-	Baseline       *Report          `json:"baseline,omitempty"`
+	GoVersion      string            `json:"go_version"`
+	GoOS           string            `json:"goos"`
+	GoArch         string            `json:"goarch"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	InProcess      bool              `json:"in_process"`
+	Concurrency    int               `json:"concurrency"`
+	Mix            string            `json:"mix"`
+	DurationSec    float64           `json:"duration_sec"`
+	TotalRequests  int               `json:"total_requests"`
+	TotalErrors    int               `json:"total_errors"`
+	TotalSheds     int               `json:"total_sheds,omitempty"`
+	RPS            float64           `json:"rps"`
+	Durable        bool              `json:"durable,omitempty"`
+	Fsync          string            `json:"fsync,omitempty"`
+	ClusterWorkers int               `json:"cluster_workers,omitempty"`
+	ShardSize      int               `json:"shard_size,omitempty"`
+	ClusterSpeedup float64           `json:"cluster_speedup,omitempty"`
+	ScrapeFile     string            `json:"scrape_file,omitempty"`
+	Workloads      []WorkloadReport  `json:"workloads"`
+	Baseline       *Report           `json:"baseline,omitempty"`
+	TraceProbe     *TraceProbeReport `json:"trace_probe,omitempty"`
+}
+
+// TraceProbeReport is the -cluster trace check: one oversized sweep job
+// submitted through the coordinator must yield a retrievable trace whose
+// shard spans cover the scatter and whose critical path fits inside the
+// measured wall time.
+type TraceProbeReport struct {
+	TraceID        string  `json:"trace_id"`
+	Spans          int     `json:"spans"`
+	ShardSpans     int     `json:"shard_spans"`
+	WallMs         float64 `json:"wall_ms"`
+	CriticalPathMs float64 `json:"critical_path_ms"`
+	SerialMs       float64 `json:"serial_ms"`
+	OK             bool    `json:"ok"`
 }
 
 // optimizeBodies rotate the single-query workload across machines and
@@ -536,6 +553,7 @@ func main() {
 		shardSz  = flag.Int("shard-size", 96, "coordinator shard size in specs (cluster mode)")
 		dataDir  = flag.String("data-dir", "", "durable job store directory for the in-process server (empty = in-memory; -restart defaults to a temp dir)")
 		fsyncPol = flag.String("fsync", string(store.FsyncInterval), "WAL fsync policy with -data-dir: always, interval, or off")
+		scrape   = flag.String("scrape", "", "after the run, scrape GET /metrics from the target, validate the exposition format, and archive it to this file")
 		restart  = flag.Bool("restart", false, "restart-recovery drill: run jobs to completion, restart the in-process server on the same data dir, verify recovered pages byte-identical")
 		overload = flag.Bool("overload", false, "overload drill: drive a tightly-gated in-process server at 3x capacity; fail unless every rejection is an explicit 429/503 with Retry-After, no streams sever, goroutines stay stable, and admitted p99 stays near baseline")
 	)
@@ -603,10 +621,6 @@ func main() {
 		coordBase, stopCoord := startServer(*workers, peers, *shardSz, "", policy, nil)
 		report := runPhase(fmt.Sprintf("coordinator (%d workers × workers=%d, shard=%d)",
 			*cluster, *workers, *shardSz), coordBase, *mix, deck, *conc, *duration, true)
-		stopCoord()
-		for _, stop := range stops {
-			stop()
-		}
 		report.ClusterWorkers = *cluster
 		report.ShardSize = *shardSz
 		report.Baseline = &baseline
@@ -616,7 +630,21 @@ func main() {
 			report.ClusterSpeedup = report.RPS / baseline.RPS
 		}
 		fmt.Fprintf(os.Stderr, "cluster speedup (sweepcold rps vs single node): %.2fx\n", report.ClusterSpeedup)
+		// Trace probe: one oversized job through the coordinator must
+		// come back with a retrievable trace covering the scatter.
+		report.TraceProbe = traceProbe(coordBase)
+		if *scrape != "" {
+			scrapeMetrics(coordBase, *scrape)
+			report.ScrapeFile = *scrape
+		}
+		stopCoord()
+		for _, stop := range stops {
+			stop()
+		}
 		writeReport(*out, report)
+		if report.TraceProbe != nil && !report.TraceProbe.OK {
+			fatal(fmt.Errorf("cluster trace probe failed (see report)"))
+		}
 		return
 	}
 
@@ -639,7 +667,94 @@ func main() {
 		report.Durable = true
 		report.Fsync = string(policy)
 	}
+	if *scrape != "" {
+		scrapeMetrics(base, *scrape)
+		report.ScrapeFile = *scrape
+	}
 	writeReport(*out, report)
+}
+
+// scrapeMetrics archives a post-run GET /metrics snapshot: the page is
+// validated with the strict in-repo exposition parser (a malformed
+// page fails the run — that is the point of scraping in CI) and then
+// written verbatim to out.
+func scrapeMetrics(base, out string) {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	raw, err := httpDo(hc, http.MethodGet, base+"/metrics", "")
+	if err != nil {
+		fatal(fmt.Errorf("scrape: %w", err))
+	}
+	if err := telemetry.CheckExposition(raw); err != nil {
+		fatal(fmt.Errorf("scrape: malformed exposition: %w", err))
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		fatal(fmt.Errorf("scrape: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "optload: scraped %d bytes of valid exposition to %s\n", len(raw), out)
+}
+
+// traceProbe submits one oversized sweep job through the coordinator,
+// waits for it to finish, and reads its trace back: the job must carry
+// a trace id, the trace must contain shard spans (the scatter really
+// was traced), and the critical path must fit inside the wall time.
+func traceProbe(base string) *TraceProbeReport {
+	hc := &http.Client{Timeout: time.Minute}
+	id, err := submitJob(hc, base, `{"sweep":`+coldSweepBody()+`}`)
+	if err != nil {
+		fatal(fmt.Errorf("trace probe: %w", err))
+	}
+	if state, err := waitTerminal(hc, base, id); err != nil || state != "succeeded" {
+		fatal(fmt.Errorf("trace probe: job %s ended %q (err %v)", id, state, err))
+	}
+	raw, err := httpDo(hc, http.MethodGet, base+"/v2/jobs/"+id, "")
+	if err != nil {
+		fatal(fmt.Errorf("trace probe: %w", err))
+	}
+	var job struct {
+		Trace *struct {
+			ID string `json:"id"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &job); err != nil || job.Trace == nil || job.Trace.ID == "" {
+		fatal(fmt.Errorf("trace probe: job %s carries no trace block: %s", id, raw))
+	}
+	raw, err = httpDo(hc, http.MethodGet, base+"/v1/traces/"+job.Trace.ID, "")
+	if err != nil {
+		fatal(fmt.Errorf("trace probe: %w", err))
+	}
+	var tr struct {
+		TraceID        string  `json:"trace_id"`
+		SpanCount      int     `json:"span_count"`
+		WallMs         float64 `json:"wall_ms"`
+		CriticalPathMs float64 `json:"critical_path_ms"`
+		SerialMs       float64 `json:"serial_ms"`
+		Spans          []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		fatal(fmt.Errorf("trace probe: %w", err))
+	}
+	rep := &TraceProbeReport{
+		TraceID:        tr.TraceID,
+		Spans:          tr.SpanCount,
+		WallMs:         tr.WallMs,
+		CriticalPathMs: tr.CriticalPathMs,
+		SerialMs:       tr.SerialMs,
+	}
+	for _, sp := range tr.Spans {
+		if sp.Name == "shard" {
+			rep.ShardSpans++
+		}
+	}
+	// A hair of slack on cp <= wall: the two are computed from the same
+	// span records, so only float rounding separates them.
+	rep.OK = rep.ShardSpans > 1 && rep.CriticalPathMs > 0 &&
+		rep.CriticalPathMs <= rep.WallMs*1.0001+0.001
+	fmt.Fprintf(os.Stderr,
+		"optload: trace probe: trace %s, %d spans (%d shards), wall %.1fms, critical path %.1fms, serial %.1fms, ok=%v\n",
+		rep.TraceID, rep.Spans, rep.ShardSpans, rep.WallMs, rep.CriticalPathMs, rep.SerialMs, rep.OK)
+	return rep
 }
 
 // RestartReport is the -restart drill artifact: how many jobs survived

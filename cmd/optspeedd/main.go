@@ -44,6 +44,13 @@
 // interval / off) and -snapshot-interval the compaction period; see
 // docs/persistence.md. Without -data-dir jobs stay in memory only.
 //
+// Observability: GET /metrics serves the whole daemon's counters in
+// Prometheus text exposition format (disable with -metrics=false), and
+// every evaluation request is traced — spans for the request, its job,
+// and each distributed shard — into a bounded in-memory buffer read
+// back through GET /v1/traces/{id}. -trace-buffer sets how many traces
+// stay resident (0 disables tracing). See docs/observability.md.
+//
 // Example queries:
 //
 //	curl -s localhost:8080/v1/optimize -d \
@@ -76,6 +83,7 @@ import (
 	"optspeed/internal/service"
 	"optspeed/internal/store"
 	"optspeed/internal/sweep"
+	"optspeed/internal/telemetry"
 )
 
 func main() {
@@ -98,6 +106,8 @@ func main() {
 		maxInFl  = flag.Int("max-inflight", 0, "admission gate concurrency bound in evaluation units (0 = max(16, 4*GOMAXPROCS))")
 		maxQueue = flag.Int("max-queue", 0, "admission gate waiter bound before shedding (0 = 2*max-inflight, negative = no queue)")
 		qWait    = flag.Duration("queue-wait", admit.DefaultMaxWait, "max time a request waits for an evaluation slot before a 503 shed")
+		metrics  = flag.Bool("metrics", true, "serve Prometheus exposition at GET /metrics")
+		traceBuf = flag.Int("trace-buffer", telemetry.DefaultMaxTraces, "resident trace capacity for GET /v1/traces (0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -176,6 +186,10 @@ func main() {
 	})
 	logger.Info("admission gate armed",
 		"max_inflight", admission.Gate().Capacity(), "queue_wait", *qWait)
+	var tracer *telemetry.Tracer
+	if *traceBuf > 0 {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{MaxTraces: *traceBuf})
+	}
 	srv := service.New(service.Config{
 		Engine:           engine,
 		Dispatcher:       dispatcher,
@@ -187,6 +201,9 @@ func main() {
 		SnapshotInterval: *snapInt,
 		Logger:           logger,
 		Admission:        admission,
+		Tracer:           tracer,
+		DisableMetrics:   !*metrics,
+		DisableTracing:   *traceBuf <= 0,
 	})
 	// Shutdown order matters: the job store's Close (inside srv.Close)
 	// cancels and drains jobs and writes a final snapshot through the

@@ -1,0 +1,54 @@
+package admit
+
+import "optspeed/internal/telemetry"
+
+// RegisterMetrics exports the admission gate and every configured
+// tenant as scrape-time reads. The tenant set is fixed at controller
+// construction (quota files are loaded before serving), so the label
+// space is bounded and known up front.
+func (c *Controller) RegisterMetrics(r *telemetry.Registry) {
+	gate := func(read func(GateStats) float64) func() float64 {
+		return func() float64 { return read(c.gate.Stats()) }
+	}
+	r.NewGaugeFunc("optspeed_admission_gate_capacity",
+		"Admission gate concurrency bound in evaluation units.",
+		gate(func(s GateStats) float64 { return float64(s.Capacity) }))
+	r.NewGaugeFunc("optspeed_admission_gate_in_flight",
+		"Currently admitted evaluation units.",
+		gate(func(s GateStats) float64 { return float64(s.InFlight) }))
+	r.NewGaugeFunc("optspeed_admission_gate_queued",
+		"Requests waiting for an evaluation slot.",
+		gate(func(s GateStats) float64 { return float64(s.Queued) }))
+	r.NewCounterFunc("optspeed_admission_gate_admitted_total",
+		"Evaluation slot grants.",
+		gate(func(s GateStats) float64 { return float64(s.Admitted) }))
+	const shedHelp = "Requests shed by the admission gate, by reason."
+	r.NewCounterFunc("optspeed_admission_gate_shed_total", shedHelp,
+		gate(func(s GateStats) float64 { return float64(s.ShedQueueFull) }),
+		telemetry.L("reason", "queue_full"))
+	r.NewCounterFunc("optspeed_admission_gate_shed_total", shedHelp,
+		gate(func(s GateStats) float64 { return float64(s.ShedWaitExpired) }),
+		telemetry.L("reason", "wait_expired"))
+	r.NewCounterFunc("optspeed_admission_gate_shed_total", shedHelp,
+		gate(func(s GateStats) float64 { return float64(s.ShedEvicted) }),
+		telemetry.L("reason", "evicted"))
+	for _, t := range c.all {
+		t := t
+		lbl := telemetry.L("tenant", t.Name())
+		r.NewCounterFunc("optspeed_tenant_admitted_total",
+			"Requests that passed the tenant's rate check.",
+			func() float64 { return float64(t.Stats().Admitted) }, lbl)
+		r.NewCounterFunc("optspeed_tenant_rate_limited_total",
+			"Token-bucket rejections (429 rate_limited).",
+			func() float64 { return float64(t.Stats().RateLimited) }, lbl)
+		r.NewCounterFunc("optspeed_tenant_quota_rejected_total",
+			"Job quota rejections (429 quota_exceeded).",
+			func() float64 { return float64(t.Stats().QuotaRejected) }, lbl)
+		r.NewGaugeFunc("optspeed_tenant_jobs_in_flight",
+			"Tenant's currently resident submitted jobs.",
+			func() float64 { return float64(t.Stats().InFlightJobs) }, lbl)
+		r.NewGaugeFunc("optspeed_tenant_queued_cost",
+			"Summed estimated spec count of the tenant's resident jobs.",
+			func() float64 { return float64(t.Stats().QueuedCost) }, lbl)
+	}
+}

@@ -20,11 +20,13 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"optspeed/internal/admit"
 	"optspeed/internal/sweep"
+	"optspeed/internal/telemetry"
 )
 
 // Defaults for Options zero values.
@@ -394,6 +396,13 @@ func (d *Dispatcher) emitChunks(ctx context.Context, out chan<- *sweep.Chunk, re
 // dropped by the accumulator, so a mid-stream peer death costs only
 // the missing suffix.
 func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardDone)) []sweep.Result {
+	// The shard span nests under the job span when the submitting
+	// request carried a trace; with tracing off StartSpan returns a nil
+	// span and every call below is a no-op.
+	ctx, span := telemetry.StartSpan(ctx, "shard")
+	defer span.End()
+	span.SetAttr("shard", strconv.Itoa(sh.index))
+	span.SetAttr("specs", strconv.Itoa(sh.size))
 	acc := newShardAccumulator(sh)
 	attempts := 0
 	var last *peerState
@@ -459,6 +468,11 @@ func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardD
 		d.mu.Lock()
 		d.shardsRetried++
 		d.mu.Unlock()
+	}
+	span.SetAttr("peer", doneVia)
+	span.SetAttr("attempts", strconv.Itoa(attempts))
+	if retried {
+		span.SetAttr("retried", "true")
 	}
 	if onShard != nil {
 		onShard(ShardDone{

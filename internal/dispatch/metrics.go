@@ -1,0 +1,50 @@
+package dispatch
+
+import (
+	"optspeed/internal/admit"
+	"optspeed/internal/telemetry"
+)
+
+// RegisterMetrics exports the dispatcher's shard counters and each
+// peer's health ledger as scrape-time reads. The peer set is fixed at
+// construction, so the label space is bounded.
+func (d *Dispatcher) RegisterMetrics(r *telemetry.Registry) {
+	r.NewCounterFunc("optspeed_dispatch_shards_planned_total",
+		"Shards handed to the scatter loop.",
+		func() float64 { return float64(d.Stats().ShardsPlanned) })
+	r.NewCounterFunc("optspeed_dispatch_shards_retried_total",
+		"Shards that needed more than one attempt.",
+		func() float64 { return float64(d.Stats().ShardsRetried) })
+	r.NewCounterFunc("optspeed_dispatch_shards_fallback_total",
+		"Shards the local engine finished after the peers could not.",
+		func() float64 { return float64(d.Stats().ShardsFallback) })
+	const shardHelp = "Shard attempts against one peer, by outcome."
+	for _, p := range d.peers {
+		p := p
+		lbl := telemetry.L("peer", p.url)
+		r.NewCounterFunc("optspeed_dispatch_peer_shards_total", shardHelp,
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.shardsOK)
+			}, lbl, telemetry.L("outcome", "ok"))
+		r.NewCounterFunc("optspeed_dispatch_peer_shards_total", shardHelp,
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.shardsErr)
+			}, lbl, telemetry.L("outcome", "error"))
+		r.NewGaugeFunc("optspeed_dispatch_peer_breaker_open",
+			"Peer circuit breaker position: 0 closed, 0.5 half-open, 1 open.",
+			func() float64 {
+				switch p.breaker.State() {
+				case admit.BreakerOpen:
+					return 1
+				case admit.BreakerHalfOpen:
+					return 0.5
+				default:
+					return 0
+				}
+			}, lbl)
+	}
+}

@@ -13,7 +13,13 @@ import (
 
 	"optspeed/internal/core"
 	"optspeed/internal/sweep"
+	"optspeed/internal/telemetry"
 )
+
+// requestIDHeader names the request-id header the service's middleware
+// reads and echoes; forwarding it makes coordinator and peer log lines
+// joinable on one id.
+const requestIDHeader = "X-Request-ID"
 
 // streamPath is the peer endpoint one shard is evaluated through: the
 // v2 NDJSON stream delivers results as the peer computes them, so a
@@ -118,6 +124,19 @@ func (d *Dispatcher) fetchShard(ctx context.Context, peer *peerState, sh shard, 
 	// coordinator would discard its results anyway.
 	if dl, ok := ctx.Deadline(); ok {
 		req.Header.Set("X-Request-Deadline", dl.UTC().Format(time.RFC3339Nano))
+	}
+	// Forward the originating request id and trace coordinates so the
+	// peer's access log and spans are joinable with the coordinator's.
+	// The parent span is the shard span runShard opened, so a peer-side
+	// trace view nests each remote evaluation under its shard.
+	if id := telemetry.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
+	if tid := telemetry.TraceIDFrom(ctx); tid != "" {
+		req.Header.Set(telemetry.TraceIDHeader, tid)
+		if sid := telemetry.SpanIDFrom(ctx); sid != "" {
+			req.Header.Set(telemetry.ParentSpanHeader, sid)
+		}
 	}
 	resp, err := d.hc.Do(req)
 	if err != nil {

@@ -83,6 +83,15 @@ type Request struct {
 	// per-tenant quota reservations through. It is not persisted: a
 	// recovered job's quota reservation died with the old process.
 	OnDone func() `json:"-"`
+	// RequestID is the submitting HTTP request's id, propagated into
+	// the job runner's context so dispatch forwards it to peers.
+	// TraceID/ParentSpanID tie the job's spans into the submitter's
+	// trace (empty TraceID mints a fresh trace when tracing is on).
+	// None of the three are persisted: like the quota reservation, a
+	// recovered job's originating request died with the old process.
+	RequestID    string `json:"-"`
+	TraceID      string `json:"-"`
+	ParentSpanID string `json:"-"`
 }
 
 // Size is the request's estimated evaluation cost in specs — the
@@ -110,6 +119,9 @@ type Snapshot struct {
 	// Recovered marks a job restored from the durable store after a
 	// restart rather than submitted to this process.
 	Recovered bool
+	// TraceID names the job's trace in the server's trace buffer (""
+	// when tracing is off or the job predates this process).
+	TraceID string
 }
 
 // SlabSize is the fixed capacity of one result slab. It equals
@@ -133,6 +145,7 @@ type Job struct {
 	done      chan struct{} // closed on terminal transition
 
 	mu              sync.Mutex
+	traceID         string
 	state           State
 	cancelRequested bool
 	created         time.Time
@@ -183,7 +196,15 @@ func (j *Job) Snapshot() Snapshot {
 		Progress:        j.progress,
 		Reason:          j.reason,
 		Recovered:       j.recovered,
+		TraceID:         j.traceID,
 	}
+}
+
+// setTraceID records the job's trace id for snapshots.
+func (j *Job) setTraceID(id string) {
+	j.mu.Lock()
+	j.traceID = id
+	j.mu.Unlock()
 }
 
 // start transitions pending → running and fixes the progress

@@ -1,0 +1,39 @@
+package jobs
+
+import "optspeed/internal/telemetry"
+
+// countTerminal bumps the lifecycle counter matching a job's terminal
+// state. Called exactly once per terminal transition this process
+// performed (recovered already-terminal jobs are replays of a previous
+// process's transitions and are deliberately not re-counted).
+func (s *Store) countTerminal(state State) {
+	switch state {
+	case StateSucceeded:
+		s.succeeded.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	case StateCancelled:
+		s.cancelled.Add(1)
+	}
+}
+
+// RegisterMetrics exports the store's lifecycle counters and resident
+// job count as scrape-time reads.
+func (s *Store) RegisterMetrics(r *telemetry.Registry) {
+	r.NewCounterFunc("optspeed_jobs_submitted_total",
+		"Jobs accepted by this process (recovered jobs not included).",
+		func() float64 { return float64(s.submitted.Load()) })
+	const finHelp = "Jobs finished by this process, by terminal state."
+	r.NewCounterFunc("optspeed_jobs_finished_total", finHelp,
+		func() float64 { return float64(s.succeeded.Load()) },
+		telemetry.L("state", "succeeded"))
+	r.NewCounterFunc("optspeed_jobs_finished_total", finHelp,
+		func() float64 { return float64(s.failed.Load()) },
+		telemetry.L("state", "failed"))
+	r.NewCounterFunc("optspeed_jobs_finished_total", finHelp,
+		func() float64 { return float64(s.cancelled.Load()) },
+		telemetry.L("state", "cancelled"))
+	r.NewGaugeFunc("optspeed_jobs_resident",
+		"Jobs currently held in the in-memory store.",
+		func() float64 { return float64(s.Len()) })
+}

@@ -7,11 +7,13 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optspeed/internal/admit"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/sweep"
+	"optspeed/internal/telemetry"
 )
 
 // Store errors, mapped by the service onto HTTP statuses.
@@ -78,6 +80,9 @@ type Options struct {
 	// is queued). nil runs jobs unthrottled — library embedders and
 	// pre-admission behavior.
 	Gate *admit.Gate
+	// Tracer records each job's root span (and, through the context,
+	// the dispatcher's per-shard spans); nil runs jobs untraced.
+	Tracer *telemetry.Tracer
 	// Now is the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -102,7 +107,14 @@ type Store struct {
 	persister   Persister
 	logger      *slog.Logger
 	gate        *admit.Gate
+	tracer      *telemetry.Tracer
 	now         func() time.Time
+
+	// Lifecycle counters for the metrics registry (see metrics.go).
+	submitted atomic.Uint64
+	succeeded atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
 
 	// persistMu orders mutations against snapshots: every
 	// (memory-apply, persister-record) pair runs under RLock, a
@@ -165,6 +177,7 @@ func NewStore(opts Options) *Store {
 		persister:   opts.Persister,
 		logger:      opts.Logger,
 		gate:        opts.Gate,
+		tracer:      opts.Tracer,
 		now:         now,
 		jobs:        make(map[string]*Job),
 		stop:        make(chan struct{}),
@@ -247,6 +260,7 @@ func (s *Store) recover(recovered []PersistedJob) {
 			j.mu.Unlock()
 			j.finish(now, s.ttl, state, reason)
 			s.record(func(p Persister) { p.Finished(j.id, state, reason, now) })
+			s.countTerminal(state)
 			cancel()
 		default:
 			// Still pending: re-enters the queue below.
@@ -306,6 +320,11 @@ func (s *Store) withPersist(f func()) {
 // accepted snapshot immediately. The job runs under its own context —
 // detached from the submitter's — and stops only via Cancel or Close.
 func (s *Store) Submit(req Request) (Snapshot, error) {
+	if s.tracer != nil && req.TraceID == "" {
+		// Mint the trace id at admission so the accepted snapshot (and
+		// the 202 response built from it) already names the trace.
+		req.TraceID = telemetry.NewID()
+	}
 	var j *Job
 	var err error
 	s.withPersist(func() {
@@ -323,10 +342,14 @@ func (s *Store) Submit(req Request) (Snapshot, error) {
 		ctx, cancel := context.WithCancel(context.Background())
 		j = newJob(req.Kind, s.now(), cancel)
 		j.req = req
+		if s.tracer != nil {
+			j.traceID = req.TraceID
+		}
 		s.jobs[j.id] = j
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.record(func(p Persister) { p.Submitted(j.persisted()) })
+		s.submitted.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.run(ctx, j, req)
@@ -352,6 +375,24 @@ func (s *Store) run(ctx context.Context, j *Job, req Request) {
 		// transition below (every path through run ends terminal).
 		defer req.OnDone()
 	}
+	ctx = telemetry.WithRequestID(ctx, req.RequestID)
+	if s.tracer != nil {
+		if req.TraceID == "" {
+			// A recovered pending job re-enters without its original
+			// trace (the trace context died with the old process); give
+			// its re-dispatch a fresh one so it is still observable.
+			req.TraceID = telemetry.NewID()
+			j.setTraceID(req.TraceID)
+		}
+		var span *telemetry.Span
+		ctx, span = s.tracer.StartRoot(ctx, "job", req.TraceID, req.ParentSpanID)
+		span.SetAttr("job_id", j.id)
+		span.SetAttr("kind", string(req.Kind))
+		if req.RequestID != "" {
+			span.SetAttr("request_id", req.RequestID)
+		}
+		defer span.End()
+	}
 	if s.gate != nil {
 		// Jobs wait patiently for an evaluation slot: they never shed
 		// (the tenant quota already bounded what got in) and never
@@ -368,6 +409,7 @@ func (s *Store) run(ctx context.Context, j *Job, req Request) {
 					p.Finished(j.id, StateCancelled, "cancelled before evaluation started", now)
 				})
 			})
+			s.countTerminal(StateCancelled)
 			return
 		}
 		defer release()
@@ -383,6 +425,7 @@ func (s *Store) run(ctx context.Context, j *Job, req Request) {
 				p.Finished(j.id, StateFailed, err.Error(), now)
 			})
 		})
+		s.countTerminal(StateFailed)
 		return
 	}
 	started := s.now()
@@ -404,6 +447,7 @@ func (s *Store) run(ctx context.Context, j *Job, req Request) {
 		j.finish(finished, s.ttl, state, reason)
 		s.record(func(p Persister) { p.Finished(j.id, state, reason, finished) })
 	})
+	s.countTerminal(state)
 }
 
 // terminalFor decides the terminal transition once the stream drains.

@@ -19,13 +19,6 @@ import (
 // forwards it to peers — so one budget governs the whole call tree.
 const deadlineHeader = "X-Request-Deadline"
 
-// Tenant-resolution and deadline context keys (requestIDKey is 0 in
-// middleware.go; explicit values keep the spaces disjoint).
-const (
-	tenantCtxKey   ctxKey = 1
-	deadlineCtxKey ctxKey = 2
-)
-
 // apiKey extracts the caller's API key: "Authorization: Bearer <key>"
 // preferred, X-API-Key accepted. Empty means the anonymous tier.
 func apiKey(r *http.Request) string {
@@ -50,6 +43,7 @@ func (s *Server) withTenant(next http.Handler) http.Handler {
 				"unknown API key")
 			return
 		}
+		noteTenant(r.Context(), tn.Name())
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey, tn)))
 	})
 }
@@ -128,6 +122,14 @@ func (s *Server) writeRejection(w http.ResponseWriter, r *http.Request, rej *adm
 	if secs < 1 {
 		secs = 1
 	}
+	// Access-log vocabulary: both tenant-level rejections (token bucket,
+	// job quota) log as rate_limited; a gate shed logs as shed.
+	switch rej.Code {
+	case admit.CodeOverloaded:
+		noteAdmission(r.Context(), "shed")
+	default:
+		noteAdmission(r.Context(), "rate_limited")
+	}
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	s.writeJSON(w, r, rej.Status, v2ErrorResponse{Error: apiErrorBody{
 		Code:         rej.Code,
@@ -146,6 +148,7 @@ func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) (*admit.Te
 		s.writeRejection(w, r, rej)
 		return nil, false
 	}
+	noteAdmission(r.Context(), "admitted")
 	return tn, true
 }
 

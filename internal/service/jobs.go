@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"optspeed/internal/jobs"
+	"optspeed/internal/telemetry"
 )
 
 // JobSubmitRequest is the body of POST /v2/jobs: exactly one of Sweep
@@ -39,17 +40,31 @@ type ProgressJSON struct {
 // marks a job restored from the durable store after a restart rather
 // than submitted to this process.
 type JobJSON struct {
-	ID              string       `json:"id"`
-	Kind            string       `json:"kind"`
-	State           string       `json:"state"`
-	CancelRequested bool         `json:"cancel_requested,omitempty"`
-	CreatedAt       time.Time    `json:"created_at"`
-	StartedAt       *time.Time   `json:"started_at,omitempty"`
-	FinishedAt      *time.Time   `json:"finished_at,omitempty"`
-	Progress        ProgressJSON `json:"progress"`
-	Reason          string       `json:"reason,omitempty"`
-	Persisted       bool         `json:"persisted,omitempty"`
-	Recovered       bool         `json:"recovered,omitempty"`
+	ID              string        `json:"id"`
+	Kind            string        `json:"kind"`
+	State           string        `json:"state"`
+	CancelRequested bool          `json:"cancel_requested,omitempty"`
+	CreatedAt       time.Time     `json:"created_at"`
+	StartedAt       *time.Time    `json:"started_at,omitempty"`
+	FinishedAt      *time.Time    `json:"finished_at,omitempty"`
+	Progress        ProgressJSON  `json:"progress"`
+	Reason          string        `json:"reason,omitempty"`
+	Persisted       bool          `json:"persisted,omitempty"`
+	Recovered       bool          `json:"recovered,omitempty"`
+	Trace           *JobTraceJSON `json:"trace,omitempty"`
+}
+
+// JobTraceJSON summarizes the job's recorded trace on the job
+// resource: enough to see the span count and the critical-path/wall
+// relationship at a glance, with GET /v1/traces/{id} serving the full
+// span list. Omitted entirely when tracing is off or the trace has
+// been evicted.
+type JobTraceJSON struct {
+	ID             string  `json:"id"`
+	Spans          int     `json:"spans"`
+	WallMs         float64 `json:"wall_ms"`
+	CriticalPathMs float64 `json:"critical_path_ms"`
+	SerialMs       float64 `json:"serial_ms"`
 }
 
 // jobJSON renders one job resource, stamping the server's persistence
@@ -57,6 +72,7 @@ type JobJSON struct {
 func (s *Server) jobJSON(snap jobs.Snapshot) JobJSON {
 	j := baseJobJSON(snap)
 	j.Persisted = s.store.Persistent()
+	j.Trace = s.jobTrace(snap.TraceID)
 	return j
 }
 
@@ -163,6 +179,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jreq.OnDone = release
+	// Tie the job's spans into this request's trace: the traced
+	// middleware opened a span for the submission, so the job span
+	// becomes its child and the 202 response already names the trace.
+	jreq.RequestID = RequestIDFrom(r.Context())
+	jreq.TraceID = telemetry.TraceIDFrom(r.Context())
+	jreq.ParentSpanID = telemetry.SpanIDFrom(r.Context())
 	snap, err := s.store.Submit(jreq)
 	if err != nil {
 		release()

@@ -3,16 +3,25 @@ package service
 import (
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"optspeed/internal/telemetry"
 )
 
-// endpointMetrics accumulates latency for one endpoint.
+// endpointMetrics accumulates latency for one endpoint. The counters
+// and the latency histogram live in the shared telemetry registry (the
+// Prometheus page); total and max are kept alongside because the
+// legacy /v1/metrics JSON reports exact average and maximum latency,
+// which a bucketed histogram cannot reproduce — and that JSON is
+// pinned byte-for-byte by golden tests.
 type endpointMetrics struct {
-	count     uint64
-	errors    uint64 // responses with status >= 400, excluding 499
-	cancelled uint64 // requests aborted by the client (status 499)
-	total     time.Duration
-	max       time.Duration
+	count     *telemetry.Counter
+	errors    *telemetry.Counter // responses with status >= 400, excluding 499
+	cancelled *telemetry.Counter // requests aborted by the client (status 499)
+	latency   *telemetry.Histogram
+	totalNS   atomic.Int64
+	maxNS     atomic.Int64
 }
 
 // EndpointSnapshot is the JSON form of one endpoint's metrics.
@@ -24,35 +33,59 @@ type EndpointSnapshot struct {
 	MaxMillis float64 `json:"max_ms"`
 }
 
-// metricsRegistry tracks per-endpoint latency. Registration happens at
-// mux construction; observation on every request.
+// metricsRegistry tracks per-endpoint latency, backed by the telemetry
+// registry so one observation feeds both the Prometheus exposition and
+// the legacy JSON snapshot. Endpoints materialize on first observation,
+// exactly as the pre-telemetry map did.
 type metricsRegistry struct {
+	reg       *telemetry.Registry
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{endpoints: make(map[string]*endpointMetrics)}
+func newMetricsRegistry(reg *telemetry.Registry) *metricsRegistry {
+	return &metricsRegistry{reg: reg, endpoints: make(map[string]*endpointMetrics)}
 }
 
-func (m *metricsRegistry) observe(name string, status int, d time.Duration) {
+// endpoint returns the instruments for name, creating them (and their
+// registry series) on first use.
+func (m *metricsRegistry) endpoint(name string) *endpointMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ep := m.endpoints[name]
 	if ep == nil {
-		ep = &endpointMetrics{}
+		lbl := telemetry.L("endpoint", name)
+		ep = &endpointMetrics{
+			count: m.reg.NewCounter("optspeed_http_requests_total",
+				"HTTP requests served, by instrumented endpoint.", lbl),
+			errors: m.reg.NewCounter("optspeed_http_request_errors_total",
+				"HTTP responses with status >= 400 (excluding client aborts).", lbl),
+			cancelled: m.reg.NewCounter("optspeed_http_requests_cancelled_total",
+				"HTTP requests aborted by the client before a response.", lbl),
+			latency: m.reg.NewHistogram("optspeed_http_request_duration_seconds",
+				"HTTP request latency in seconds.", telemetry.DefLatencyBuckets, lbl),
+		}
 		m.endpoints[name] = ep
 	}
-	ep.count++
+	return ep
+}
+
+func (m *metricsRegistry) observe(name string, status int, d time.Duration) {
+	ep := m.endpoint(name)
+	ep.count.Inc()
 	switch {
 	case status == statusClientClosedRequest:
-		ep.cancelled++
+		ep.cancelled.Inc()
 	case status >= 400:
-		ep.errors++
+		ep.errors.Inc()
 	}
-	ep.total += d
-	if d > ep.max {
-		ep.max = d
+	ep.latency.Observe(d.Seconds())
+	ep.totalNS.Add(int64(d))
+	for {
+		max := ep.maxNS.Load()
+		if int64(d) <= max || ep.maxNS.CompareAndSwap(max, int64(d)) {
+			return
+		}
 	}
 }
 
@@ -61,14 +94,17 @@ func (m *metricsRegistry) snapshot() map[string]EndpointSnapshot {
 	defer m.mu.Unlock()
 	out := make(map[string]EndpointSnapshot, len(m.endpoints))
 	for name, ep := range m.endpoints {
+		count := ep.count.Value()
+		total := time.Duration(ep.totalNS.Load())
+		max := time.Duration(ep.maxNS.Load())
 		s := EndpointSnapshot{
-			Count:     ep.count,
-			Errors:    ep.errors,
-			Cancelled: ep.cancelled,
-			MaxMillis: float64(ep.max) / float64(time.Millisecond),
+			Count:     count,
+			Errors:    ep.errors.Value(),
+			Cancelled: ep.cancelled.Value(),
+			MaxMillis: float64(max) / float64(time.Millisecond),
 		}
-		if ep.count > 0 {
-			s.AvgMillis = float64(ep.total) / float64(ep.count) / float64(time.Millisecond)
+		if count > 0 {
+			s.AvgMillis = float64(total) / float64(count) / float64(time.Millisecond)
 		}
 		out[name] = s
 	}

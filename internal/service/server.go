@@ -37,6 +37,7 @@ import (
 	"optspeed/internal/jobs"
 	"optspeed/internal/store"
 	"optspeed/internal/sweep"
+	"optspeed/internal/telemetry"
 )
 
 // DefaultMaxSweepSpecs bounds one sweep request's expanded size. It
@@ -91,6 +92,22 @@ type Config struct {
 	// tenant and a default-size gate — whose behavior is invisible to
 	// unloaded traffic.
 	Admission *admit.Controller
+	// Metrics is the telemetry registry served at GET /metrics; nil
+	// builds a fresh one. Every subsystem's counters are bridged into
+	// it at construction.
+	Metrics *telemetry.Registry
+	// Tracer records request-scoped spans; nil builds a default-size
+	// tracer. Evaluation requests mint (or adopt) a trace id, job
+	// runners and dispatch shards nest spans under it, and GET
+	// /v1/traces/{id} reads the result back.
+	Tracer *telemetry.Tracer
+	// DisableMetrics removes the GET /metrics route. The instrumented
+	// middleware still observes into the registry (the cost is a few
+	// atomic adds); only the exposition endpoint disappears.
+	DisableMetrics bool
+	// DisableTracing turns span recording off entirely: no trace ids
+	// are minted, no headers propagate, and GET /v1/traces answers 404.
+	DisableTracing bool
 }
 
 // Server is the HTTP facade over the sweep engine and the job store.
@@ -100,6 +117,8 @@ type Server struct {
 	store       *jobs.Store
 	persistence *store.Store
 	metrics     *metricsRegistry
+	telemetry   *telemetry.Registry
+	tracer      *telemetry.Tracer // nil when tracing is disabled
 	admission   *admit.Controller
 	mux         *http.ServeMux
 	handler     http.Handler
@@ -107,6 +126,7 @@ type Server struct {
 	maxBody     int64
 	logger      *slog.Logger
 	started     time.Time
+	serveProm   bool
 }
 
 // New builds a server, its job store, and its routing table. Call Close
@@ -136,6 +156,17 @@ func New(cfg Config) *Server {
 	if adm == nil {
 		adm = admit.New(admit.Config{})
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil && !cfg.DisableTracing {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{})
+	}
+	if cfg.DisableTracing {
+		tracer = nil
+	}
 	s := &Server{
 		engine:      eng,
 		dispatcher:  disp,
@@ -150,15 +181,20 @@ func New(cfg Config) *Server {
 			SnapshotInterval: cfg.SnapshotInterval,
 			Logger:           cfg.Logger,
 			Gate:             adm.Gate(),
+			Tracer:           tracer,
 		}),
-		metrics:   newMetricsRegistry(),
+		metrics:   newMetricsRegistry(reg),
+		telemetry: reg,
+		tracer:    tracer,
 		admission: adm,
 		mux:       http.NewServeMux(),
 		maxSpecs:  maxSpecs,
 		maxBody:   maxBody,
 		logger:    cfg.Logger,
 		started:   time.Now(),
+		serveProm: !cfg.DisableMetrics,
 	}
+	s.registerCollectors()
 	s.routes()
 	// Middleware order (outermost first): request IDs are assigned
 	// before the access log runs, so every log line carries one; the
@@ -172,19 +208,30 @@ func (s *Server) routes() {
 	handle := func(pattern, name string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.metrics.instrument(name, h))
 	}
+	// traced routes are the evaluation entry points: each request gets
+	// a request-scoped span (minted or adopted from the caller's trace
+	// headers). Read-only routes stay untraced.
+	traced := func(pattern, name string, h http.HandlerFunc) {
+		handle(pattern, name, s.traced(name, h))
+	}
 	// v1: synchronous adapters over the jobs core.
-	handle("POST /v1/optimize", "optimize", s.handleOptimize)
-	handle("POST /v1/sweep", "sweep", s.handleSweep)
+	traced("POST /v1/optimize", "optimize", s.handleOptimize)
+	traced("POST /v1/sweep", "sweep", s.handleSweep)
 	handle("GET /v1/architectures", "architectures", s.handleArchitectures)
 	handle("GET /v1/metrics", "metrics", s.handleMetrics)
+	handle("GET /v1/traces/{id}", "traces_get", s.handleTraceGet)
 	// v2: jobs as resources.
-	handle("POST /v2/jobs", "jobs_submit", s.handleJobSubmit)
+	traced("POST /v2/jobs", "jobs_submit", s.handleJobSubmit)
 	handle("GET /v2/jobs", "jobs_list", s.handleJobList)
 	handle("GET /v2/jobs/{id}", "jobs_get", s.handleJobGet)
 	handle("GET /v2/jobs/{id}/results", "jobs_results", s.handleJobResults)
 	handle("DELETE /v2/jobs/{id}", "jobs_cancel", s.handleJobCancel)
-	handle("POST /v2/sweeps/stream", "sweep_stream", s.handleSweepStream)
+	traced("POST /v2/sweeps/stream", "sweep_stream", s.handleSweepStream)
 	handle("GET /v2/cluster", "cluster", s.handleCluster)
+	if s.serveProm {
+		// Deliberately outside the instrumented table: see handlePrometheus.
+		s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -203,6 +250,13 @@ func (s *Server) Jobs() *jobs.Store { return s.store }
 
 // Admission returns the server's admission controller.
 func (s *Server) Admission() *admit.Controller { return s.admission }
+
+// Telemetry returns the server's metric registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.telemetry }
+
+// Tracer returns the server's span recorder, nil when tracing is
+// disabled.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Close stops the job store: its GC loop ends and resident running
 // jobs are cancelled and drained.

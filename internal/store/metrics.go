@@ -1,0 +1,33 @@
+package store
+
+import "optspeed/internal/telemetry"
+
+// RegisterMetrics exports the durable store's counters as scrape-time
+// reads of the same atomics Stats() snapshots. WAL bytes/records are
+// gauges — they reset to zero at every compaction by design.
+func (s *Store) RegisterMetrics(r *telemetry.Registry) {
+	r.NewGaugeFunc("optspeed_wal_generation",
+		"Current WAL generation number (bumped at each compaction).",
+		func() float64 { return float64(s.Stats().Generation) })
+	r.NewGaugeFunc("optspeed_wal_bytes",
+		"Bytes appended to the current WAL generation.",
+		func() float64 { return float64(s.walBytes.Load()) })
+	r.NewGaugeFunc("optspeed_wal_records",
+		"Records appended to the current WAL generation.",
+		func() float64 { return float64(s.walRecords.Load()) })
+	r.NewCounterFunc("optspeed_wal_fsyncs_total",
+		"WAL fsync calls since open.",
+		func() float64 { return float64(s.fsyncs.Load()) })
+	r.NewCounterFunc("optspeed_wal_snapshots_total",
+		"Snapshot compactions since open.",
+		func() float64 { return float64(s.snapshots.Load()) })
+	r.NewCounterFunc("optspeed_wal_write_errors_total",
+		"WAL appends that failed to reach the log.",
+		func() float64 { return float64(s.writeErrors.Load()) })
+	r.NewGaugeFunc("optspeed_wal_recovered_jobs",
+		"Jobs replayed from the durable store at startup.",
+		func() float64 { return float64(s.recovered) })
+	r.NewGaugeFunc("optspeed_wal_replay_truncated_bytes",
+		"Bytes truncated off the log at the first torn record during replay.",
+		func() float64 { return float64(s.truncated) })
+}

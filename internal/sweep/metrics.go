@@ -1,0 +1,23 @@
+package sweep
+
+import "optspeed/internal/telemetry"
+
+// RegisterMetrics exports the engine's counters as scrape-time reads
+// of the same atomics Stats() snapshots — the hot path is untouched.
+func (e *Engine) RegisterMetrics(r *telemetry.Registry) {
+	r.NewCounterFunc("optspeed_engine_evaluations_total",
+		"Actual model computations (cache misses).",
+		func() float64 { return float64(e.evals.Load()) })
+	r.NewCounterFunc("optspeed_engine_cache_hits_total",
+		"Specs answered from the memoization cache, including coalesced waits.",
+		func() float64 { return float64(e.hits.Load()) })
+	r.NewCounterFunc("optspeed_engine_errors_total",
+		"Evaluations that returned an error, including invalid specs.",
+		func() float64 { return float64(e.errors.Load() + e.keyErrors.Load()) })
+	r.NewGaugeFunc("optspeed_engine_cache_entries",
+		"Resident memoization cache entries.",
+		func() float64 { return float64(e.cache.len()) })
+	r.NewGaugeFunc("optspeed_engine_workers",
+		"Evaluation worker pool size.",
+		func() float64 { return float64(e.workers) })
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// Propagation headers: the trace context a coordinator forwards to
+// peers alongside the deadline header, and the header a traced
+// response echoes its trace id on.
+const (
+	// TraceIDHeader carries the trace id end to end.
+	TraceIDHeader = "X-Trace-Id"
+	// ParentSpanHeader carries the caller's span id — the remote
+	// parent of the span the receiving server starts.
+	ParentSpanHeader = "X-Parent-Span"
+)
+
+type ctxKey int
+
+const (
+	spanCtxKey ctxKey = iota
+	requestIDCtxKey
+)
+
+// spanContext is the per-request trace state carried on context: which
+// tracer records spans, which trace they belong to, and the current
+// span (the parent of any span started next).
+type spanContext struct {
+	tracer  *Tracer
+	traceID string
+	spanID  string
+}
+
+// WithRequestID stashes the request id in the context so layers below
+// the HTTP service (the job runner, the dispatch fan-out) can
+// propagate it without importing the service package.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDCtxKey, id)
+}
+
+// RequestIDFrom returns the propagated request id, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDCtxKey).(string)
+	return id
+}
+
+// TraceIDFrom returns the context's trace id, or "".
+func TraceIDFrom(ctx context.Context) string {
+	sc, _ := ctx.Value(spanCtxKey).(spanContext)
+	return sc.traceID
+}
+
+// SpanIDFrom returns the current span's id, or "".
+func SpanIDFrom(ctx context.Context) string {
+	sc, _ := ctx.Value(spanCtxKey).(spanContext)
+	return sc.spanID
+}
+
+// StartRoot starts a trace-entry span on this tracer: the HTTP
+// middleware's per-request span and the job runner's per-job span.
+// traceID and parentID adopt a propagated remote context when present
+// (the peer side of a dispatch call); an empty traceID mints a fresh
+// trace. A nil tracer returns ctx unchanged and a nil (no-op) span.
+func (t *Tracer) StartRoot(ctx context.Context, name, traceID, parentID string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		traceID = NewID()
+		parentID = ""
+	}
+	sp := &Span{
+		tracer: t,
+		clock:  time.Now(),
+		rec: SpanRecord{
+			TraceID:  traceID,
+			SpanID:   NewID(),
+			ParentID: parentID,
+			Name:     name,
+		},
+	}
+	sp.rec.Start = sp.clock
+	ctx = context.WithValue(ctx, spanCtxKey, spanContext{
+		tracer:  t,
+		traceID: traceID,
+		spanID:  sp.rec.SpanID,
+	})
+	return ctx, sp
+}
+
+// StartSpan starts a child of the context's current span, using the
+// tracer the context carries. Outside a traced request — no tracer on
+// the context — it returns ctx unchanged and a nil span, so deep
+// layers (dispatch shard runners) call it unconditionally with no
+// configuration of their own.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sc, ok := ctx.Value(spanCtxKey).(spanContext)
+	if !ok || sc.tracer == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		tracer: sc.tracer,
+		clock:  time.Now(),
+		rec: SpanRecord{
+			TraceID:  sc.traceID,
+			SpanID:   NewID(),
+			ParentID: sc.spanID,
+			Name:     name,
+		},
+	}
+	sp.rec.Start = sp.clock
+	ctx = context.WithValue(ctx, spanCtxKey, spanContext{
+		tracer:  sc.tracer,
+		traceID: sc.traceID,
+		spanID:  sp.rec.SpanID,
+	})
+	return ctx, sp
+}

@@ -1,0 +1,419 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is a strict validator for Prometheus text exposition
+// format 0.0.4 — the in-repo conformance oracle the registry's own
+// output, the live /metrics endpoint, and optload -scrape snapshots
+// are all checked against. It enforces more than a tolerant scraper
+// would, on purpose:
+//
+//   - every sample belongs to a family announced by a preceding
+//     # TYPE line (and at most one TYPE/HELP per family),
+//   - metric and label names are well-formed, label values are
+//     correctly quoted and escaped,
+//   - no duplicate series anywhere on the page,
+//   - each histogram series has strictly increasing le bounds with
+//     nondecreasing cumulative counts, ends in le="+Inf", and carries
+//     _sum and _count samples with _count equal to the +Inf bucket.
+//
+// A nil return means the page is clean; the error names the first
+// offending line.
+func CheckExposition(data []byte) error {
+	c := &checker{
+		typed:  make(map[string]string),
+		helped: make(map[string]bool),
+		series: make(map[string]bool),
+		hists:  make(map[string]*histSeries),
+	}
+	lineNo := 0
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		lineNo++
+		if err := c.line(string(line)); err != nil {
+			return fmt.Errorf("exposition line %d: %w", lineNo, err)
+		}
+	}
+	return c.finish()
+}
+
+// histSeries tracks one histogram series (family + non-le labels)
+// across its bucket/_sum/_count samples.
+type histSeries struct {
+	lastLe   float64
+	lastCum  float64
+	firstLe  bool
+	infVal   float64
+	haveInf  bool
+	sum      *float64
+	count    *float64
+	anyBound bool
+}
+
+type checker struct {
+	family string            // most recent # TYPE subject
+	typ    string            // its type
+	typed  map[string]string // family -> type
+	helped map[string]bool
+	series map[string]bool
+	hists  map[string]*histSeries
+}
+
+func (c *checker) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return c.comment(line)
+	}
+	return c.sample(line)
+}
+
+// comment handles # HELP / # TYPE metadata (other comments pass).
+func (c *checker) comment(line string) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return nil // bare comment
+	}
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		name := fields[0]
+		if !validMetricName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if c.helped[name] {
+			return fmt.Errorf("second HELP line for %s", name)
+		}
+		c.helped[name] = true
+		if len(fields) == 2 {
+			if err := checkHelpEscapes(fields[1]); err != nil {
+				return fmt.Errorf("HELP %s: %w", name, err)
+			}
+		}
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[0], fields[1]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		if _, dup := c.typed[name]; dup {
+			return fmt.Errorf("second TYPE line for %s", name)
+		}
+		c.typed[name] = typ
+		c.family, c.typ = name, typ
+	}
+	return nil
+}
+
+// checkHelpEscapes rejects a raw backslash that is not part of a valid
+// \\ or \n escape in HELP text.
+func checkHelpEscapes(s string) error {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) || (s[i+1] != '\\' && s[i+1] != 'n') {
+			return fmt.Errorf("invalid escape at byte %d", i)
+		}
+		i++
+	}
+	return nil
+}
+
+// sample validates one sample line and attributes it to the current
+// family.
+func (c *checker) sample(line string) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	labels, rest, err := parseLabels(rest)
+	if err != nil {
+		return fmt.Errorf("series %s: %w", name, err)
+	}
+	valueStr := strings.TrimSpace(rest)
+	if i := strings.IndexAny(valueStr, " \t"); i >= 0 {
+		// Optional trailing timestamp: must be an integer.
+		ts := strings.TrimSpace(valueStr[i:])
+		valueStr = valueStr[:i]
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return fmt.Errorf("series %s: invalid timestamp %q", name, ts)
+		}
+	}
+	value, err := parseValue(valueStr)
+	if err != nil {
+		return fmt.Errorf("series %s: %w", name, err)
+	}
+
+	// Attribution: the sample must belong to the family announced by
+	// the nearest preceding TYPE line.
+	if c.family == "" {
+		return fmt.Errorf("sample %s before any # TYPE line", name)
+	}
+	base, suffix, ok := attributed(name, c.family, c.typ)
+	if !ok {
+		return fmt.Errorf("sample %s does not belong to # TYPE %s %s", name, c.family, c.typ)
+	}
+
+	sig := seriesSig(name, labels)
+	if c.series[sig] {
+		return fmt.Errorf("duplicate series %s", name)
+	}
+	c.series[sig] = true
+
+	if c.typ != "histogram" {
+		return nil
+	}
+	// Histogram bookkeeping keyed by the series without le.
+	var le string
+	nonLe := labels[:0:0]
+	for _, l := range labels {
+		if l.Name == "le" {
+			if le != "" {
+				return fmt.Errorf("series %s: repeated le label", name)
+			}
+			le = l.Value
+			continue
+		}
+		nonLe = append(nonLe, l)
+	}
+	key := seriesSig(base, nonLe)
+	h := c.hists[key]
+	if h == nil {
+		h = &histSeries{firstLe: true}
+		c.hists[key] = h
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			return fmt.Errorf("series %s: bucket sample without le label", name)
+		}
+		bound, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("series %s: invalid le %q", name, le)
+		}
+		if math.IsInf(bound, 1) {
+			if h.haveInf {
+				return fmt.Errorf("series %s: repeated le=\"+Inf\" bucket", base)
+			}
+			h.haveInf, h.infVal = true, value
+		} else {
+			if h.haveInf {
+				return fmt.Errorf("series %s: finite bucket after le=\"+Inf\"", base)
+			}
+			if !h.firstLe && bound <= h.lastLe {
+				return fmt.Errorf("series %s: bucket bounds not increasing (le=%q after %v)", base, le, h.lastLe)
+			}
+			h.lastLe = bound
+		}
+		if value < h.lastCum {
+			return fmt.Errorf("series %s: bucket counts not monotone (le=%q: %v < %v)", base, le, value, h.lastCum)
+		}
+		h.lastCum = value
+		h.firstLe = false
+		h.anyBound = true
+	case "_sum":
+		if h.sum != nil {
+			return fmt.Errorf("series %s: repeated _sum", base)
+		}
+		h.sum = &value
+	case "_count":
+		if h.count != nil {
+			return fmt.Errorf("series %s: repeated _count", base)
+		}
+		h.count = &value
+	default:
+		return fmt.Errorf("series %s: bare sample of histogram family %s", name, base)
+	}
+	return nil
+}
+
+// finish runs the end-of-page histogram completeness checks.
+func (c *checker) finish() error {
+	keys := make([]string, 0, len(c.hists))
+	for k := range c.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := c.hists[k]
+		base := k
+		if i := strings.IndexByte(base, '\xff'); i >= 0 {
+			base = base[:i]
+		}
+		switch {
+		case !h.anyBound && !h.haveInf:
+			return fmt.Errorf("histogram %s: no buckets", base)
+		case !h.haveInf:
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", base)
+		case h.sum == nil:
+			return fmt.Errorf("histogram %s: missing _sum", base)
+		case h.count == nil:
+			return fmt.Errorf("histogram %s: missing _count", base)
+		case *h.count != h.infVal:
+			return fmt.Errorf("histogram %s: _count %v != le=\"+Inf\" bucket %v", base, *h.count, h.infVal)
+		}
+	}
+	return nil
+}
+
+// attributed maps a sample name onto its family, honoring histogram
+// suffixes. It returns the base family name and the suffix consumed.
+func attributed(sample, fam, typ string) (base, suffix string, ok bool) {
+	if typ == "histogram" {
+		for _, sfx := range [...]string{"_bucket", "_sum", "_count"} {
+			if sample == fam+sfx {
+				return fam, sfx, true
+			}
+		}
+		if sample == fam {
+			return fam, "", true // caught as an error by the caller
+		}
+		return "", "", false
+	}
+	if sample == fam {
+		return fam, "", true
+	}
+	return "", "", false
+}
+
+// splitName cuts the metric name off the front of a sample line.
+func splitName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// parseLabels consumes an optional {name="value",...} block.
+func parseLabels(s string) ([]Label, string, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, s, nil
+	}
+	s = s[1:]
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		i := 0
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i == len(s) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		name := strings.TrimSpace(s[:i])
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[i+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		value, rest, err := parseQuoted(s[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", name, err)
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		s = strings.TrimLeft(rest, " \t")
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+			return labels, s[1:], nil
+		default:
+			return nil, "", fmt.Errorf("label %s: expected , or } after value", name)
+		}
+	}
+}
+
+// parseQuoted decodes a label value up to its closing quote, enforcing
+// that backslashes only introduce the three legal escapes.
+func parseQuoted(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i+1])
+			}
+			i++
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseValue accepts the exposition float forms.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return v, nil
+}
+
+// seriesSig keys one series: name plus its sorted label pairs.
+func seriesSig(name string, labels []Label) string {
+	sorted := sortLabels(labels)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range sorted {
+		b.WriteByte('\xff')
+		b.WriteString(l.Name)
+		b.WriteByte('\xfe')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}

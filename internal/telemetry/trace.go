@@ -1,0 +1,319 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults for TracerOptions zero values.
+const (
+	// DefaultMaxTraces bounds resident traces; the oldest trace is
+	// evicted FIFO when a new one arrives at capacity.
+	DefaultMaxTraces = 512
+	// DefaultMaxSpansPerTrace bounds one trace's recorded spans; spans
+	// past the bound are counted as dropped, not stored. A maximum-size
+	// distributed sweep records one span per shard plus a handful of
+	// roots, so the default leaves ample headroom.
+	DefaultMaxSpansPerTrace = 2048
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one finished span as stored in the trace buffer.
+type SpanRecord struct {
+	TraceID  string
+	SpanID   string
+	ParentID string // "" for a root (or a remote parent not recorded here)
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// End returns the span's end time.
+func (r SpanRecord) End() time.Time { return r.Start.Add(r.Duration) }
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// MaxTraces bounds resident traces; 0 means DefaultMaxTraces.
+	MaxTraces int
+	// MaxSpansPerTrace bounds one trace's stored spans; 0 means
+	// DefaultMaxSpansPerTrace.
+	MaxSpansPerTrace int
+}
+
+// Tracer records finished spans into a bounded ring of traces. The
+// ring is FIFO over trace ids: when a span for a new trace arrives at
+// capacity, the oldest resident trace is evicted whole. All methods
+// are safe for concurrent use; a nil *Tracer is a valid no-op tracer
+// (every method returns zero values), which is what lets callers
+// thread one through unconditionally.
+type Tracer struct {
+	maxTraces int
+	maxSpans  int
+
+	mu     sync.Mutex
+	traces map[string]*traceEntry
+	ring   []string // trace ids in arrival order; head indexes the oldest
+	head   int
+
+	spansRecorded Counter
+	spansDropped  Counter
+	tracesEvicted Counter
+}
+
+type traceEntry struct {
+	spans   []SpanRecord
+	dropped int
+}
+
+// NewTracer builds a tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	maxTraces := opts.MaxTraces
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	maxSpans := opts.MaxSpansPerTrace
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpansPerTrace
+	}
+	return &Tracer{
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+		traces:    make(map[string]*traceEntry, maxTraces),
+		ring:      make([]string, 0, maxTraces),
+	}
+}
+
+// NewID returns a 16-hex-char random id — the shared format for trace
+// and span ids (and the same shape the jobs package mints). A host
+// without entropy is broken; panic rather than hand out colliding ids.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("telemetry: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// record stores one finished span.
+func (t *Tracer) record(rec SpanRecord) {
+	if t == nil || rec.TraceID == "" {
+		return
+	}
+	t.mu.Lock()
+	e := t.traces[rec.TraceID]
+	if e == nil {
+		if len(t.ring) < t.maxTraces {
+			t.ring = append(t.ring, rec.TraceID)
+		} else {
+			delete(t.traces, t.ring[t.head])
+			t.ring[t.head] = rec.TraceID
+			t.head = (t.head + 1) % t.maxTraces
+			t.tracesEvicted.Inc()
+		}
+		e = &traceEntry{}
+		t.traces[rec.TraceID] = e
+	}
+	if len(e.spans) >= t.maxSpans {
+		e.dropped++
+		t.mu.Unlock()
+		t.spansDropped.Inc()
+		return
+	}
+	e.spans = append(e.spans, rec)
+	t.mu.Unlock()
+	t.spansRecorded.Inc()
+}
+
+// TraceView is one trace's recorded spans, sorted by start time (span
+// id as tiebreak). Dropped counts spans lost to the per-trace bound.
+type TraceView struct {
+	ID      string
+	Spans   []SpanRecord
+	Dropped int
+}
+
+// Trace returns a copy of one resident trace.
+func (t *Tracer) Trace(id string) (TraceView, bool) {
+	if t == nil {
+		return TraceView{}, false
+	}
+	t.mu.Lock()
+	e := t.traces[id]
+	if e == nil {
+		t.mu.Unlock()
+		return TraceView{}, false
+	}
+	v := TraceView{ID: id, Spans: append([]SpanRecord(nil), e.spans...), Dropped: e.dropped}
+	t.mu.Unlock()
+	sort.Slice(v.Spans, func(i, k int) bool {
+		if !v.Spans[i].Start.Equal(v.Spans[k].Start) {
+			return v.Spans[i].Start.Before(v.Spans[k].Start)
+		}
+		return v.Spans[i].SpanID < v.Spans[k].SpanID
+	})
+	return v, true
+}
+
+// Len returns the number of resident traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// RegisterMetrics exports the tracer's own counters.
+func (t *Tracer) RegisterMetrics(r *Registry) {
+	r.NewCounterFunc("optspeed_trace_spans_recorded_total",
+		"Spans recorded into the trace buffer.",
+		func() float64 { return float64(t.spansRecorded.Value()) })
+	r.NewCounterFunc("optspeed_trace_spans_dropped_total",
+		"Spans dropped by the per-trace span bound.",
+		func() float64 { return float64(t.spansDropped.Value()) })
+	r.NewCounterFunc("optspeed_trace_traces_evicted_total",
+		"Whole traces evicted FIFO from the bounded trace buffer.",
+		func() float64 { return float64(t.tracesEvicted.Value()) })
+	r.NewGaugeFunc("optspeed_trace_traces_resident",
+		"Traces currently resident in the buffer.",
+		func() float64 { return float64(t.Len()) })
+}
+
+// Summary condenses a trace for the job JSON block: wall time is the
+// envelope of every span, the critical path is the longest
+// leaf-to-completion chain (for the scatter–gather DAG: the slowest
+// shard), and serial is the summed leaf work — the denominator of the
+// DAG speedup bound (Gunther): serial/wall ≤ serial/critical-path.
+type Summary struct {
+	Spans          int
+	Dropped        int
+	WallMs         float64
+	CriticalPathMs float64
+	SerialMs       float64
+}
+
+// Summary computes the trace's DAG summary. Critical path is defined
+// over recorded spans only: cp(s) = duration(s) for a leaf, else
+// max over children of cp(child) — a parent's own duration already
+// envelopes its children, so the recursion surfaces the longest chain
+// of actual leaf work. Wall always bounds it from above because every
+// leaf starts no earlier than the trace and ends no later.
+func (v TraceView) Summary() Summary {
+	s := Summary{Spans: len(v.Spans), Dropped: v.Dropped}
+	if len(v.Spans) == 0 {
+		return s
+	}
+	ids := make(map[string]int, len(v.Spans))
+	for i, sp := range v.Spans {
+		ids[sp.SpanID] = i
+	}
+	children := make(map[int][]int, len(v.Spans))
+	isChild := make([]bool, len(v.Spans))
+	for i, sp := range v.Spans {
+		if sp.ParentID == "" {
+			continue
+		}
+		if p, ok := ids[sp.ParentID]; ok && p != i {
+			children[p] = append(children[p], i)
+			isChild[i] = true
+		}
+	}
+	earliest, latest := v.Spans[0].Start, v.Spans[0].End()
+	var serial time.Duration
+	for i, sp := range v.Spans {
+		if sp.Start.Before(earliest) {
+			earliest = sp.Start
+		}
+		if sp.End().After(latest) {
+			latest = sp.End()
+		}
+		if len(children[i]) == 0 {
+			serial += sp.Duration
+		}
+	}
+	var cp func(i int) time.Duration
+	cp = func(i int) time.Duration {
+		kids := children[i]
+		if len(kids) == 0 {
+			return v.Spans[i].Duration
+		}
+		var longest time.Duration
+		for _, k := range kids {
+			if d := cp(k); d > longest {
+				longest = d
+			}
+		}
+		return longest
+	}
+	var critical time.Duration
+	for i := range v.Spans {
+		if !isChild[i] {
+			if d := cp(i); d > critical {
+				critical = d
+			}
+		}
+	}
+	s.WallMs = durMs(latest.Sub(earliest))
+	s.CriticalPathMs = durMs(critical)
+	s.SerialMs = durMs(serial)
+	return s
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Span is one in-flight operation. Spans are created by StartSpan /
+// StartRoot, annotated with SetAttr, and recorded at End. A nil *Span
+// is a valid no-op (the disabled-tracing path), so call sites never
+// branch.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+	clock  time.Time // monotonic start for the duration measurement
+}
+
+// TraceID returns the span's trace id ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.TraceID
+}
+
+// SpanID returns the span's id ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
+}
+
+// SetAttr annotates the span. Later values for the same key ride
+// along; readers see the last one first in sorted rendering.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: value})
+}
+
+// End measures the duration and records the span. End is not
+// idempotent by design — call it exactly once; a defer is the usual
+// shape.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.Duration = time.Since(s.clock)
+	s.tracer.record(s.rec)
+}
