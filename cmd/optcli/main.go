@@ -22,6 +22,10 @@
 //	          server running a durable job store) or as raw JSON
 //	stream    -f sweep.json ("-" = stdin)
 //	          stream results as they are computed, one JSON line each
+//	cluster   [--json] [-add URL] [-remove URL]
+//	          print the coordinator's fleet: per-peer membership state,
+//	          breaker position, probe health, and the scatter/hedge
+//	          counters; -add/-remove change the live roster
 //
 // The sweep file is the API's sweep body, e.g.:
 //
@@ -82,6 +86,8 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string) error
 		return cmdJobs(ctx, c, args)
 	case "stream":
 		return cmdStream(ctx, c, args)
+	case "cluster":
+		return cmdCluster(ctx, c, args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -90,7 +96,7 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string) error
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: optcli [-server URL] {optimize|submit|status|wait|results|cancel|jobs|stream} ...")
+		"usage: optcli [-server URL] {optimize|submit|status|wait|results|cancel|jobs|stream|cluster} ...")
 }
 
 func fatal(err error) {
@@ -298,6 +304,74 @@ func cmdJobs(ctx context.Context, c *client.Client, args []string) error {
 			j.ID, j.Kind, j.State,
 			j.Progress.Completed, j.Progress.Total,
 			durable, j.CreatedAt.Format(time.RFC3339))
+	}
+	return w.Flush()
+}
+
+func cmdCluster(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the cluster status as JSON instead of a table")
+	add := fs.String("add", "", "admit a worker base URL into the live roster before reporting")
+	remove := fs.String("remove", "", "evict a worker base URL from the live roster before reporting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("cluster: unexpected arguments %v", fs.Args())
+	}
+	if *add != "" {
+		if _, err := c.AddPeer(ctx, *add); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "optcli: added peer %s\n", *add)
+	}
+	if *remove != "" {
+		if _, err := c.RemovePeer(ctx, *remove); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "optcli: removed peer %s\n", *remove)
+	}
+	st, err := c.Cluster(ctx)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(st)
+	}
+	fmt.Printf("mode=%s shard_size=%d\n", st.Mode, st.ShardSize)
+	s := st.Shards
+	fmt.Printf("shards: planned=%d retried=%d fallback=%d hedged=%d hedges_won=%d reclaimed=%d",
+		s.ShardsPlanned, s.ShardsRetried, s.ShardsFallback,
+		s.HedgesLaunched, s.HedgesWon, s.AttemptsReclaimed)
+	if st.HedgeDelayMs > 0 {
+		fmt.Printf(" hedge_delay_ms=%.1f", st.HedgeDelayMs)
+	}
+	fmt.Println()
+	if len(st.Membership) > 0 {
+		fmt.Print("membership:")
+		for _, ev := range []string{"added", "removed", "suspected", "down", "readmitted"} {
+			if n := st.Membership[ev]; n > 0 {
+				fmt.Printf(" %s=%d", ev, n)
+			}
+		}
+		fmt.Println()
+	}
+	if len(st.Peers) == 0 {
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "PEER\tSTATE\tBREAKER\tHEALTHY\tPROBE_MS\tOK\tFAILED\tLAST_ERROR")
+	for _, p := range st.Peers {
+		breaker := p.Breaker
+		if p.BreakerRetryInMs > 0 {
+			breaker = fmt.Sprintf("%s (retry %.0fms)", p.Breaker, p.BreakerRetryInMs)
+		}
+		lastErr := p.LastError
+		if lastErr == "" {
+			lastErr = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%v\t%.1f\t%d\t%d\t%s\n",
+			p.URL, p.State, breaker, p.Healthy, p.ProbeMs, p.ShardsOK, p.ShardsFailed, lastErr)
 	}
 	return w.Flush()
 }

@@ -86,6 +86,7 @@ import (
 	"time"
 
 	"optspeed/internal/admit"
+	"optspeed/internal/chaos"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/service"
@@ -146,6 +147,7 @@ type Report struct {
 	Workloads      []WorkloadReport  `json:"workloads"`
 	Baseline       *Report           `json:"baseline,omitempty"`
 	TraceProbe     *TraceProbeReport `json:"trace_probe,omitempty"`
+	HedgeProbe     *HedgeProbeReport `json:"hedge_probe,omitempty"`
 }
 
 // TraceProbeReport is the -cluster trace check: one oversized sweep job
@@ -414,38 +416,79 @@ func aggregate(name string, samples []sample, elapsed time.Duration) WorkloadRep
 	return rep
 }
 
+// serverOpts configures one in-process daemon.
+type serverOpts struct {
+	workers   int
+	peers     []string
+	shardSize int
+	dataDir   string
+	fsync     store.FsyncPolicy
+	adm       *admit.Controller
+	// hedgeOff disables hedged shard requests (coordinator mode).
+	hedgeOff bool
+	// plane wires the chaos fault-injection plane in: a non-empty
+	// sitePrefix wraps the server's handler (service-side faults), a
+	// coordinator additionally gets the chaos transport on its dispatch
+	// client, and a durable store gets the injected write faults.
+	plane      *chaos.Plane
+	sitePrefix string
+}
+
 // startServer runs one in-process daemon (a worker, or a coordinator
 // when peers are given), returning its base URL; the caller runs the
 // cleanup when done. A non-empty dataDir opens (or reopens) a durable
 // job store there, so the server journals v2 jobs and replays whatever
 // the directory already holds.
 func startServer(workers int, peers []string, shardSize int, dataDir string, fsync store.FsyncPolicy, adm *admit.Controller) (string, func()) {
-	eng := sweep.New(sweep.Options{Workers: workers})
-	cfg := service.Config{Engine: eng, Admission: adm}
-	if len(peers) > 0 {
-		cfg.Dispatcher = dispatch.New(dispatch.Options{
+	return startServerWith(serverOpts{
+		workers: workers, peers: peers, shardSize: shardSize,
+		dataDir: dataDir, fsync: fsync, adm: adm,
+	})
+}
+
+func startServerWith(o serverOpts) (string, func()) {
+	eng := sweep.New(sweep.Options{Workers: o.workers})
+	cfg := service.Config{Engine: eng, Admission: o.adm}
+	if len(o.peers) > 0 {
+		dopts := dispatch.Options{
 			Engine:    eng,
-			Peers:     peers,
-			ShardSize: shardSize,
-		})
+			Peers:     o.peers,
+			ShardSize: o.shardSize,
+			Hedge:     dispatch.HedgeConfig{Disable: o.hedgeOff},
+		}
+		if o.plane != nil {
+			dopts.HTTPClient = &http.Client{Transport: o.plane.Transport(nil)}
+		}
+		cfg.Dispatcher = dispatch.New(dopts)
 	}
 	var persistence *store.Store
-	if dataDir != "" {
+	if o.dataDir != "" {
+		sopts := store.Options{Dir: o.dataDir, Fsync: o.fsync}
+		if o.plane != nil {
+			sopts.WriteFault = o.plane.StoreWriteFault()
+		}
 		var recovered []jobs.PersistedJob
 		var err error
-		persistence, recovered, err = store.Open(store.Options{Dir: dataDir, Fsync: fsync})
+		persistence, recovered, err = store.Open(sopts)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Persistence = persistence
 		cfg.Recovered = recovered
 	}
+	if o.plane != nil {
+		cfg.Collectors = append(cfg.Collectors, o.plane.RegisterMetrics)
+	}
 	srv := service.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if o.plane != nil && o.sitePrefix != "" {
+		handler = o.plane.Middleware(o.sitePrefix, handler)
+	}
+	hs := &http.Server{Handler: handler}
 	go hs.Serve(ln)
 	return "http://" + ln.Addr().String(), func() {
 		hs.Close()
@@ -556,6 +599,8 @@ func main() {
 		scrape   = flag.String("scrape", "", "after the run, scrape GET /metrics from the target, validate the exposition format, and archive it to this file")
 		restart  = flag.Bool("restart", false, "restart-recovery drill: run jobs to completion, restart the in-process server on the same data dir, verify recovered pages byte-identical")
 		overload = flag.Bool("overload", false, "overload drill: drive a tightly-gated in-process server at 3x capacity; fail unless every rejection is an explicit 429/503 with Retry-After, no streams sever, goroutines stay stable, and admitted p99 stays near baseline")
+		chaosOn  = flag.String("chaos", "", "chaos drill: a seed (\"42\") or spec (\"seed=42,drop=0.1,latency=0.2:50ms\"); builds a fault-injected in-process cluster, asserts byte-identical sweeps, schedule determinism, and the hedging p99 win, then writes the drill report")
+		slowPeer = flag.Duration("slow-peer", 0, "cluster mode: inject this much latency into one worker and record a hedging-on vs hedging-off sweep p99 comparison in the report")
 	)
 	flag.Parse()
 	if *quick {
@@ -595,6 +640,29 @@ func main() {
 			fatal(fmt.Errorf("-overload drives its own in-process server; drop -addr/-cluster/-data-dir"))
 		}
 		runOverload(*workers, *duration, *out)
+		return
+	}
+
+	if *chaosOn != "" {
+		cfg, on, err := chaos.ParseSpec(*chaosOn)
+		if err != nil {
+			fatal(err)
+		}
+		if !on {
+			fatal(fmt.Errorf("-chaos %q parses to off; give a seed or spec", *chaosOn))
+		}
+		if *addr != "" {
+			fatal(fmt.Errorf("-chaos builds its own in-process topology; drop -addr"))
+		}
+		n := *cluster
+		if n < 2 {
+			n = 3
+		}
+		chaosOut := *out
+		if chaosOut == "BENCH_http.json" {
+			chaosOut = "CHAOS_drill.json"
+		}
+		runChaos(cfg, *chaosOn, *workers, n, *shardSz, policy, chaosOut)
 		return
 	}
 
@@ -640,6 +708,11 @@ func main() {
 		stopCoord()
 		for _, stop := range stops {
 			stop()
+		}
+		if *slowPeer > 0 {
+			// Fresh topology with one always-slow worker: how much does
+			// hedged dispatch claw back of the injected tail latency?
+			report.HedgeProbe = hedgeProbe(*workers, *cluster, *slowPeer, *shardSz, 30)
 		}
 		writeReport(*out, report)
 		if report.TraceProbe != nil && !report.TraceProbe.OK {
@@ -1100,6 +1173,347 @@ func runOverload(workers int, duration time.Duration, out string) {
 	writeReport(out, rep)
 	if !rep.OK {
 		fatal(fmt.Errorf("overload drill failed (see report)"))
+	}
+}
+
+// fixedSweepBody is coldSweepBody with an explicit n base instead of
+// the rotating sequence: the same body every run, so a reference
+// topology and a chaos topology evaluate the same specs and their
+// responses are byte-comparable. Distinct bases keep the drill's
+// bodies disjoint (no cache-hit flags to diverge on).
+func fixedSweepBody(base int64) string {
+	var sb strings.Builder
+	sb.WriteString(`{"space":{"ns":[`)
+	for i := int64(0); i < 48; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(base+i, 10))
+	}
+	sb.WriteString(`],"stencils":["5-point","9-point"],"shapes":["strip","square"],` +
+		`"machines":[{"type":"sync-bus"},{"type":"hypercube"},{"type":"mesh"},{"type":"banyan"}]}}`)
+	return sb.String()
+}
+
+// HedgeProbeReport compares sweep latency through a coordinator with
+// hedging on vs off while one worker carries injected latency on every
+// shard request — the tail-cutting claim, measured.
+type HedgeProbeReport struct {
+	Workers        int     `json:"workers"`
+	SlowPeerMs     float64 `json:"slow_peer_ms"`
+	Requests       int     `json:"requests"`
+	HedgeOffP50Ms  float64 `json:"hedge_off_p50_ms"`
+	HedgeOffP99Ms  float64 `json:"hedge_off_p99_ms"`
+	HedgeOnP50Ms   float64 `json:"hedge_on_p50_ms"`
+	HedgeOnP99Ms   float64 `json:"hedge_on_p99_ms"`
+	P99CutFactor   float64 `json:"p99_cut_factor"`
+	HedgesLaunched int     `json:"hedges_launched"`
+	HedgesWon      int     `json:"hedges_won"`
+	OK             bool    `json:"ok"`
+}
+
+// hedgeProbe builds clusterN workers (one wrapped in an always-latency
+// chaos plane) and measures the same sharded sweep through a hedging
+// and a non-hedging coordinator. Shards land on the slow worker either
+// way; only the hedged coordinator can cut the wait short.
+func hedgeProbe(workers, clusterN int, slow time.Duration, shardSz, requests int) *HedgeProbeReport {
+	if clusterN < 2 {
+		clusterN = 2
+	}
+	slowPlane := chaos.New(chaos.Config{Seed: 1, Latency: 1, LatencyAmount: slow})
+	var peers []string
+	var stops []func()
+	for i := 0; i < clusterN; i++ {
+		o := serverOpts{workers: workers}
+		if i == 0 {
+			o.plane = slowPlane
+			o.sitePrefix = "slowpeer"
+		}
+		base, stop := startServerWith(o)
+		peers = append(peers, base)
+		stops = append(stops, stop)
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	body := fixedSweepBody(20000)
+	hc := &http.Client{Timeout: 2 * time.Minute}
+	measure := func(hedgeOff bool) ([]time.Duration, int, int) {
+		coordBase, stopCoord := startServerWith(serverOpts{
+			workers: workers, peers: peers, shardSize: shardSz, hedgeOff: hedgeOff,
+		})
+		defer stopCoord()
+		// Warmup: settle connections and (hedging on) seed the EWMA
+		// latency budget past its cold start.
+		for i := 0; i < 6; i++ {
+			if _, err := httpDo(hc, http.MethodPost, coordBase+"/v1/sweep", body); err != nil {
+				fatal(fmt.Errorf("hedge probe warmup: %w", err))
+			}
+		}
+		lat := make([]time.Duration, 0, requests)
+		for i := 0; i < requests; i++ {
+			t0 := time.Now()
+			if _, err := httpDo(hc, http.MethodPost, coordBase+"/v1/sweep", body); err != nil {
+				fatal(fmt.Errorf("hedge probe: %w", err))
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		raw, err := httpDo(hc, http.MethodGet, coordBase+"/v2/cluster", "")
+		if err != nil {
+			fatal(fmt.Errorf("hedge probe: cluster status: %w", err))
+		}
+		var cs struct {
+			Shards struct {
+				HedgesLaunched int `json:"hedges_launched"`
+				HedgesWon      int `json:"hedges_won"`
+			} `json:"shards"`
+		}
+		if err := json.Unmarshal(raw, &cs); err != nil {
+			fatal(fmt.Errorf("hedge probe: cluster status: %w", err))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat, cs.Shards.HedgesLaunched, cs.Shards.HedgesWon
+	}
+	offLat, _, _ := measure(true)
+	onLat, launched, won := measure(false)
+	rep := &HedgeProbeReport{
+		Workers:        clusterN,
+		SlowPeerMs:     float64(slow) / float64(time.Millisecond),
+		Requests:       requests,
+		HedgeOffP50Ms:  percentile(offLat, 0.50),
+		HedgeOffP99Ms:  percentile(offLat, 0.99),
+		HedgeOnP50Ms:   percentile(onLat, 0.50),
+		HedgeOnP99Ms:   percentile(onLat, 0.99),
+		HedgesLaunched: launched,
+		HedgesWon:      won,
+	}
+	if rep.HedgeOnP99Ms > 0 {
+		rep.P99CutFactor = rep.HedgeOffP99Ms / rep.HedgeOnP99Ms
+	}
+	rep.OK = rep.HedgesLaunched > 0 && rep.HedgeOnP99Ms < rep.HedgeOffP99Ms
+	fmt.Fprintf(os.Stderr,
+		"optload: hedge probe: slow peer +%.0fms, p99 %.1fms hedged vs %.1fms unhedged (%.1fx cut), %d hedges (%d won), ok=%v\n",
+		rep.SlowPeerMs, rep.HedgeOnP99Ms, rep.HedgeOffP99Ms, rep.P99CutFactor, launched, won, rep.OK)
+	return rep
+}
+
+// ChaosReport is the -chaos drill artifact. OK folds together every
+// asserted property: byte-identical sweep responses under faults, all
+// jobs surviving store write errors, a deterministic (replayable)
+// schedule, a valid exposition with the chaos counters on it, and the
+// hedging p99 win.
+type ChaosReport struct {
+	Spec               string            `json:"spec"`
+	Config             chaos.Config      `json:"config"`
+	ClusterWorkers     int               `json:"cluster_workers"`
+	ShardSize          int               `json:"shard_size"`
+	ByteChecks         int               `json:"byte_checks"`
+	ByteMismatches     int               `json:"byte_mismatches"`
+	JobsSubmitted      int               `json:"jobs_submitted"`
+	JobsSucceeded      int               `json:"jobs_succeeded"`
+	Injected           chaos.Counts      `json:"injected"`
+	Sites              int               `json:"sites"`
+	ScheduleDivergence int               `json:"schedule_divergence"`
+	ShardsRetried      int               `json:"shards_retried"`
+	ShardsFallback     int               `json:"shards_fallback"`
+	HedgesLaunched     int               `json:"hedges_launched"`
+	AttemptsReclaimed  int               `json:"attempts_reclaimed"`
+	Membership         map[string]int    `json:"membership_events,omitempty"`
+	ScrapeOK           bool              `json:"scrape_ok"`
+	Hedge              *HedgeProbeReport `json:"hedge"`
+	OK                 bool              `json:"ok"`
+}
+
+// chaosSiteKind infers a site's fault menu from the naming convention
+// the plane's middleware and transport use.
+func chaosSiteKind(site string) chaos.SiteKind {
+	switch {
+	case strings.HasPrefix(site, "transport "):
+		return chaos.SiteTransport
+	case strings.Contains(site, " http "):
+		return chaos.SiteHTTP
+	default:
+		return chaos.SiteStore
+	}
+}
+
+// runChaos is the -chaos drill. It answers four questions, self-gating
+// on each:
+//
+//  1. Equivalence: does a coordinator under injected faults (worker
+//     5xx, dropped connections, mid-stream truncation, garbage lines,
+//     latency, store write errors) return byte-identical sweep
+//     responses to a clean single node? This is the PR 5 fault-
+//     equivalence contract exercised end to end.
+//  2. Durability of jobs: do v2 jobs run to "succeeded" while the
+//     store's appends are failing underneath them?
+//  3. Determinism: does the schedule the plane actually fired match
+//     the pure (seed, site, seq) function — i.e. would the same seed
+//     replay identically?
+//  4. Tail latency: does hedged dispatch cut sweep p99 against an
+//     injected slow peer (hedgeProbe)?
+func runChaos(cfg chaos.Config, spec string, workers, clusterN, shardSz int, policy store.FsyncPolicy, out string) {
+	rep := &ChaosReport{Spec: spec, Config: cfg, ClusterWorkers: clusterN, ShardSize: shardSz}
+	bodies := []string{
+		sweepBodies[0],
+		sweepBodies[1],
+		fixedSweepBody(5000),
+		fixedSweepBody(6000),
+		fixedSweepBody(7000),
+	}
+	hc := &http.Client{Timeout: 2 * time.Minute}
+
+	// Reference: one clean node, no cluster, no faults. Its responses
+	// are the bytes the chaos topology must reproduce.
+	refBase, stopRef := startServer(workers, nil, 0, "", policy, nil)
+	want := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		raw, err := httpDo(hc, http.MethodPost, refBase+"/v1/sweep", body)
+		if err != nil {
+			fatal(fmt.Errorf("chaos reference: %w", err))
+		}
+		want[i] = raw
+	}
+	stopRef()
+
+	// Chaos topology: every worker's HTTP surface, the coordinator's
+	// dispatch transport, and the coordinator's durable store all draw
+	// faults from one plane.
+	plane := chaos.New(cfg)
+	dir, err := os.MkdirTemp("", "optload-chaos-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	var peers []string
+	var stops []func()
+	for i := 0; i < clusterN; i++ {
+		base, stop := startServerWith(serverOpts{
+			workers: workers, plane: plane, sitePrefix: fmt.Sprintf("w%d", i),
+		})
+		peers = append(peers, base)
+		stops = append(stops, stop)
+	}
+	coordBase, stopCoord := startServerWith(serverOpts{
+		workers: workers, peers: peers, shardSize: shardSz,
+		dataDir: dir, fsync: policy, plane: plane,
+	})
+	defer func() {
+		stopCoord()
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	// 1. Byte-identity under faults (before the jobs below touch any
+	// overlapping specs and skew cache-hit flags).
+	for i, body := range bodies {
+		raw, err := httpDo(hc, http.MethodPost, coordBase+"/v1/sweep", body)
+		if err != nil {
+			fatal(fmt.Errorf("chaos sweep %d: %w", i, err))
+		}
+		rep.ByteChecks++
+		if !bytesEqual(raw, want[i]) {
+			rep.ByteMismatches++
+			fmt.Fprintf(os.Stderr, "optload: chaos: sweep %d bytes diverged (%d vs %d bytes)\n",
+				i, len(raw), len(want[i]))
+		}
+	}
+
+	// 2. Jobs through the faulty store: the WAL absorbs write errors;
+	// the jobs must still finish.
+	jobBodies := []string{jobsBody, jobsBody, `{"sweep":` + fixedSweepBody(9000) + `}`}
+	for _, jb := range jobBodies {
+		rep.JobsSubmitted++
+		id, err := submitJob(hc, coordBase, jb)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optload: chaos: job submit: %v\n", err)
+			continue
+		}
+		if state, err := waitTerminal(hc, coordBase, id); err == nil && state == "succeeded" {
+			rep.JobsSucceeded++
+		} else {
+			fmt.Fprintf(os.Stderr, "optload: chaos: job %s ended %q (err %v)\n", id, state, err)
+		}
+	}
+
+	// Dispatcher recovery counters, for the report.
+	if raw, err := httpDo(hc, http.MethodGet, coordBase+"/v2/cluster", ""); err == nil {
+		var cs struct {
+			Shards struct {
+				ShardsRetried     int `json:"shards_retried"`
+				ShardsFallback    int `json:"shards_fallback"`
+				HedgesLaunched    int `json:"hedges_launched"`
+				AttemptsReclaimed int `json:"attempts_reclaimed"`
+			} `json:"shards"`
+			Membership map[string]int `json:"membership_events"`
+		}
+		if json.Unmarshal(raw, &cs) == nil {
+			rep.ShardsRetried = cs.Shards.ShardsRetried
+			rep.ShardsFallback = cs.Shards.ShardsFallback
+			rep.HedgesLaunched = cs.Shards.HedgesLaunched
+			rep.AttemptsReclaimed = cs.Shards.AttemptsReclaimed
+			rep.Membership = cs.Membership
+		}
+	}
+
+	// 3. Determinism: every decision each site actually fired must
+	// match the pure schedule function at the same (site, seq). The
+	// recorded log is a bounded sample; skip the strict comparison only
+	// if traffic overflowed it (this drill's does not).
+	planeRep := plane.Report()
+	rep.Injected = planeRep.Counts
+	rep.Sites = len(planeRep.SiteSeqs)
+	if planeRep.Counts.Injected() < 4096 {
+		for site, seq := range planeRep.SiteSeqs {
+			var pure []chaos.Decision
+			for _, d := range plane.Preview(chaosSiteKind(site), site, int(seq)) {
+				if d.Fault != chaos.FaultNone {
+					pure = append(pure, d)
+				}
+			}
+			live := plane.ScheduleFor(site)
+			sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+			if len(live) != len(pure) {
+				rep.ScheduleDivergence++
+				continue
+			}
+			for i := range live {
+				if live[i] != pure[i] {
+					rep.ScheduleDivergence++
+					break
+				}
+			}
+		}
+	}
+
+	// 4. Exposition: a fault-wrapped worker's /metrics must still parse
+	// strictly and carry the chaos counters.
+	if raw, err := httpDo(hc, http.MethodGet, peers[0]+"/metrics", ""); err == nil {
+		rep.ScrapeOK = telemetry.CheckExposition(raw) == nil &&
+			strings.Contains(string(raw), "optspeed_chaos_injected_total")
+	}
+
+	// 5. The hedging win, on its own clean-plus-one-slow-peer topology.
+	rep.Hedge = hedgeProbe(workers, clusterN, 120*time.Millisecond, shardSz, 30)
+
+	rep.OK = rep.ByteMismatches == 0 &&
+		rep.JobsSucceeded == rep.JobsSubmitted &&
+		rep.Injected.Injected() > 0 &&
+		rep.ScheduleDivergence == 0 &&
+		rep.ScrapeOK &&
+		rep.Hedge != nil && rep.Hedge.OK
+	fmt.Fprintf(os.Stderr,
+		"optload: chaos drill (seed %d): %d/%d sweeps byte-identical, %d/%d jobs succeeded, "+
+			"%d faults injected over %d sites (%d schedule divergences), retried %d fallback %d reclaimed %d, ok=%v\n",
+		cfg.Seed, rep.ByteChecks-rep.ByteMismatches, rep.ByteChecks, rep.JobsSucceeded, rep.JobsSubmitted,
+		rep.Injected.Injected(), rep.Sites, rep.ScheduleDivergence,
+		rep.ShardsRetried, rep.ShardsFallback, rep.AttemptsReclaimed, rep.OK)
+	writeReport(out, rep)
+	if !rep.OK {
+		fatal(fmt.Errorf("chaos drill failed (see report)"))
 	}
 }
 

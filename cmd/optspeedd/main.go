@@ -78,6 +78,7 @@ import (
 	"time"
 
 	"optspeed/internal/admit"
+	"optspeed/internal/chaos"
 	"optspeed/internal/dispatch"
 	"optspeed/internal/jobs"
 	"optspeed/internal/service"
@@ -108,6 +109,8 @@ func main() {
 		qWait    = flag.Duration("queue-wait", admit.DefaultMaxWait, "max time a request waits for an evaluation slot before a 503 shed")
 		metrics  = flag.Bool("metrics", true, "serve Prometheus exposition at GET /metrics")
 		traceBuf = flag.Int("trace-buffer", telemetry.DefaultMaxTraces, "resident trace capacity for GET /v1/traces (0 disables tracing)")
+		hedge    = flag.Bool("hedge", true, "hedge slow shard attempts onto a second peer (coordinator mode)")
+		chaosOn  = flag.String("chaos", "", "deterministic fault injection: a seed (\"42\") or \"seed=42,latency=0.1:30ms,drop=0.05,...\"; empty or \"off\" disables (see docs/cluster.md)")
 	)
 	flag.Parse()
 
@@ -129,6 +132,14 @@ func main() {
 			}
 		}()
 	}
+	var plane *chaos.Plane
+	if cfg, on, err := chaos.ParseSpec(*chaosOn); err != nil {
+		fmt.Fprintf(os.Stderr, "optspeedd: %v\n", err)
+		os.Exit(2)
+	} else if on {
+		plane = chaos.New(cfg)
+		logger.Warn("chaos plane active — injecting faults", "seed", cfg.Seed)
+	}
 	engine := sweep.New(sweep.Options{Workers: *workers, CacheSize: *cacheSz})
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -136,14 +147,26 @@ func main() {
 			peerList = append(peerList, p)
 		}
 	}
+	var dispatchHC *http.Client
+	if plane != nil {
+		// The chaos transport sits under the same pooling settings the
+		// dispatcher would build for itself, so a drill changes fault
+		// behavior only, not connection reuse.
+		dispatchHC = &http.Client{Transport: plane.Transport(&http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		})}
+	}
 	dispatcher := dispatch.New(dispatch.Options{
-		Engine:    engine,
-		Peers:     peerList,
-		ShardSize: *shardSz,
-		Logger:    logger,
+		Engine:     engine,
+		Peers:      peerList,
+		ShardSize:  *shardSz,
+		HTTPClient: dispatchHC,
+		Logger:     logger,
+		Hedge:      dispatch.HedgeConfig{Disable: !*hedge},
 	})
 	if len(peerList) > 0 {
-		logger.Info("coordinator mode", "peers", len(peerList), "shard_size", *shardSz)
+		logger.Info("coordinator mode", "peers", len(peerList), "shard_size", *shardSz, "hedge", *hedge)
 	}
 	var persistence *store.Store
 	var recovered []jobs.PersistedJob
@@ -153,11 +176,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "optspeedd: %v\n", err)
 			os.Exit(2)
 		}
-		persistence, recovered, err = store.Open(store.Options{
+		storeOpts := store.Options{
 			Dir:    *dataDir,
 			Fsync:  policy,
 			Logger: logger,
-		})
+		}
+		if plane != nil {
+			storeOpts.WriteFault = plane.StoreWriteFault()
+		}
+		persistence, recovered, err = store.Open(storeOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "optspeedd: open data dir: %v\n", err)
 			os.Exit(1)
@@ -190,7 +217,7 @@ func main() {
 	if *traceBuf > 0 {
 		tracer = telemetry.NewTracer(telemetry.TracerOptions{MaxTraces: *traceBuf})
 	}
-	srv := service.New(service.Config{
+	svcCfg := service.Config{
 		Engine:           engine,
 		Dispatcher:       dispatcher,
 		MaxSweepSpecs:    *maxSweep,
@@ -204,7 +231,11 @@ func main() {
 		Tracer:           tracer,
 		DisableMetrics:   !*metrics,
 		DisableTracing:   *traceBuf <= 0,
-	})
+	}
+	if plane != nil {
+		svcCfg.Collectors = append(svcCfg.Collectors, plane.RegisterMetrics)
+	}
+	srv := service.New(svcCfg)
 	// Shutdown order matters: the job store's Close (inside srv.Close)
 	// cancels and drains jobs and writes a final snapshot through the
 	// persister, so the durable store must close after it.
@@ -217,9 +248,17 @@ func main() {
 		}
 	}()
 
+	handler := srv.Handler()
+	if plane != nil {
+		// The middleware wraps the whole instrumented stack: injected
+		// faults are indistinguishable from a genuinely broken peer, and
+		// /healthz and /metrics stay exempt so liveness and observation
+		// remain honest during a drill.
+		handler = plane.Middleware("serve", handler)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		// Bound slow-body and idle connections so trickling clients
 		// cannot pin goroutines and file descriptors; writes get a

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// exemptPath reports whether the chaos middleware leaves a request
+// untouched: liveness probes must stay honest (the membership layer's
+// re-admission depends on them reflecting the real process, not the
+// drill), and the metrics page is how a drill is observed.
+func exemptPath(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// Middleware wraps an http.Handler with the plane's service-side
+// faults. sitePrefix namespaces the injection sites (one worker per
+// prefix in a multi-worker drill), so each wrapped server draws from
+// its own deterministic streams. Sites are keyed per request path, so
+// the schedule for a path is independent of traffic on other paths.
+func (p *Plane) Middleware(sitePrefix string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := p.decide(sitePrefix+" http "+r.URL.Path, menuHTTP)
+		switch d.Fault {
+		case FaultLatency:
+			select {
+			case <-time.After(d.Delay):
+			case <-r.Context().Done():
+				return
+			}
+		case FaultDrop:
+			// Sever the connection with no response bytes: net/http
+			// aborts the handler and closes the socket, which the
+			// caller sees as a transport error.
+			panic(http.ErrAbortHandler)
+		case Fault5xx:
+			http.Error(w, "chaos: injected fault", http.StatusInternalServerError)
+			return
+		case FaultTruncate:
+			w = &truncateWriter{ResponseWriter: w, budget: d.Cutoff}
+		case FaultGarbage:
+			w = &garbageWriter{ResponseWriter: w}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncateWriter delivers at most budget body bytes, flushes them so
+// the caller really receives the prefix, then severs the connection —
+// a mid-stream peer death with no terminal chunk.
+type truncateWriter struct {
+	http.ResponseWriter
+	budget int
+	dead   bool
+}
+
+func (t *truncateWriter) Write(b []byte) (int, error) {
+	if t.dead {
+		panic(http.ErrAbortHandler)
+	}
+	if len(b) >= t.budget {
+		t.ResponseWriter.Write(b[:t.budget])
+		if f, ok := t.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		t.dead = true
+		panic(http.ErrAbortHandler)
+	}
+	t.budget -= len(b)
+	return t.ResponseWriter.Write(b)
+}
+
+func (t *truncateWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the real writer (the
+// streaming route clears its own write deadline through it).
+func (t *truncateWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
+
+// garbageLine is the non-protocol line garbage injection emits. It is
+// not valid JSON, so a stream consumer must reject it.
+const garbageLine = "\x7bchaos-garbage\n"
+
+// garbageWriter prepends one garbage line to the response body —
+// corrupting an NDJSON stream's framing or a JSON document's syntax,
+// whichever the route serves.
+type garbageWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (g *garbageWriter) Write(b []byte) (int, error) {
+	if !g.wrote {
+		g.wrote = true
+		g.ResponseWriter.Write([]byte(garbageLine))
+	}
+	return g.ResponseWriter.Write(b)
+}
+
+func (g *garbageWriter) Flush() {
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (g *garbageWriter) Unwrap() http.ResponseWriter { return g.ResponseWriter }
+
+// Transport wraps a RoundTripper with the plane's dispatch-side
+// faults: injected latency before the request leaves, or an outright
+// connection failure. Response-body faults stay on the service side —
+// the coordinator must see exactly what a real broken peer produces.
+func (p *Plane) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return transportFunc(func(r *http.Request) (*http.Response, error) {
+		if exemptPath(r.URL.Path) {
+			return base.RoundTrip(r)
+		}
+		d := p.decide("transport "+r.URL.Path, menuTransport)
+		switch d.Fault {
+		case FaultLatency:
+			select {
+			case <-time.After(d.Delay):
+			case <-r.Context().Done():
+				return nil, r.Context().Err()
+			}
+		case FaultDrop:
+			return nil, fmt.Errorf("chaos: connection dropped (seed %d, seq %d)", p.cfg.Seed, d.Seq)
+		}
+		return base.RoundTrip(r)
+	})
+}
+
+type transportFunc func(*http.Request) (*http.Response, error)
+
+func (f transportFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// StoreWriteFault returns the store's write-fault hook: a function the
+// durable store calls before each WAL append, which fails the append
+// on the schedule's storewrite decisions. The store's own degraded
+// mode (count, log, keep serving) is exactly the behavior under drill.
+func (p *Plane) StoreWriteFault() func() error {
+	return func() error {
+		d := p.decide("store append", menuStore)
+		if d.Fault == FaultStoreWrite {
+			return fmt.Errorf("chaos: injected store write error (seed %d, seq %d)", p.cfg.Seed, d.Seq)
+		}
+		return nil
+	}
+}

@@ -15,6 +15,9 @@ import (
 // plus a live /healthz probe taken at snapshot time.
 type PeerStatus struct {
 	URL string `json:"url"`
+	// State is the peer's membership lifecycle position: "healthy",
+	// "suspect", "down", or "probing" (see membership.go).
+	State string `json:"state"`
 	// Healthy reports the live probe's verdict.
 	Healthy bool `json:"healthy"`
 	// ProbeMs is the probe round-trip in milliseconds (0 when the
@@ -44,24 +47,45 @@ type ClusterStatus struct {
 	ShardSize int          `json:"shard_size"`
 	Peers     []PeerStatus `json:"peers"`
 	Shards    Stats        `json:"shards"`
+	// HedgeDelayMs is the current hedged-request latency budget in
+	// milliseconds (0 until the first successful shard seeds the EWMA,
+	// or when hedging is disabled).
+	HedgeDelayMs float64 `json:"hedge_delay_ms,omitempty"`
+	// Membership counts lifecycle events since start, by event:
+	// added, removed, suspected, down, readmitted.
+	Membership map[string]int `json:"membership_events,omitempty"`
 }
 
-// ClusterStatus probes every peer's /healthz concurrently (bounded by
-// DefaultProbeTimeout each) and merges the verdicts with the rolling
-// shard ledger. With no peers it reports single-node mode.
+// ClusterStatus probes every member's /healthz concurrently (bounded
+// by DefaultProbeTimeout each) and merges the verdicts with the
+// rolling shard ledger. Probe verdicts feed membership: a success
+// clears a suspect strike, a failure strikes the peer and counts
+// against its breaker. With no members it reports single-node mode.
 func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
 	st := ClusterStatus{
 		Mode:      "single",
 		ShardSize: d.shardSize,
 		Shards:    d.Stats(),
 	}
-	if len(d.peers) == 0 {
+	if delay, ok := d.hedgeDelay(); ok {
+		st.HedgeDelayMs = float64(delay) / float64(time.Millisecond)
+	}
+	d.mu.Lock()
+	if len(d.membershipEvents) > 0 {
+		st.Membership = make(map[string]int, len(d.membershipEvents))
+		for k, v := range d.membershipEvents {
+			st.Membership[k] = v
+		}
+	}
+	d.mu.Unlock()
+	members := d.snapshotMembers()
+	if len(members) == 0 {
 		return st
 	}
 	st.Mode = "coordinator"
-	st.Peers = make([]PeerStatus, len(d.peers))
+	st.Peers = make([]PeerStatus, len(members))
 	var wg sync.WaitGroup
-	for i, p := range d.peers {
+	for i, p := range members {
 		wg.Add(1)
 		go func(i int, p *peerState) {
 			defer wg.Done()
@@ -93,6 +117,7 @@ func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
 			if probeErr != nil && ps.LastError == "" {
 				ps.LastError = probeErr.Error()
 			}
+			ps.State = string(p.memberState())
 			ps.Breaker = string(p.breaker.State())
 			ps.BreakerRetryInMs = float64(p.breaker.RetryIn()) / float64(time.Millisecond)
 			st.Peers[i] = ps
@@ -102,19 +127,23 @@ func (d *Dispatcher) ClusterStatus(ctx context.Context) ClusterStatus {
 	return st
 }
 
-// recordProbe feeds a health-probe verdict into the peer's breaker. A
-// success matters only to a non-closed breaker — it re-admits an
-// ejected peer without waiting for a sweep to chance by — while a
-// closed breaker ignores it so a liveness blip cannot mask real shard
-// failures' consecutive count. A failure always counts: three dead
-// probes eject a peer before any sweep wastes an attempt on it.
+// recordProbe feeds a health-probe verdict into the peer's breaker and
+// the membership layer. A success clears any suspect strike, and
+// matters to a non-closed breaker — it re-admits an ejected peer
+// without waiting for a sweep to chance by — while a closed breaker
+// ignores it so a liveness blip cannot mask real shard failures'
+// consecutive count. A failure strikes the peer (reclaiming its
+// outstanding shards) and always counts against the breaker: three
+// dead probes eject a peer before any sweep wastes an attempt on it.
 func (d *Dispatcher) recordProbe(p *peerState, healthy bool) {
 	if healthy {
+		p.clearSuspect()
 		if p.breaker.State() != admit.BreakerClosed {
 			p.breaker.Success()
 		}
 		return
 	}
+	d.markSuspect(p)
 	p.breaker.Failure()
 }
 

@@ -14,6 +14,16 @@
 // the coordinator's own engine — the same evaluation the single-node
 // path would have run. With no peers configured every call is a plain
 // local evaluation with no added overhead.
+//
+// On top of reassignment the layer self-heals (see membership.go): the
+// peer roster is runtime-mutable, peers move through a
+// healthy/suspect/down/probing lifecycle driven by attempt outcomes
+// and health probes, a suspect peer's outstanding shards are reclaimed
+// immediately, and slow shards are hedged — once an attempt has been
+// outstanding for a multiple of the observed shard-time EWMA, the
+// shard is launched on a second peer and the loser is cancelled. The
+// first-delivery-wins accumulator makes both reclaim and hedging safe:
+// no index can be double-counted no matter how attempts overlap.
 package dispatch
 
 import (
@@ -22,6 +32,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optspeed/internal/admit"
@@ -81,8 +92,16 @@ type ShardDone struct {
 	// Attempts counts peer attempts consumed, including the successful
 	// one (0 when the shard went straight to the local engine).
 	Attempts int
-	// Retried reports that at least one peer attempt failed first.
+	// Retried reports that at least one peer attempt genuinely failed
+	// while results were still missing — extra work was forced. Hedge
+	// losers and reclaimed attempts don't count.
 	Retried bool
+	// Hedged reports that a second concurrent attempt was launched
+	// because the first exceeded the latency budget.
+	Hedged bool
+	// Reclaims counts attempts cancelled mid-flight because their peer
+	// turned suspect or left the roster.
+	Reclaims int
 }
 
 // Opened is a started scatter–gather stream. Chunks delivers pooled
@@ -105,13 +124,14 @@ type Options struct {
 	// small-request fast path, and the per-shard fallback of last
 	// resort. Required.
 	Engine *sweep.Engine
-	// Peers are worker base URLs (scheme://host:port). Empty means
-	// every request runs locally.
+	// Peers are the seed worker base URLs (scheme://host:port). The
+	// roster is runtime-mutable afterwards via AddPeer/RemovePeer.
+	// Empty means every request runs locally until a peer joins.
 	Peers []string
 	// ShardSize caps one shard's spec count; 0 means DefaultShardSize.
 	ShardSize int
 	// MaxInFlight bounds concurrently outstanding shards; 0 means
-	// DefaultMaxInFlightPerPeer × len(Peers).
+	// DefaultMaxInFlightPerPeer × the roster size at scatter time.
 	MaxInFlight int
 	// ShardTimeout bounds one shard attempt; 0 means
 	// DefaultShardTimeout.
@@ -126,24 +146,41 @@ type Options struct {
 	// 500ms cooldown doubling to 30s with ±20% jitter, single-probe
 	// half-open).
 	Breaker admit.BreakerConfig
+	// Hedge tunes hedged shard requests (zero value: enabled with
+	// defaults; Disable turns hedging off).
+	Hedge HedgeConfig
+	// SuspectWindow is how long one strike deprioritizes a peer;
+	// 0 means DefaultSuspectWindow.
+	SuspectWindow time.Duration
 }
 
-// peerState is one peer's rolling health ledger plus its circuit
-// breaker.
+// peerState is one peer's rolling health ledger, its circuit breaker,
+// and its membership bookkeeping (see membership.go).
 type peerState struct {
 	url     string
 	breaker *admit.Breaker
 
-	mu        sync.Mutex
-	shardsOK  int
-	shardsErr int
-	lastErr   string
-	lastErrAt time.Time
+	mu          sync.Mutex
+	shardsOK    int
+	shardsErr   int
+	lastErr     string
+	lastErrAt   time.Time
+	suspect     bool
+	suspectAt   time.Time
+	removed     bool
+	inflight    map[uint64]*attemptHandle
+	nextAttempt uint64
+	// registered marks the peer's metric series as created; series
+	// registration must happen exactly once per URL for the registry's
+	// duplicate-series panic to stay impossible across remove/re-add.
+	registered bool
 }
 
+// ok records a successful attempt and clears any suspect strike.
 func (p *peerState) ok() {
 	p.mu.Lock()
 	p.shardsOK++
+	p.suspect = false
 	p.mu.Unlock()
 }
 
@@ -161,17 +198,35 @@ func (p *peerState) fail(err error, now time.Time) {
 // distributed jobs at once.
 type Dispatcher struct {
 	engine       *sweep.Engine
-	peers        []*peerState
 	shardSize    int
-	maxInFlight  int
+	maxInFlight  int // configured bound; 0 derives from roster size
 	shardTimeout time.Duration
 	hc           *http.Client
 	logger       *slog.Logger
+	breakerCfg   admit.BreakerConfig
 
-	mu             sync.Mutex
-	shardsPlanned  int
-	shardsRetried  int
-	shardsFallback int
+	hedgeOff      bool
+	hedgeMult     float64
+	hedgeMin      time.Duration
+	hedgeMax      time.Duration
+	suspectWindow time.Duration
+	ewmaBits      atomic.Uint64 // float64 bits of the shard-time EWMA, seconds
+
+	// pmu guards the mutable roster, the all-time peer ledger, and the
+	// lazily bound metric registry.
+	pmu     sync.Mutex
+	members []*peerState
+	ledger  map[string]*peerState
+	reg     *telemetry.Registry
+
+	mu                sync.Mutex
+	shardsPlanned     int
+	shardsRetried     int
+	shardsFallback    int
+	hedgesLaunched    int
+	hedgesWon         int
+	attemptsReclaimed int
+	membershipEvents  map[string]int
 }
 
 // New builds a dispatcher. A nil engine panics: the local fallback is
@@ -184,13 +239,6 @@ func New(opts Options) *Dispatcher {
 	shardSize := opts.ShardSize
 	if shardSize <= 0 {
 		shardSize = DefaultShardSize
-	}
-	maxInFlight := opts.MaxInFlight
-	if maxInFlight <= 0 {
-		maxInFlight = DefaultMaxInFlightPerPeer * len(opts.Peers)
-	}
-	if maxInFlight < 1 {
-		maxInFlight = 1
 	}
 	shardTimeout := opts.ShardTimeout
 	if shardTimeout <= 0 {
@@ -208,37 +256,111 @@ func New(opts Options) *Dispatcher {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
+	hedgeMult := opts.Hedge.Multiplier
+	if hedgeMult <= 0 {
+		hedgeMult = DefaultHedgeMultiplier
+	}
+	hedgeMin := opts.Hedge.Min
+	if hedgeMin <= 0 {
+		hedgeMin = DefaultHedgeMinDelay
+	}
+	hedgeMax := opts.Hedge.Max
+	if hedgeMax <= 0 {
+		hedgeMax = DefaultHedgeMaxDelay
+	}
+	suspectWindow := opts.SuspectWindow
+	if suspectWindow <= 0 {
+		suspectWindow = DefaultSuspectWindow
+	}
 	d := &Dispatcher{
-		engine:       opts.Engine,
-		shardSize:    shardSize,
-		maxInFlight:  maxInFlight,
-		shardTimeout: shardTimeout,
-		hc:           hc,
-		logger:       opts.Logger,
+		engine:        opts.Engine,
+		shardSize:     shardSize,
+		maxInFlight:   opts.MaxInFlight,
+		shardTimeout:  shardTimeout,
+		hc:            hc,
+		logger:        opts.Logger,
+		breakerCfg:    opts.Breaker,
+		hedgeOff:      opts.Hedge.Disable,
+		hedgeMult:     hedgeMult,
+		hedgeMin:      hedgeMin,
+		hedgeMax:      hedgeMax,
+		suspectWindow: suspectWindow,
+		ledger:        make(map[string]*peerState),
 	}
 	for _, u := range opts.Peers {
-		url := u
-		bc := opts.Breaker
-		userHook := bc.OnTransition
-		bc.OnTransition = func(from, to admit.BreakerState, cooldown time.Duration) {
-			if d.logger != nil {
-				d.logger.Warn("peer breaker transition",
-					"peer", url, "from", string(from), "to", string(to), "cooldown", cooldown)
-			}
-			if userHook != nil {
-				userHook(from, to, cooldown)
-			}
+		url, err := normalizePeerURL(u)
+		if err != nil {
+			// Seed URLs come from a flag; a malformed one is kept
+			// verbatim so the ledger and logs show it failing rather
+			// than silently dropping a fleet member.
+			url = u
 		}
-		d.peers = append(d.peers, &peerState{url: u, breaker: admit.NewBreaker(bc)})
+		if _, dup := d.ledger[url]; dup {
+			continue
+		}
+		p := d.newPeerState(url)
+		d.ledger[url] = p
+		d.members = append(d.members, p)
 	}
 	return d
+}
+
+// newPeerState builds one peer's ledger entry and breaker, wiring the
+// breaker's transitions into membership accounting: opening marks the
+// peer down (and reclaims its outstanding attempts), a half-open →
+// closed recovery re-admits it and clears its strike.
+func (d *Dispatcher) newPeerState(url string) *peerState {
+	p := &peerState{url: url}
+	bc := d.breakerCfg
+	userHook := bc.OnTransition
+	bc.OnTransition = func(from, to admit.BreakerState, cooldown time.Duration) {
+		switch {
+		case to == admit.BreakerOpen:
+			d.countMembership("down")
+			if n := d.reclaimAttempts(p); n > 0 && d.logger != nil {
+				d.logger.Warn("peer down, reclaiming attempts", "peer", url, "attempts", n)
+			}
+		case to == admit.BreakerClosed && from != admit.BreakerClosed:
+			d.countMembership("readmitted")
+			p.clearSuspect()
+		}
+		if d.logger != nil {
+			d.logger.Warn("peer breaker transition",
+				"peer", url, "from", string(from), "to", string(to), "cooldown", cooldown)
+		}
+		if userHook != nil {
+			userHook(from, to, cooldown)
+		}
+	}
+	p.breaker = admit.NewBreaker(bc)
+	return p
+}
+
+// reclaimAttempts cancels every in-flight attempt against the peer,
+// marking each as reclaimed so its shard reassigns immediately.
+func (d *Dispatcher) reclaimAttempts(p *peerState) int {
+	p.mu.Lock()
+	handles := make([]*attemptHandle, 0, len(p.inflight))
+	for _, h := range p.inflight {
+		handles = append(handles, h)
+	}
+	p.mu.Unlock()
+	for _, h := range handles {
+		h.reclaimed.Store(true)
+		h.cancel()
+	}
+	return len(handles)
 }
 
 // Engine returns the dispatcher's local engine.
 func (d *Dispatcher) Engine() *sweep.Engine { return d.engine }
 
-// Distributed reports whether peers are configured.
-func (d *Dispatcher) Distributed() bool { return len(d.peers) > 0 }
+// Distributed reports whether any peers are currently in the roster.
+func (d *Dispatcher) Distributed() bool {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	return len(d.members) > 0
+}
 
 // ShardSize returns the configured shard size.
 func (d *Dispatcher) ShardSize() int { return d.shardSize }
@@ -299,14 +421,31 @@ func (d *Dispatcher) openLocal(ctx context.Context, req Request) (Opened, error)
 	return Opened{Chunks: ch, Total: len(req.Specs)}, nil
 }
 
+// scatterWidth is the concurrent-shard bound for one scatter: the
+// configured MaxInFlight, or the per-peer default scaled by the live
+// roster size.
+func (d *Dispatcher) scatterWidth() int {
+	if d.maxInFlight > 0 {
+		return d.maxInFlight
+	}
+	d.pmu.Lock()
+	n := len(d.members)
+	d.pmu.Unlock()
+	width := DefaultMaxInFlightPerPeer * n
+	if width < 1 {
+		width = 1
+	}
+	return width
+}
+
 // Open starts the request's evaluation and returns its ordered chunk
 // stream. Requests that fit in a single shard — and every request when
-// no peers are configured — run on the local engine; larger requests
-// are scattered. onShard, when non-nil, is called once per completed
+// the roster is empty — run on the local engine; larger requests are
+// scattered. onShard, when non-nil, is called once per completed
 // shard (from the shard's own goroutine; implementations must be
 // thread-safe).
 func (d *Dispatcher) Open(ctx context.Context, req Request, onShard func(ShardDone)) (Opened, error) {
-	if len(d.peers) == 0 || req.size() <= d.shardSize {
+	if !d.Distributed() || req.size() <= d.shardSize {
 		return d.openLocal(ctx, req)
 	}
 	shards := d.plan(req)
@@ -317,13 +456,14 @@ func (d *Dispatcher) Open(ctx context.Context, req Request, onShard func(ShardDo
 	d.shardsPlanned += len(shards)
 	d.mu.Unlock()
 
-	out := make(chan *sweep.Chunk, d.maxInFlight)
+	width := d.scatterWidth()
+	out := make(chan *sweep.Chunk, width)
 	gathered := make([]chan []sweep.Result, len(shards))
 	for i := range gathered {
 		gathered[i] = make(chan []sweep.Result, 1)
 	}
 	// Scatter: a bounded pool of shard runners claims shards in order.
-	sem := make(chan struct{}, d.maxInFlight)
+	sem := make(chan struct{}, width)
 	go func() {
 		for i := range shards {
 			select {
@@ -387,14 +527,27 @@ func (d *Dispatcher) emitChunks(ctx context.Context, out chan<- *sweep.Chunk, re
 	return true
 }
 
-// runShard drives one shard to completion: peers in rotation order
-// first (each at most once, skipping any whose circuit breaker is
-// open), then the local engine. It returns the shard's results in
-// local index order, or nil if the context died first. Results
-// accepted from a failed attempt are kept — they are valid
-// evaluations — and the replacement peer's duplicate deliveries are
-// dropped by the accumulator, so a mid-stream peer death costs only
-// the missing suffix.
+// attemptOutcome is one shard attempt's terminal report back to its
+// runShard loop.
+type attemptOutcome struct {
+	peer  *peerState
+	h     *attemptHandle
+	err   error
+	dur   time.Duration
+	hedge bool
+}
+
+// runShard drives one shard to completion. Peers are tried in
+// rotation order (each at most once, preferring non-suspect members
+// and skipping any whose breaker rejects the attempt); while an
+// attempt is outstanding past the hedge budget, the shard is launched
+// on a second peer and the loser is cancelled; when every peer has
+// been consumed with results still missing, the local engine finishes
+// the remainder. It returns the shard's results in local index order,
+// or nil if the context died first. Results accepted from a failed,
+// reclaimed, or hedged-out attempt are kept — they are valid
+// evaluations — and later deliveries of the same indices are dropped
+// by the accumulator, so overlap costs nothing.
 func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardDone)) []sweep.Result {
 	// The shard span nests under the job span when the submitting
 	// request carried a trace; with tracing off StartSpan returns a nil
@@ -404,43 +557,180 @@ func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardD
 	span.SetAttr("shard", strconv.Itoa(sh.index))
 	span.SetAttr("specs", strconv.Itoa(sh.size))
 	acc := newShardAccumulator(sh)
+
+	tried := make(map[string]bool)
+	// Buffered to the two-attempt bound: an attempt goroutine can
+	// always deliver its outcome and exit, even if the loop already
+	// returned on a dead context.
+	outcomes := make(chan attemptOutcome, 2)
+	var live []*attemptHandle
+	inflight := 0
 	attempts := 0
-	var last *peerState
-	for i := 0; i < len(d.peers) && acc.missing() > 0; i++ {
-		if ctx.Err() != nil {
-			return nil
-		}
-		peer := d.peers[(sh.index+i)%len(d.peers)]
-		if !peer.breaker.Allow() {
-			// Open breaker: skip without consuming an attempt. Only
-			// genuine contact with a peer counts toward the retry
-			// stats, and an ejected peer costs the shard nothing.
-			continue
-		}
+	hedges := 0
+	reclaims := 0
+	retried := false
+	hedgeDeclined := false
+	doneVia := "local"
+	var lastGood *peerState
+
+	launch := func(p *peerState, isHedge bool) {
 		attempts++
-		last = peer
-		err := d.fetchShard(ctx, peer, sh, acc)
-		if err == nil {
-			peer.ok()
-			peer.breaker.Success()
-			break
-		}
-		if ctx.Err() != nil {
-			// The parent died mid-attempt: the failure says nothing
-			// about the peer's health, so free a half-open probe slot
-			// instead of reopening the breaker.
-			peer.breaker.Abort()
-			return nil
-		}
-		peer.fail(err, time.Now())
-		peer.breaker.Failure()
-		if d.logger != nil {
-			d.logger.Warn("shard attempt failed",
-				"shard", sh.index, "peer", peer.url, "attempt", attempts, "error", err)
+		tried[p.url] = true
+		actx, cancel := context.WithCancel(ctx)
+		h := &attemptHandle{cancel: cancel}
+		id := p.attach(h)
+		live = append(live, h)
+		inflight++
+		go func() {
+			start := time.Now()
+			err := d.fetchShard(actx, p, sh, acc)
+			p.detach(id)
+			cancel()
+			outcomes <- attemptOutcome{peer: p, h: h, err: err, dur: time.Since(start), hedge: isHedge}
+		}()
+	}
+	dropLive := func(h *attemptHandle) {
+		for i, x := range live {
+			if x == h {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
 		}
 	}
-	retried := attempts > 1
-	doneVia := "local"
+	// settleLoser resolves an attempt that was cancelled because the
+	// other one won: no breaker verdict (the cancellation says nothing
+	// about the peer), unless it had in fact already completed.
+	settleLoser := func(o attemptOutcome) {
+		if o.err == nil {
+			o.peer.ok()
+			o.peer.breaker.Success()
+			d.observeAttempt(o.dur)
+			return
+		}
+		o.peer.breaker.Abort()
+	}
+
+	for {
+		if ctx.Err() != nil {
+			for _, h := range live {
+				h.cancel()
+			}
+			for inflight > 0 {
+				o := <-outcomes
+				inflight--
+				// The parent died mid-attempt: the failure says nothing
+				// about the peer's health, so free a half-open probe
+				// slot instead of reopening the breaker.
+				o.peer.breaker.Abort()
+			}
+			return nil
+		}
+		if inflight == 0 {
+			if acc.missing() == 0 {
+				break
+			}
+			p := d.nextPeer(sh.index, tried, true)
+			if p == nil {
+				break // roster exhausted: local fallback below
+			}
+			launch(p, false)
+		}
+		// Arm the hedge when exactly one attempt is outstanding, the
+		// EWMA has a budget, and an untried candidate remains.
+		var hedgeC <-chan time.Time
+		var hedgeTimer *time.Timer
+		if inflight == 1 && hedges == 0 && !hedgeDeclined {
+			if delay, ok := d.hedgeDelay(); ok && d.nextPeer(sh.index, tried, false) != nil {
+				hedgeTimer = time.NewTimer(delay)
+				hedgeC = hedgeTimer.C
+			}
+		}
+		select {
+		case o := <-outcomes:
+			if hedgeTimer != nil {
+				hedgeTimer.Stop()
+			}
+			inflight--
+			dropLive(o.h)
+			switch {
+			case o.err == nil:
+				o.peer.ok()
+				o.peer.breaker.Success()
+				d.observeAttempt(o.dur)
+				lastGood = o.peer
+				if o.hedge {
+					d.mu.Lock()
+					d.hedgesWon++
+					d.mu.Unlock()
+				}
+				// Cancel and settle the losing attempt, if any. The
+				// drain must finish before the accumulator is read:
+				// a loser may be mid-delivery into it.
+				for _, h := range live {
+					h.hedgedOut.Store(true)
+					h.cancel()
+				}
+				for inflight > 0 {
+					lo := <-outcomes
+					inflight--
+					settleLoser(lo)
+				}
+				live = nil
+			case ctx.Err() != nil:
+				o.peer.breaker.Abort()
+				// Loop back to the dead-context exit above.
+			case o.h.reclaimed.Load():
+				// Cancelled because the peer turned suspect, went down,
+				// or left the roster: not this shard's failure, and not
+				// a breaker verdict — the transition that reclaimed it
+				// already carried one.
+				o.peer.breaker.Abort()
+				reclaims++
+				d.mu.Lock()
+				d.attemptsReclaimed++
+				d.mu.Unlock()
+				if d.logger != nil {
+					d.logger.Warn("shard attempt reclaimed",
+						"shard", sh.index, "peer", o.peer.url, "missing", acc.missing())
+				}
+			case o.h.hedgedOut.Load():
+				settleLoser(o)
+			default:
+				// A genuine attempt failure: ledger it, strike the
+				// peer (reclaiming its other outstanding attempts),
+				// and let the loop reassign.
+				o.peer.fail(o.err, time.Now())
+				d.markSuspect(o.peer)
+				o.peer.breaker.Failure()
+				if acc.missing() > 0 {
+					retried = true
+				}
+				if d.logger != nil {
+					d.logger.Warn("shard attempt failed",
+						"shard", sh.index, "peer", o.peer.url, "attempt", attempts, "error", o.err)
+				}
+			}
+		case <-hedgeC:
+			if p := d.nextPeer(sh.index, tried, true); p != nil {
+				launch(p, true)
+				hedges++
+				d.mu.Lock()
+				d.hedgesLaunched++
+				d.mu.Unlock()
+				span.SetAttr("hedged", "true")
+				if d.logger != nil {
+					d.logger.Info("shard hedged", "shard", sh.index, "peer", p.url)
+				}
+			} else {
+				// No candidate after all; don't rearm every loop turn.
+				hedgeDeclined = true
+			}
+		}
+		if inflight == 0 && acc.missing() == 0 {
+			break
+		}
+	}
+
 	if acc.missing() > 0 {
 		// Every peer failed (or none could finish the shard): evaluate
 		// the remainder locally. The whole shard is re-run for
@@ -460,9 +750,11 @@ func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardD
 		for i := range results {
 			acc.accept(results[i].Index-sh.start, results[i])
 		}
-		retried = attempts > 0
-	} else if last != nil {
-		doneVia = last.url
+		if attempts > 0 {
+			retried = true
+		}
+	} else if lastGood != nil {
+		doneVia = lastGood.url
 	}
 	if retried {
 		d.mu.Lock()
@@ -481,6 +773,8 @@ func (d *Dispatcher) runShard(ctx context.Context, sh shard, onShard func(ShardD
 			Peer:     doneVia,
 			Attempts: attempts,
 			Retried:  retried,
+			Hedged:   hedges > 0,
+			Reclaims: reclaims,
 		})
 	}
 	return acc.results
@@ -507,10 +801,13 @@ func (d *Dispatcher) evalLocal(ctx context.Context, sh shard) ([]sweep.Result, e
 
 // shardAccumulator collects one shard's results with first-delivery-
 // wins dedupe on the shard-local index: duplicate deliveries — a peer
-// re-sending lines, or a reassigned shard re-streaming a prefix an
-// earlier peer already delivered — are dropped, never double-counted.
+// re-sending lines, a reassigned shard re-streaming a prefix an
+// earlier peer already delivered, or two hedged attempts overlapping —
+// are dropped, never double-counted. Hedging makes it genuinely
+// concurrent, so the mutex is load-bearing, not defensive.
 type shardAccumulator struct {
 	start   int
+	mu      sync.Mutex
 	results []sweep.Result
 	seen    []bool
 	left    int
@@ -528,7 +825,12 @@ func newShardAccumulator(sh shard) *shardAccumulator {
 // accept records one result at the shard-local index; out-of-range and
 // duplicate indices are rejected.
 func (a *shardAccumulator) accept(local int, r sweep.Result) bool {
-	if local < 0 || local >= len(a.results) || a.seen[local] {
+	if local < 0 || local >= len(a.results) {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.seen[local] {
 		return false
 	}
 	a.seen[local] = true
@@ -537,17 +839,29 @@ func (a *shardAccumulator) accept(local int, r sweep.Result) bool {
 	return true
 }
 
-func (a *shardAccumulator) missing() int { return a.left }
+func (a *shardAccumulator) missing() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.left
+}
 
 // Stats is a snapshot of the dispatcher's shard counters.
 type Stats struct {
 	// ShardsPlanned counts shards handed to the scatter loop.
 	ShardsPlanned int `json:"shards_planned"`
-	// ShardsRetried counts shards that needed more than one attempt.
+	// ShardsRetried counts shards where a genuine attempt failure
+	// forced extra work.
 	ShardsRetried int `json:"shards_retried"`
 	// ShardsFallback counts shards the local engine finished after the
 	// peers could not.
 	ShardsFallback int `json:"shards_fallback"`
+	// HedgesLaunched counts second attempts launched past the latency
+	// budget; HedgesWon counts the ones that delivered first.
+	HedgesLaunched int `json:"hedges_launched,omitempty"`
+	HedgesWon      int `json:"hedges_won,omitempty"`
+	// AttemptsReclaimed counts in-flight attempts cancelled because
+	// their peer turned suspect, went down, or left the roster.
+	AttemptsReclaimed int `json:"attempts_reclaimed,omitempty"`
 }
 
 // Stats returns a snapshot of the dispatcher's counters.
@@ -555,9 +869,12 @@ func (d *Dispatcher) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return Stats{
-		ShardsPlanned:  d.shardsPlanned,
-		ShardsRetried:  d.shardsRetried,
-		ShardsFallback: d.shardsFallback,
+		ShardsPlanned:     d.shardsPlanned,
+		ShardsRetried:     d.shardsRetried,
+		ShardsFallback:    d.shardsFallback,
+		HedgesLaunched:    d.hedgesLaunched,
+		HedgesWon:         d.hedgesWon,
+		AttemptsReclaimed: d.attemptsReclaimed,
 	}
 }
 
@@ -568,7 +885,7 @@ func (d *Dispatcher) Stats() Stats {
 func (d *Dispatcher) Run(ctx context.Context, req Request) ([]sweep.Result, error) {
 	// The local paths delegate to the engine's own collectors so the
 	// single-node pipeline (pooled buffers included) stays untouched.
-	if len(d.peers) == 0 || req.size() <= d.shardSize {
+	if !d.Distributed() || req.size() <= d.shardSize {
 		if req.Space != nil {
 			return d.engine.RunSpace(ctx, *req.Space)
 		}

@@ -68,6 +68,8 @@ type Progress struct {
 	Errors     int `json:"errors"`
 	Shards     int `json:"shards,omitempty"`
 	ShardsDone int `json:"shards_done,omitempty"`
+	// ShardsHedged counts shards that launched a hedged second attempt.
+	ShardsHedged int `json:"shards_hedged,omitempty"`
 }
 
 // Request describes the work one job runs. Exactly one of Specs/Space
@@ -226,9 +228,12 @@ func (j *Job) setShards(n int) {
 
 // shardDone is the dispatcher's per-shard progress hook; it runs on
 // shard-runner goroutines, hence the lock.
-func (j *Job) shardDone(dispatch.ShardDone) {
+func (j *Job) shardDone(d dispatch.ShardDone) {
 	j.mu.Lock()
 	j.progress.ShardsDone++
+	if d.Hedged {
+		j.progress.ShardsHedged++
+	}
 	j.mu.Unlock()
 }
 

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"optspeed/internal/dispatch"
+	"optspeed/internal/sweep"
+)
+
+// newPeerAPIFixture builds a coordinator test server over two live
+// in-process workers and returns (coordinator URL, worker URLs).
+func newPeerAPIFixture(t *testing.T) (string, []string) {
+	t.Helper()
+	var workers []string
+	for i := 0; i < 2; i++ {
+		_, wts := newTestServerWith(t, Config{Engine: sweep.New(sweep.Options{})})
+		workers = append(workers, wts.URL)
+	}
+	eng := sweep.New(sweep.Options{})
+	d := dispatch.New(dispatch.Options{Engine: eng, Peers: workers[:1], ShardSize: 8})
+	_, ts := newTestServerWith(t, Config{Engine: eng, Dispatcher: d})
+	return ts.URL, workers
+}
+
+func decodeRoster(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var out struct {
+		Peers []string `json:"peers"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("roster response %s: %v", raw, err)
+	}
+	return out.Peers
+}
+
+// TestClusterPeerLifecycleAPI walks the runtime membership surface:
+// add a live worker, reject a duplicate with 409, serve traffic over
+// the grown roster, evict with DELETE, and 404 an unknown peer.
+func TestClusterPeerLifecycleAPI(t *testing.T) {
+	coord, workers := newPeerAPIFixture(t)
+
+	resp, raw := doJSON(t, http.MethodPost, coord+"/v2/cluster/peers",
+		`{"url":"`+workers[1]+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add peer: %d %s", resp.StatusCode, raw)
+	}
+	if peers := decodeRoster(t, raw); len(peers) != 2 {
+		t.Fatalf("roster after add = %v", peers)
+	}
+
+	resp, raw = doJSON(t, http.MethodPost, coord+"/v2/cluster/peers",
+		`{"url":"`+workers[1]+`"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add: %d %s", resp.StatusCode, raw)
+	}
+	var problem struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &problem); err != nil || problem.Error.Code != "conflict" {
+		t.Fatalf("duplicate add problem = %s (err %v)", raw, err)
+	}
+
+	// The grown roster serves real traffic: a sharded sweep through the
+	// coordinator succeeds, and the cluster report shows both peers.
+	body := `{"space":{"ns":[16,24,32,48],"stencils":["5-point","9-point"],` +
+		`"shapes":["strip","square"],"machines":[{"type":"sync-bus"}]}}`
+	resp, raw = doJSON(t, http.MethodPost, coord+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep over grown roster: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw = doJSON(t, http.MethodGet, coord+"/v2/cluster", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster status: %d", resp.StatusCode)
+	}
+	var status struct {
+		Mode       string                        `json:"mode"`
+		Peers      []struct{ URL, State string } `json:"peers"`
+		Membership map[string]int                `json:"membership_events"`
+	}
+	if err := json.Unmarshal(raw, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Mode != "coordinator" || len(status.Peers) != 2 {
+		t.Fatalf("status = %s", raw)
+	}
+	if status.Membership["added"] != 1 {
+		t.Fatalf("membership events = %v, want added=1", status.Membership)
+	}
+
+	resp, raw = doJSON(t, http.MethodDelete,
+		coord+"/v2/cluster/peers?url="+workers[1], "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove peer: %d %s", resp.StatusCode, raw)
+	}
+	if peers := decodeRoster(t, raw); len(peers) != 1 {
+		t.Fatalf("roster after remove = %v", peers)
+	}
+
+	resp, raw = doJSON(t, http.MethodDelete,
+		coord+"/v2/cluster/peers?url=http://127.0.0.1:1/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove unknown: %d %s", resp.StatusCode, raw)
+	}
+
+	// Malformed body → invalid_request, not a panic.
+	resp, _ = doJSON(t, http.MethodPost, coord+"/v2/cluster/peers", `{"url":`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed add: %d", resp.StatusCode)
+	}
+}

@@ -31,6 +31,9 @@ type ProgressJSON struct {
 	Errors     int `json:"errors"`
 	Shards     int `json:"shards,omitempty"`
 	ShardsDone int `json:"shards_done,omitempty"`
+	// ShardsHedged counts shards that launched a hedged second attempt
+	// (only ever non-zero on scattered jobs with hedging enabled).
+	ShardsHedged int `json:"shards_hedged,omitempty"`
 }
 
 // JobJSON is the wire form of one job resource. Persisted and
@@ -84,13 +87,14 @@ func baseJobJSON(snap jobs.Snapshot) JobJSON {
 		CancelRequested: snap.CancelRequested,
 		CreatedAt:       snap.Created,
 		Progress: ProgressJSON{
-			Total:      snap.Progress.Total,
-			Completed:  snap.Progress.Completed,
-			Evaluated:  snap.Progress.Completed - snap.Progress.CacheHits - snap.Progress.Errors,
-			CacheHits:  snap.Progress.CacheHits,
-			Errors:     snap.Progress.Errors,
-			Shards:     snap.Progress.Shards,
-			ShardsDone: snap.Progress.ShardsDone,
+			Total:        snap.Progress.Total,
+			Completed:    snap.Progress.Completed,
+			Evaluated:    snap.Progress.Completed - snap.Progress.CacheHits - snap.Progress.Errors,
+			CacheHits:    snap.Progress.CacheHits,
+			Errors:       snap.Progress.Errors,
+			Shards:       snap.Progress.Shards,
+			ShardsDone:   snap.Progress.ShardsDone,
+			ShardsHedged: snap.Progress.ShardsHedged,
 		},
 		Reason:    snap.Reason,
 		Recovered: snap.Recovered,

@@ -71,6 +71,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 const (
 	codeInvalidRequest  = "invalid_request"
 	codeNotFound        = "not_found"
+	codeConflict        = "conflict"
 	codeTooLarge        = "too_large"
 	codeStoreFull       = "store_full"
 	codeAlreadyTerminal = "already_terminal"

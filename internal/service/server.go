@@ -108,6 +108,10 @@ type Config struct {
 	// DisableTracing turns span recording off entirely: no trace ids
 	// are minted, no headers propagate, and GET /v1/traces answers 404.
 	DisableTracing bool
+	// Collectors are extra metric sources bridged into the registry at
+	// construction, after the built-in subsystems (the chaos plane
+	// registers its injection counters this way).
+	Collectors []func(*telemetry.Registry)
 }
 
 // Server is the HTTP facade over the sweep engine and the job store.
@@ -195,6 +199,9 @@ func New(cfg Config) *Server {
 		serveProm: !cfg.DisableMetrics,
 	}
 	s.registerCollectors()
+	for _, collect := range cfg.Collectors {
+		collect(s.telemetry)
+	}
 	s.routes()
 	// Middleware order (outermost first): request IDs are assigned
 	// before the access log runs, so every log line carries one; the
@@ -228,6 +235,8 @@ func (s *Server) routes() {
 	handle("DELETE /v2/jobs/{id}", "jobs_cancel", s.handleJobCancel)
 	traced("POST /v2/sweeps/stream", "sweep_stream", s.handleSweepStream)
 	handle("GET /v2/cluster", "cluster", s.handleCluster)
+	handle("POST /v2/cluster/peers", "cluster_peer_add", s.handlePeerAdd)
+	handle("DELETE /v2/cluster/peers", "cluster_peer_remove", s.handlePeerRemove)
 	if s.serveProm {
 		// Deliberately outside the instrumented table: see handlePrometheus.
 		s.mux.HandleFunc("GET /metrics", s.handlePrometheus)

@@ -25,6 +25,11 @@ type Options struct {
 	// Logger receives write-path failures (an append that cannot reach
 	// the log is reported, not silently swallowed); nil discards.
 	Logger *slog.Logger
+	// WriteFault, when non-nil, is consulted before each WAL append; a
+	// returned error fails the append through the store's normal
+	// degraded path (count it, log it, keep serving). It exists for the
+	// chaos plane — production wiring leaves it nil.
+	WriteFault func() error
 }
 
 // Stats is the persistence counter set surfaced at /v1/metrics.
@@ -45,9 +50,10 @@ type Stats struct {
 // WAL generation and rotates to a new generation at every snapshot.
 // All methods are safe for concurrent use.
 type Store struct {
-	dir    string
-	policy FsyncPolicy
-	logger *slog.Logger
+	dir        string
+	policy     FsyncPolicy
+	logger     *slog.Logger
+	writeFault func() error
 
 	mu     sync.Mutex // serializes log writes and rotation
 	wal    *walFile
@@ -89,10 +95,11 @@ func Open(opts Options) (*Store, []jobs.PersistedJob, error) {
 		return nil, nil, err
 	}
 	s := &Store{
-		dir:    opts.Dir,
-		policy: policy,
-		logger: opts.Logger,
-		stop:   make(chan struct{}),
+		dir:        opts.Dir,
+		policy:     policy,
+		logger:     opts.Logger,
+		writeFault: opts.WriteFault,
+		stop:       make(chan struct{}),
 	}
 	recovered, err := s.recover()
 	if err != nil {
@@ -192,6 +199,15 @@ func (s *Store) append(typ byte, body any) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return
+	}
+	if s.writeFault != nil {
+		if err := s.writeFault(); err != nil {
+			s.writeErrors.Add(1)
+			if s.logger != nil {
+				s.logger.Error("store: wal append failed", "error", err)
+			}
+			return
+		}
 	}
 	n, err := s.wal.append(typ, body, s.policy != FsyncInterval)
 	if err != nil {
