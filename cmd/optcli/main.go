@@ -26,6 +26,9 @@
 //	          print the coordinator's fleet: per-peer membership state,
 //	          breaker position, probe health, and the scatter/hedge
 //	          counters; -add/-remove change the live roster
+//	laws      -n N -stencil S -shape SH -machine TYPE [-procs 1,2,4] [--json]
+//	          overlay the model's speedup against Amdahl, Gustafson,
+//	          and the critical-path bound across a processor axis
 //
 // The sweep file is the API's sweep body, e.g.:
 //
@@ -41,6 +44,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -88,6 +93,8 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string) error
 		return cmdStream(ctx, c, args)
 	case "cluster":
 		return cmdCluster(ctx, c, args)
+	case "laws":
+		return cmdLaws(ctx, c, args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -96,7 +103,7 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string) error
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: optcli [-server URL] {optimize|submit|status|wait|results|cancel|jobs|stream|cluster} ...")
+		"usage: optcli [-server URL] {optimize|submit|status|wait|results|cancel|jobs|stream|cluster|laws} ...")
 }
 
 func fatal(err error) {
@@ -175,6 +182,64 @@ func cmdOptimize(ctx context.Context, c *client.Client, args []string) error {
 		return err
 	}
 	return printJSON(res)
+}
+
+// cmdLaws fetches the scaling-law overlay and prints it as a table
+// (default) or raw JSON.
+func cmdLaws(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("laws", flag.ContinueOnError)
+	n := fs.Int("n", 512, "grid size")
+	st := fs.String("stencil", "5-point", "stencil name")
+	sh := fs.String("shape", "square", "partition shape (strip|square)")
+	machine := fs.String("machine", "sync-bus", "machine type or full machine-spec JSON")
+	procsFlag := fs.String("procs", "", "comma-separated processor axis (empty = server default)")
+	asJSON := fs.Bool("json", false, "print the raw overlay JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec client.MachineSpec
+	if len(*machine) > 0 && (*machine)[0] == '{' {
+		if err := json.Unmarshal([]byte(*machine), &spec); err != nil {
+			return fmt.Errorf("laws: parse -machine: %w", err)
+		}
+	} else {
+		spec.Type = *machine
+	}
+	var procs []int
+	if *procsFlag != "" {
+		for _, part := range strings.Split(*procsFlag, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("laws: parse -procs %q: %w", part, err)
+			}
+			procs = append(procs, q)
+		}
+	}
+	resp, err := c.Laws(ctx, client.LawsRequest{
+		N: *n, Stencil: *st, Shape: *sh, Machine: spec, Procs: procs,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(resp)
+	}
+	fmt.Printf("%dx%d %s %s on %s: f=%.4g  T1/Tinf=%.4g  P*=%d (S*=%.4g)\n",
+		resp.N, resp.N, resp.Stencil, resp.Shape, resp.Machine.Type,
+		resp.SerialFraction, resp.CriticalPathRatio, resp.OptimalProcs, resp.OptimalSpeedup)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PROCS\tMODEL\tAMDAHL\tGUSTAFSON\tCRIT-PATH")
+	for _, pt := range resp.Points {
+		fmt.Fprintf(tw, "%d\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			pt.Procs, pt.Model, pt.Amdahl, pt.Gustafson, pt.CriticalPath)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, d := range resp.Divergences {
+		fmt.Printf("divergence at P=%d [%s]: %s\n", d.Procs, d.Kind, d.Detail)
+	}
+	return nil
 }
 
 func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {

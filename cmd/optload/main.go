@@ -17,6 +17,8 @@
 //	                                   request is evaluation-bound — the
 //	                                   workload distributed sharding exists
 //	                                   for
+//	laws       POST /v2/laws           the scaling-laws overlay (model vs
+//	                                   Amdahl/Gustafson/critical-path)
 //
 // — and reports per-workload requests, errors, RPS, and p50/p95/p99
 // latency, plus the aggregate, as BENCH_http.json (committed per PR by
@@ -185,6 +187,19 @@ var sweepBodies = []string{
 	`{"space":{"op":"speedup","ns":[256],"stencils":["5-point"],"shapes":["strip","square"],` +
 		`"machines":[{"type":"hypercube"},{"type":"async-bus"}],` +
 		`"procs":[1,2,3,4,6,8,12,16,24,32,48,64]}}`,
+	`{"space":{"op":"amdahl","ns":[256],"stencils":["5-point"],"shapes":["square"],` +
+		`"machines":[{"type":"sync-bus"},{"type":"mesh"}],` +
+		`"procs":[1,2,4,8,16,32,64,128]}}`,
+}
+
+// lawsBodies drive the /v2/laws overlay endpoint: one default-axis
+// Figure-7 overlay and one explicit-axis scaled overlay. Like the warm
+// sweeps, repeats answer from the engine cache, so the workload
+// measures the overlay assembly and encoding path.
+var lawsBodies = []string{
+	`{"n":256,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}}`,
+	`{"n":128,"stencil":"9-point","shape":"strip","machine":{"type":"hypercube"},` +
+		`"procs":[1,4,16,64,128]}`,
 }
 
 // jobsBody is the async workload: a small space submitted as a job,
@@ -235,9 +250,9 @@ func parseMix(mix string) ([]string, error) {
 			weight = w
 		}
 		switch name {
-		case "optimize", "sweep", "jobs", "sweepcold":
+		case "optimize", "sweep", "jobs", "sweepcold", "laws":
 		default:
-			return nil, fmt.Errorf("unknown workload %q (want optimize, sweep, jobs, sweepcold)", name)
+			return nil, fmt.Errorf("unknown workload %q (want optimize, sweep, jobs, sweepcold, laws)", name)
 		}
 		for i := 0; i < weight; i++ {
 			deck = append(deck, name)
@@ -269,6 +284,8 @@ func (w *worker) run(ctx context.Context) {
 			w.post(ctx, "sweep", "/v1/sweep", sweepBodies[w.seq%len(sweepBodies)])
 		case "sweepcold":
 			w.post(ctx, "sweepcold", "/v1/sweep", coldSweepBody())
+		case "laws":
+			w.post(ctx, "laws", "/v2/laws", lawsBodies[w.seq%len(lawsBodies)])
 		case "jobs":
 			w.jobRound(ctx)
 		}
@@ -520,6 +537,9 @@ func runPhase(label, base, mix string, deck []string, conc int, duration time.Du
 	for _, b := range sweepBodies {
 		warm.post(warmCtx, "sweep", "/v1/sweep", b)
 	}
+	for _, b := range lawsBodies {
+		warm.post(warmCtx, "laws", "/v2/laws", b)
+	}
 	warm.jobRound(warmCtx)
 	cancelWarm()
 
@@ -559,7 +579,7 @@ func runPhase(label, base, mix string, deck []string, conc int, duration time.Du
 		RPS:           total.RPS,
 	}
 	fmt.Fprintf(os.Stderr, "--- %s\n", label)
-	for _, name := range []string{"optimize", "sweep", "sweepcold", "jobs"} {
+	for _, name := range []string{"optimize", "sweep", "sweepcold", "laws", "jobs"} {
 		rep := aggregate(name, all, elapsed)
 		if rep.Requests == 0 {
 			continue
@@ -588,7 +608,7 @@ func main() {
 		addr     = flag.String("addr", "", "base URL of a running daemon (e.g. http://localhost:8080); empty runs an in-process server")
 		conc     = flag.Int("c", 8, "concurrent load workers")
 		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
-		mix      = flag.String("mix", "", "weighted workload mix (default optimize=4,sweep=2,jobs=1; cluster mode adds sweepcold=4)")
+		mix      = flag.String("mix", "", "weighted workload mix (default optimize=4,sweep=2,jobs=1,laws=1; cluster mode adds sweepcold=4)")
 		out      = flag.String("o", "BENCH_http.json", "output path (\"-\" for stdout)")
 		workers  = flag.Int("workers", 0, "in-process engine workers per node (0 = GOMAXPROCS)")
 		quick    = flag.Bool("quick", false, "CI smoke: 3s at -c 4 unless overridden")
@@ -613,9 +633,9 @@ func main() {
 	}
 	if *mix == "" {
 		if *cluster > 0 {
-			*mix = "optimize=4,sweep=2,jobs=1,sweepcold=4"
+			*mix = "optimize=4,sweep=2,jobs=1,laws=1,sweepcold=4"
 		} else {
-			*mix = "optimize=4,sweep=2,jobs=1"
+			*mix = "optimize=4,sweep=2,jobs=1,laws=1"
 		}
 	}
 	deck, err := parseMix(*mix)

@@ -27,6 +27,9 @@ func FuzzParseMachine(f *testing.F) {
 		`{}`,
 		`{"type":"hypercube","procs":9007199254740993}`,
 		`{"type":"mesh","tflp":1e309}`,
+		`{"type":"banyan","procs":128,"w":5e-8}`,
+		`{"type":"sync-bus","procs":1}`,
+		`{"type":"full-async-bus","procs":16,"c":0}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

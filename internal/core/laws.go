@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaling-law companions to the paper's optimal-speedup analysis.
+//
+// The model itself has no explicit "serial fraction" — communication
+// cost is structural, not a fixed sequential residue — so the classical
+// laws are anchored to the model the way Karbowski's revisit of Amdahl
+// and Gustafson-Barsis anchors them to measurements: the Karp-Flatt
+// effective serial fraction is extracted at the model's own optimal
+// operating point (P*, S*) = Optimize(p, arch),
+//
+//	f = (1/S* − 1/P*) / (1 − 1/P*),
+//
+// and the fixed-size (Amdahl) and scaled (Gustafson-Barsis) curves are
+// evaluated at that f. Since 1 ≤ S* ≤ P* always holds, f lies in [0, 1]
+// and the textbook invariants (S(1) = 1, S ≤ P, Gustafson ≥ Amdahl at
+// equal f) hold by construction. The critical-path bound follows
+// Gunther's DAG formulation: π = T₁/T∞ with T∞ the best cycle time any
+// decomposition of the problem can reach under the machine's own model
+// (see CriticalPathRatio), clamped by Brent's P-processor bound to
+// min(P, π).
+
+// SerialFraction returns the Karp-Flatt effective serial fraction of
+// the problem/machine pair, measured at the model's optimal allocation.
+// A problem whose optimum is a single processor is fully serial (f = 1).
+func SerialFraction(p Problem, arch Architecture) (float64, error) {
+	alloc, err := Optimize(p, arch)
+	if err != nil {
+		return 0, err
+	}
+	return serialFractionAt(alloc), nil
+}
+
+// SerialFraction extracts the Karp-Flatt effective serial fraction
+// from an already-computed optimal allocation — the same value
+// SerialFraction(p, arch) returns, without re-optimizing.
+func (a Allocation) SerialFraction() float64 { return serialFractionAt(a) }
+
+// serialFractionAt extracts f from an optimal allocation. The clamp
+// only absorbs float rounding: 1 ≤ S* ≤ P* bounds the exact value.
+func serialFractionAt(alloc Allocation) float64 {
+	if alloc.Procs <= 1 {
+		return 1
+	}
+	procs := float64(alloc.Procs)
+	f := (1/alloc.Speedup - 1/procs) / (1 - 1/procs)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// amdahlAt is Amdahl's fixed-size speedup at serial fraction f.
+func amdahlAt(f, procs float64) float64 { return 1 / (f + (1-f)/procs) }
+
+// gustafsonAt is the Gustafson-Barsis scaled speedup at serial
+// fraction f.
+func gustafsonAt(f, procs float64) float64 { return f + (1-f)*procs }
+
+// lawRangeError is the out-of-range error shared by the scaling-law
+// evaluators and their batch forms, mirroring speedupRangeError so the
+// laws and the model reject the same processor axis identically.
+func lawRangeError(law string, procs, maxProcs int) error {
+	return fmt.Errorf("core: %s: procs=%d out of range [1, %d]", law, procs, maxProcs)
+}
+
+// AmdahlSpeedup returns the fixed-size Amdahl speedup at P processors,
+// S_A(P) = 1/(f + (1−f)/P), with f = SerialFraction(p, arch).
+func AmdahlSpeedup(p Problem, arch Architecture, procs int) (float64, error) {
+	f, err := SerialFraction(p, arch)
+	if err != nil {
+		return 0, err
+	}
+	if procs < 1 || procs > p.MaxProcs() {
+		return 0, lawRangeError("Amdahl", procs, p.MaxProcs())
+	}
+	return amdahlAt(f, float64(procs)), nil
+}
+
+// GustafsonSpeedup returns the scaled Gustafson-Barsis speedup at P
+// processors, S_G(P) = f + (1−f)·P, at the same serial fraction as
+// AmdahlSpeedup — so the two curves are directly comparable.
+func GustafsonSpeedup(p Problem, arch Architecture, procs int) (float64, error) {
+	f, err := SerialFraction(p, arch)
+	if err != nil {
+		return 0, err
+	}
+	if procs < 1 || procs > p.MaxProcs() {
+		return 0, lawRangeError("Gustafson", procs, p.MaxProcs())
+	}
+	return gustafsonAt(f, float64(procs)), nil
+}
+
+// CriticalPathRatio returns π = T₁/T∞: the serial time over the best
+// cycle time reachable at any decomposition of the problem — the
+// model's analogue of a DAG's critical path. The search ranges over the
+// problem's full [1, MaxProcs] (the machine's processor cap does not
+// bind Speedup either) while keeping the machine's own cycle-time
+// model, so every achievable speedup satisfies S(P) ≤ π by
+// construction. (unboundedCopy would break that for a capped banyan,
+// whose network depth log₂(NProcs) becomes the growing log₂(P) model
+// when the cap is removed.)
+func CriticalPathRatio(p Problem, arch Architecture) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	return optimizeRange(p, arch, p.MaxProcs()).Speedup, nil
+}
+
+// CriticalPathBound returns Gunther's work/critical-path speedup bound
+// with Brent's P-processor clamp: min(P, T₁/T∞). It dominates the
+// achieved speedup at every admissible P: S(P) ≤ P (communication is
+// never negative) and S(P) ≤ T₁/T∞ (the unbounded optimum).
+func CriticalPathBound(p Problem, arch Architecture, procs int) (float64, error) {
+	pi, err := CriticalPathRatio(p, arch)
+	if err != nil {
+		return 0, err
+	}
+	if procs < 1 || procs > p.MaxProcs() {
+		return 0, lawRangeError("CriticalPath", procs, p.MaxProcs())
+	}
+	return math.Min(float64(procs), pi), nil
+}
+
+// AmdahlBatch evaluates AmdahlSpeedup at each processor count in one
+// pass: the problem and machine are validated and optimized once for
+// the whole batch. vals[i] and errs[i] correspond to procs[i], with
+// errors identical to the individual evaluator's; the final error
+// reports an invalid problem or machine, failing the whole batch.
+func AmdahlBatch(p Problem, arch Architecture, procs []int) (vals []float64, errs []error, _ error) {
+	f, err := SerialFraction(p, arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lawBatch("Amdahl", p, procs, func(q float64) float64 { return amdahlAt(f, q) })
+}
+
+// GustafsonBatch is the batch form of GustafsonSpeedup; see AmdahlBatch.
+func GustafsonBatch(p Problem, arch Architecture, procs []int) (vals []float64, errs []error, _ error) {
+	f, err := SerialFraction(p, arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lawBatch("Gustafson", p, procs, func(q float64) float64 { return gustafsonAt(f, q) })
+}
+
+// CriticalPathBatch is the batch form of CriticalPathBound; see
+// AmdahlBatch.
+func CriticalPathBatch(p Problem, arch Architecture, procs []int) (vals []float64, errs []error, _ error) {
+	pi, err := CriticalPathRatio(p, arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lawBatch("CriticalPath", p, procs, func(q float64) float64 { return math.Min(q, pi) })
+}
+
+// lawBatch fans a per-point law out across a validated batch, keeping
+// per-point range errors identical to the individual evaluators'.
+func lawBatch(law string, p Problem, procs []int, at func(float64) float64) (vals []float64, errs []error, _ error) {
+	maxP := p.MaxProcs()
+	vals = make([]float64, len(procs))
+	errs = make([]error, len(procs))
+	for i, q := range procs {
+		if q < 1 || q > maxP {
+			errs[i] = lawRangeError(law, q, maxP)
+			continue
+		}
+		vals[i] = at(float64(q))
+	}
+	return vals, errs, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"optspeed/internal/partition"
+	"optspeed/internal/stencil"
+)
+
+// The scaling-law invariants mirror the model properties pinned in
+// property_test.go. By construction (f extracted from the model's own
+// optimal allocation, so f ∈ [0, 1]) the textbook identities hold
+// exactly, and the tolerance only absorbs float rounding:
+//
+//	S_A(1) = S_G(1) = CP(1) = 1
+//	S_A(P) ≤ P, S_G(P) ≤ P, CP(P) ≤ P
+//	S_G(P) ≥ S_A(P)              (at equal serial fraction)
+//	CP(P) = min(P, T₁/T∞) ≥ S(P) (critical-path dominance)
+
+func TestPropertySerialFractionRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, p := range propertyProblems(t, rng, 20) {
+		for _, arch := range propertyMachines(t) {
+			f, err := SerialFraction(p, arch)
+			if err != nil {
+				t.Fatalf("SerialFraction(%v, %s): %v", p, arch.Name(), err)
+			}
+			if f < 0 || f > 1 || math.IsNaN(f) {
+				t.Errorf("SerialFraction(%v, %s) = %g, want [0, 1]", p, arch.Name(), f)
+			}
+		}
+	}
+}
+
+func TestPropertyCrossLawBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, p := range propertyProblems(t, rng, 12) {
+		for _, arch := range propertyMachines(t) {
+			for _, procs := range sampleProcs(rng, p.MaxProcs(), 4) {
+				sa, err := AmdahlSpeedup(p, arch, procs)
+				if err != nil {
+					t.Fatalf("AmdahlSpeedup(%v, %s, %d): %v", p, arch.Name(), procs, err)
+				}
+				sg, err := GustafsonSpeedup(p, arch, procs)
+				if err != nil {
+					t.Fatalf("GustafsonSpeedup(%v, %s, %d): %v", p, arch.Name(), procs, err)
+				}
+				cp, err := CriticalPathBound(p, arch, procs)
+				if err != nil {
+					t.Fatalf("CriticalPathBound(%v, %s, %d): %v", p, arch.Name(), procs, err)
+				}
+				fp := float64(procs)
+				for law, v := range map[string]float64{"Amdahl": sa, "Gustafson": sg, "CriticalPath": cp} {
+					if procs == 1 && math.Abs(v-1) > propertyTol {
+						t.Errorf("%s(%v, %s, 1) = %g, want 1", law, p, arch.Name(), v)
+					}
+					if v > fp*(1+propertyTol) {
+						t.Errorf("%s(%v, %s, %d) = %g exceeds P", law, p, arch.Name(), procs, v)
+					}
+					if v < 1-propertyTol {
+						t.Errorf("%s(%v, %s, %d) = %g below 1", law, p, arch.Name(), procs, v)
+					}
+				}
+				if sg < sa*(1-propertyTol) {
+					t.Errorf("Gustafson %g < Amdahl %g at equal serial fraction (%v, %s, P=%d)",
+						sg, sa, p, arch.Name(), procs)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyCriticalPathDominatesAchieved(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, p := range propertyProblems(t, rng, 12) {
+		for _, arch := range propertyMachines(t) {
+			for _, procs := range sampleProcs(rng, p.MaxProcs(), 4) {
+				s, err := Speedup(p, arch, procs)
+				if err != nil {
+					t.Fatalf("Speedup(%v, %s, %d): %v", p, arch.Name(), procs, err)
+				}
+				cp, err := CriticalPathBound(p, arch, procs)
+				if err != nil {
+					t.Fatalf("CriticalPathBound(%v, %s, %d): %v", p, arch.Name(), procs, err)
+				}
+				if cp < s*(1-propertyTol) {
+					t.Errorf("critical-path bound %g < achieved speedup %g (%v, %s, P=%d)",
+						cp, s, p, arch.Name(), procs)
+				}
+			}
+		}
+	}
+}
+
+// TestSerialFractionDegenerate pins the degenerate anchor: a machine so
+// communication-bound that its optimum is a single processor is fully
+// serial, so both laws flatten to S ≡ 1.
+func TestSerialFractionDegenerate(t *testing.T) {
+	p := MustProblem(8, stencil.FivePoint, partition.Strip)
+	bus := DefaultSyncBus(16)
+	bus.B = 10 // seconds per bus word: communication always loses
+	alloc, err := Optimize(p, bus)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if alloc.Procs != 1 {
+		t.Fatalf("expected a single-processor optimum, got P*=%d", alloc.Procs)
+	}
+	f, err := SerialFraction(p, bus)
+	if err != nil {
+		t.Fatalf("SerialFraction: %v", err)
+	}
+	if f != 1 {
+		t.Errorf("SerialFraction = %g, want 1", f)
+	}
+	for _, procs := range []int{1, 2, 8} {
+		sa, err := AmdahlSpeedup(p, bus, procs)
+		if err != nil {
+			t.Fatalf("AmdahlSpeedup: %v", err)
+		}
+		sg, err := GustafsonSpeedup(p, bus, procs)
+		if err != nil {
+			t.Fatalf("GustafsonSpeedup: %v", err)
+		}
+		if math.Abs(sa-1) > propertyTol || math.Abs(sg-1) > propertyTol {
+			t.Errorf("fully serial problem: Amdahl=%g Gustafson=%g at P=%d, want 1", sa, sg, procs)
+		}
+	}
+}
+
+// TestLawBatchMatchesIndividual holds every batch evaluator to its
+// individual form: identical values, and identical error messages on
+// out-of-range points — the same contract SpeedupBatch keeps.
+func TestLawBatchMatchesIndividual(t *testing.T) {
+	p := MustProblem(64, stencil.NinePoint, partition.Square)
+	arch := DefaultHypercube(64)
+	procs := []int{0, 1, 2, 7, 64, p.MaxProcs(), p.MaxProcs() + 1}
+	type law struct {
+		name   string
+		single func(Problem, Architecture, int) (float64, error)
+		batch  func(Problem, Architecture, []int) ([]float64, []error, error)
+	}
+	for _, l := range []law{
+		{"Amdahl", AmdahlSpeedup, AmdahlBatch},
+		{"Gustafson", GustafsonSpeedup, GustafsonBatch},
+		{"CriticalPath", CriticalPathBound, CriticalPathBatch},
+	} {
+		vals, errs, err := l.batch(p, arch, procs)
+		if err != nil {
+			t.Fatalf("%sBatch: %v", l.name, err)
+		}
+		for i, q := range procs {
+			v, errSingle := l.single(p, arch, q)
+			if (errSingle == nil) != (errs[i] == nil) {
+				t.Fatalf("%s procs=%d: single err %v, batch err %v", l.name, q, errSingle, errs[i])
+			}
+			if errSingle != nil {
+				if errSingle.Error() != errs[i].Error() {
+					t.Errorf("%s procs=%d: error mismatch %q vs %q", l.name, q, errSingle, errs[i])
+				}
+				continue
+			}
+			if v != vals[i] {
+				t.Errorf("%s procs=%d: single %g, batch %g", l.name, q, v, vals[i])
+			}
+		}
+	}
+	if _, _, err := AmdahlBatch(Problem{}, arch, []int{1}); err == nil {
+		t.Error("AmdahlBatch accepted an invalid problem")
+	}
+}

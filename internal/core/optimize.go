@@ -48,7 +48,17 @@ func Optimize(p Problem, arch Architecture) (Allocation, error) {
 	if err := arch.Validate(); err != nil {
 		return Allocation{}, err
 	}
-	maxP := boundedProcs(p, arch)
+	return optimizeRange(p, arch, boundedProcs(p, arch)), nil
+}
+
+// optimizeRange is Optimize's search over a caller-chosen admissible
+// range [1, maxP], on an already-validated problem/machine pair. It
+// exists so CriticalPathRatio can search the problem's full
+// decomposition range [1, p.MaxProcs()] while keeping the machine's own
+// cycle-time model — unboundedCopy would not do: a capped banyan's
+// network depth is log₂(NProcs), and removing the cap switches it to
+// the growing log₂(P) model.
+func optimizeRange(p Problem, arch Architecture, maxP int) Allocation {
 	cycle := func(procs int) float64 {
 		return arch.CycleTime(p, p.AreaFor(procs))
 	}
@@ -99,7 +109,7 @@ func Optimize(p Problem, arch Architecture) (Allocation, error) {
 		Interior:       best > 1 && best < maxP,
 		ContinuousArea: continuousArea(p, arch, best),
 	}
-	return alloc, nil
+	return alloc
 }
 
 // MustOptimize is Optimize but panics on error; for examples and tests.

@@ -110,6 +110,15 @@ func wireResults() []SweepResultJSON {
 		{Index: 6, Spec: sweep.Spec{N: -3, Stencil: "<&>", Shape: "\n",
 			Machine: core.MachineSpec{Type: "full-async-bus", Tflp: -2.5}},
 			Value: -1e-9, Error: "weird \x01 error \xff"},
+		{Index: 7, Spec: sweep.Spec{Op: sweep.OpAmdahl, N: 256, Stencil: "5-point", Shape: "square",
+			Machine: core.MachineSpec{Type: "sync-bus"}, Procs: 16},
+			Value: 9.876543},
+		{Index: 8, Spec: sweep.Spec{Op: sweep.OpGustafson, N: 256, Stencil: "9-star", Shape: "strip",
+			Machine: core.MachineSpec{Type: "mesh"}, Procs: 64},
+			CacheHit: true, Value: 61.25},
+		{Index: 9, Spec: sweep.Spec{Op: sweep.OpCriticalPath, N: 512, Stencil: "13-point", Shape: "square",
+			Machine: core.MachineSpec{Type: "banyan", Procs: 256}, Procs: 1024},
+			Value: 333.125},
 	}
 }
 

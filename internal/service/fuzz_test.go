@@ -33,6 +33,17 @@ func FuzzDecodeSweepRequest(f *testing.F) {
 		`[1,2,3]`,
 		`"specs"`,
 		`{"unknown_field":true}`,
+		`{"specs":[{"op":"amdahl","n":128,"stencil":"5-point","shape":"square",` +
+			`"machine":{"type":"sync-bus"},"procs":16}]}`,
+		`{"space":{"op":"gustafson","ns":[64,256],"stencils":["9-point"],"shapes":["strip"],` +
+			`"machines":[{"type":"mesh"}],"procs":[1,4,16,64]}}`,
+		`{"space":{"op":"critical-path","ns":[256],"stencils":["5-point"],"shapes":["square"],` +
+			`"machines":[{"type":"banyan","procs":128}],"procs":[2,8,32]}}`,
+		`{"specs":[{"op":"transmogrify","n":64,"stencil":"5-point","shape":"square",` +
+			`"machine":{"type":"sync-bus"}}]}`,
+		// The /v2/laws request shape is not a sweep body: its top-level
+		// problem fields must bounce off DisallowUnknownFields here.
+		`{"n":256,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"},"procs":[1,2,4]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fig7LawsBody is the paper's Figure-7 configuration — the 256×256
+// 5-point square problem on the default synchronous bus — with the
+// default powers-of-two axis.
+const fig7LawsBody = `{"n":256,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}}`
+
+func TestLawsOverlay(t *testing.T) {
+	_, ts := newTestServerWith(t, Config{})
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/laws", fig7LawsBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var lr LawsResponse
+	if err := json.Unmarshal(raw, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.N != 256 || lr.Stencil != "5-point" || lr.Shape != "square" {
+		t.Fatalf("echoed problem %d/%s/%s", lr.N, lr.Stencil, lr.Shape)
+	}
+	if lr.SerialFraction < 0 || lr.SerialFraction > 1 {
+		t.Fatalf("serial fraction %g outside [0,1]", lr.SerialFraction)
+	}
+	if lr.OptimalProcs < 1 || lr.OptimalSpeedup < 1 {
+		t.Fatalf("optimal allocation P*=%d S*=%g", lr.OptimalProcs, lr.OptimalSpeedup)
+	}
+	if len(lr.Points) == 0 {
+		t.Fatal("no overlay points")
+	}
+	// Default axis: powers of two from 1, strictly increasing, within the
+	// 256×256 problem's decomposition bound.
+	for i, pt := range lr.Points {
+		if pt.Procs != 1<<i {
+			t.Fatalf("point %d at procs %d, want %d", i, pt.Procs, 1<<i)
+		}
+		if pt.Procs > 256*256 {
+			t.Fatalf("point %d beyond the decomposition bound", i)
+		}
+	}
+	// Cross-law invariants on the served overlay, mirroring the core
+	// property suite: S(1)=1, S ≤ P for Amdahl and the model,
+	// Gustafson ≥ Amdahl, and critical-path dominates the model.
+	const tol = 1e-9
+	first := lr.Points[0]
+	for _, v := range []float64{first.Model, first.Amdahl, first.Gustafson, first.CriticalPath} {
+		if math.Abs(v-1) > tol {
+			t.Fatalf("P=1 overlay not 1: %+v", first)
+		}
+	}
+	for _, pt := range lr.Points {
+		q := float64(pt.Procs)
+		if pt.Amdahl > q*(1+tol) || pt.Model > q*(1+tol) {
+			t.Fatalf("P=%d: speedup exceeds P: %+v", pt.Procs, pt)
+		}
+		if pt.Gustafson < pt.Amdahl-tol {
+			t.Fatalf("P=%d: Gustafson %g below Amdahl %g", pt.Procs, pt.Gustafson, pt.Amdahl)
+		}
+		if pt.CriticalPath < pt.Model*(1-1e-9) {
+			t.Fatalf("P=%d: critical-path %g below model %g", pt.Procs, pt.CriticalPath, pt.Model)
+		}
+		if want := math.Min(q, lr.CriticalPathRatio); math.Abs(pt.CriticalPath-want) > tol*want {
+			t.Fatalf("P=%d: critical-path %g, want min(P, pi)=%g", pt.Procs, pt.CriticalPath, want)
+		}
+	}
+	if lr.Stats.Specs != 1+4*len(lr.Points) {
+		t.Fatalf("stats count %d, want %d", lr.Stats.Specs, 1+4*len(lr.Points))
+	}
+	// Divergence markers are sane: known kinds, on-axis procs.
+	onAxis := map[int]bool{}
+	for _, pt := range lr.Points {
+		onAxis[pt.Procs] = true
+	}
+	kinds := map[string]bool{}
+	for _, d := range lr.Divergences {
+		switch d.Kind {
+		case "model_vs_amdahl", "gustafson_vs_amdahl", "critical_path_saturates", "past_optimal":
+		default:
+			t.Fatalf("unknown divergence kind %q", d.Kind)
+		}
+		if kinds[d.Kind] {
+			t.Fatalf("divergence kind %q reported twice", d.Kind)
+		}
+		kinds[d.Kind] = true
+		if !onAxis[d.Procs] {
+			t.Fatalf("divergence %q at off-axis P=%d", d.Kind, d.Procs)
+		}
+	}
+	// The sync bus saturates far below 64k processors, so this overlay
+	// must flag both the scaled/fixed split and the past-optimal regime.
+	if !kinds["gustafson_vs_amdahl"] || !kinds["past_optimal"] {
+		t.Fatalf("expected divergences missing: %+v", lr.Divergences)
+	}
+}
+
+func TestLawsExplicitAxis(t *testing.T) {
+	_, ts := newTestServerWith(t, Config{})
+	body := `{"n":128,"stencil":"9-point","shape":"strip","machine":{"type":"hypercube"},"procs":[1,3,16,128]}`
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/laws", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var lr LawsResponse
+	if err := json.Unmarshal(raw, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Points) != 4 {
+		t.Fatalf("%d points, want 4", len(lr.Points))
+	}
+	for i, want := range []int{1, 3, 16, 128} {
+		if lr.Points[i].Procs != want {
+			t.Fatalf("point %d at P=%d, want %d", i, lr.Points[i].Procs, want)
+		}
+	}
+}
+
+func TestLawsRequestValidation(t *testing.T) {
+	srv, ts := newTestServerWith(t, Config{})
+	cases := []struct {
+		name, body, wantIn string
+	}{
+		{"bad stencil", `{"n":64,"stencil":"7-point","shape":"square","machine":{"type":"sync-bus"}}`, "stencil"},
+		{"bad shape", `{"n":64,"stencil":"5-point","shape":"blob","machine":{"type":"sync-bus"}}`, "shape"},
+		{"bad machine", `{"n":64,"stencil":"5-point","shape":"square","machine":{"type":"quantum"}}`, "quantum"},
+		{"zero n", `{"n":0,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"}}`, "n"},
+		{"procs below range", `{"n":64,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"},"procs":[0,4]}`, "out of range"},
+		{"procs beyond bound", `{"n":8,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"},"procs":[1,65]}`, "out of range"},
+		{"non-increasing axis", `{"n":64,"stencil":"5-point","shape":"square","machine":{"type":"sync-bus"},"procs":[4,4]}`, "strictly increasing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/laws", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, raw)
+			}
+			var env struct {
+				Error struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code != codeInvalidRequest {
+				t.Fatalf("envelope %s (err %v)", raw, err)
+			}
+			if !bytes.Contains(raw, []byte(tc.wantIn)) {
+				t.Fatalf("message does not mention %q: %s", tc.wantIn, raw)
+			}
+		})
+	}
+	// Validation failures never touched the evaluation gate.
+	if st := srv.Admission().Gate().Stats(); st.Admitted != 0 {
+		t.Fatalf("invalid laws requests consumed %d admission slots", st.Admitted)
+	}
+}
+
+// TestLawsGoldenBytes pins the exact wire bytes of the Figure-7 overlay
+// — the /v2/laws compatibility contract, refreshed with -update like
+// the v1 goldens.
+func TestLawsGoldenBytes(t *testing.T) {
+	_, ts := newTestServerWith(t, Config{})
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/laws", fig7LawsBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	path := filepath.Join("testdata", "laws_fig7.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("laws overlay bytes diverged from golden %s:\n got: %s\nwant: %s", path, raw, want)
+	}
+}

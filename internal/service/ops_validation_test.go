@@ -1,0 +1,100 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// badOpCases are the request bodies carrying an unknown op, in both the
+// flat-spec and space forms every sweep route accepts.
+func badOpCases() []struct{ name, sweep string } {
+	return []struct{ name, sweep string }{
+		{"spec", `{"specs":[{"op":"transmogrify","n":64,"stencil":"5-point","shape":"square",` +
+			`"machine":{"type":"sync-bus"}}]}`},
+		{"space", `{"space":{"op":"transmogrify","ns":[64],"stencils":["5-point"],` +
+			`"shapes":["square"],"machines":[{"type":"sync-bus"}]}}`},
+	}
+}
+
+// TestUnknownOpRejectedBeforeAdmission is the regression test for the
+// unknown-op hole: a bad op must 400 at validation on every sweep route
+// — /v1/sweep, /v2/sweeps/stream, and /v2/jobs — without consuming an
+// admission-gate slot and without minting a job. Before the fix the
+// spec sailed through validation, burned a slot, and surfaced as a
+// per-result "unknown op" error (or a registered failed job).
+func TestUnknownOpRejectedBeforeAdmission(t *testing.T) {
+	for _, tc := range badOpCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, ts := newTestServerWith(t, Config{})
+			routes := []struct {
+				name, url, body string
+				v2              bool
+			}{
+				{"v1 sweep", ts.URL + "/v1/sweep", tc.sweep, false},
+				{"v2 stream", ts.URL + "/v2/sweeps/stream", tc.sweep, true},
+				{"v2 jobs", ts.URL + "/v2/jobs", fmt.Sprintf(`{"kind":"sweep","sweep":%s}`, tc.sweep), true},
+			}
+			for _, rt := range routes {
+				resp, raw := doJSON(t, http.MethodPost, rt.url, rt.body)
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("%s: status %d, want 400: %s", rt.name, resp.StatusCode, raw)
+				}
+				if !strings.Contains(string(raw), "transmogrify") {
+					t.Fatalf("%s: error does not name the op: %s", rt.name, raw)
+				}
+				if rt.v2 {
+					var env struct {
+						Error struct {
+							Code string `json:"code"`
+						} `json:"error"`
+					}
+					if err := json.Unmarshal(raw, &env); err != nil {
+						t.Fatalf("%s: bad envelope %s: %v", rt.name, raw, err)
+					}
+					if env.Error.Code != codeInvalidRequest {
+						t.Fatalf("%s: code %q, want %q", rt.name, env.Error.Code, codeInvalidRequest)
+					}
+				}
+			}
+			if st := srv.Admission().Gate().Stats(); st.Admitted != 0 {
+				t.Fatalf("bad-op requests consumed %d admission slots, want 0", st.Admitted)
+			}
+			if jobs := srv.Jobs().List(); len(jobs) != 0 {
+				t.Fatalf("bad-op submit minted %d jobs, want 0", len(jobs))
+			}
+			// Control: the same shape with a known op is admitted — the
+			// zero counters above reflect rejection, not a dead gate.
+			good := `{"specs":[{"op":"speedup","n":64,"stencil":"5-point","shape":"square",` +
+				`"procs":4,"machine":{"type":"sync-bus"}}]}`
+			if tc.name == "space" {
+				good = `{"space":{"op":"speedup","ns":[64],"stencils":["5-point"],` +
+					`"shapes":["square"],"procs":[4],"machines":[{"type":"sync-bus"}]}}`
+			}
+			resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sweep", good)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("control sweep: status %d: %s", resp.StatusCode, raw)
+			}
+			if st := srv.Admission().Gate().Stats(); st.Admitted == 0 {
+				t.Fatal("control sweep did not consume an admission slot")
+			}
+		})
+	}
+}
+
+// TestUnknownOpMessageListsKnownOps pins the 400's guidance: it names
+// the offending op and every op the service understands.
+func TestUnknownOpMessageListsKnownOps(t *testing.T) {
+	ts := newTestServer(t)
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sweep", badOpCases()[0].sweep)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	for _, op := range []string{"optimize", "speedup", "amdahl", "gustafson", "critical-path"} {
+		if !strings.Contains(string(raw), op) {
+			t.Errorf("error message does not mention known op %q: %s", op, raw)
+		}
+	}
+}

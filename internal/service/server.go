@@ -18,6 +18,9 @@
 //	GET    /v2/jobs/{id}/results  cursor-paginated result pages
 //	DELETE /v2/jobs/{id}          cancel
 //	POST   /v2/sweeps/stream      NDJSON results straight off the engine
+//	POST   /v2/laws               scaling-law overlay (model vs Amdahl vs
+//	                              Gustafson vs critical-path) for one
+//	                              problem/machine pair
 //
 // All evaluation flows through a shared sweep.Engine, so repeated and
 // concurrent identical requests coalesce in its memoization cache; the
@@ -234,6 +237,7 @@ func (s *Server) routes() {
 	handle("GET /v2/jobs/{id}/results", "jobs_results", s.handleJobResults)
 	handle("DELETE /v2/jobs/{id}", "jobs_cancel", s.handleJobCancel)
 	traced("POST /v2/sweeps/stream", "sweep_stream", s.handleSweepStream)
+	traced("POST /v2/laws", "laws", s.handleLaws)
 	handle("GET /v2/cluster", "cluster", s.handleCluster)
 	handle("POST /v2/cluster/peers", "cluster_peer_add", s.handlePeerAdd)
 	handle("DELETE /v2/cluster/peers", "cluster_peer_remove", s.handlePeerRemove)

@@ -74,6 +74,9 @@ func (s *Server) sweepJobRequest(req SweepRequest) (jobs.Request, *requestProble
 			msg:    fmt.Sprintf("sweep of %d specs exceeds the limit of %d", len(specs), s.maxSpecs),
 		}
 	}
+	if prob := badOpProblem(req); prob != nil {
+		return jobs.Request{}, prob
+	}
 	if spaceOnly {
 		// A pure space request keeps its Cartesian structure, so the
 		// engine can pre-resolve each axis value once and batch the
@@ -82,6 +85,50 @@ func (s *Server) sweepJobRequest(req SweepRequest) (jobs.Request, *requestProble
 		return jobs.Request{Kind: jobs.KindSweep, Space: req.Space}, nil
 	}
 	return jobs.Request{Kind: jobs.KindSweep, Specs: specs}, nil
+}
+
+// badOpProblem returns the validation failure for the first unknown op
+// in the request, or nil. Rejecting here — before the admission gate
+// acquires a slot and before the job store mints a job — turns a typo'd
+// op into an immediate 400 instead of an admitted request that fails
+// per-result at evaluation time. A space's op covers every spec it
+// expands to, so checking the space and the explicit specs covers the
+// whole request.
+func badOpProblem(req SweepRequest) *requestProblem {
+	check := func(op sweep.Op) *requestProblem {
+		if op.Valid() {
+			return nil
+		}
+		return &requestProblem{
+			status: http.StatusBadRequest,
+			code:   codeInvalidRequest,
+			msg:    fmt.Sprintf("unknown op %q (known ops: %s)", op, knownOpList()),
+		}
+	}
+	if req.Space != nil {
+		if prob := check(req.Space.Op); prob != nil {
+			return prob
+		}
+	}
+	for _, sp := range req.Specs {
+		if prob := check(sp.Op); prob != nil {
+			return prob
+		}
+	}
+	return nil
+}
+
+// knownOpList renders the engine's op set for the unknown-op message.
+func knownOpList() string {
+	ops := sweep.Ops()
+	var b []byte
+	for i, op := range ops {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = append(b, op...)
+	}
+	return string(b)
 }
 
 // optimizeJobRequest maps one optimize query onto a single-spec

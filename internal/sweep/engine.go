@@ -563,10 +563,40 @@ func (e *Engine) streamSpaceChunks(ctx context.Context, sp Space, recycleSpecs b
 			putSpecs(specs)
 		}
 	}
-	if sp.Op == OpSpeedup && len(sp.Procs) > 1 {
+	if procsBatched(sp.Op) && len(sp.Procs) > 1 {
 		return e.streamSpeedupBatched(ctx, len(sp.Procs), specs, pre, onDone), specs, nil
 	}
 	return e.streamChunks(ctx, specs, pre, onDone), specs, nil
+}
+
+// procsBatched reports whether the op takes the batched over-Procs fast
+// path: the P-varying ops whose batch evaluator computes the shared
+// (problem, machine) work once per group — one cycle curve for
+// OpSpeedup, one optimal allocation for the scaling laws.
+func procsBatched(op Op) bool {
+	switch op {
+	case OpSpeedup, OpAmdahl, OpGustafson, OpCriticalPath:
+		return true
+	default:
+		return false
+	}
+}
+
+// batchEval dispatches one procs group to the op's core batch
+// evaluator. All four share the SpeedupBatch contract: vals[i]/errs[i]
+// per point with errors identical to the individual evaluators', and a
+// final error failing the whole batch.
+func batchEval(op Op, p core.Problem, arch core.Architecture, procs []int) ([]float64, []error, error) {
+	switch op {
+	case OpAmdahl:
+		return core.AmdahlBatch(p, arch, procs)
+	case OpGustafson:
+		return core.GustafsonBatch(p, arch, procs)
+	case OpCriticalPath:
+		return core.CriticalPathBatch(p, arch, procs)
+	default:
+		return core.SpeedupBatch(p, arch, procs)
+	}
 }
 
 // preResolveSpace materializes each distinct axis value of the space
@@ -641,14 +671,15 @@ func preResolveSpace(sp Space, specs []Spec, pre []preResolved) []preResolved {
 	return pre
 }
 
-// streamSpeedupBatched streams an OpSpeedup space whose processor axis
-// has length groupLen, one chunk per group. Expand keeps the procs axis
-// innermost, so specs come in contiguous groups sharing one
-// (problem, machine) pair; each group probes the cache for all members,
-// then computes the absentees with a single validated batch
-// (core.SpeedupBatch — one serial-time and one cycle-curve evaluation
-// per group) instead of |Procs| independent evaluations, and hands the
-// whole group to the consumer as one reusable chunk.
+// streamSpeedupBatched streams a P-batched space (OpSpeedup or a
+// scaling-law op; see procsBatched) whose processor axis has length
+// groupLen, one chunk per group. Expand keeps the procs axis innermost,
+// so specs come in contiguous groups sharing one (problem, machine)
+// pair; each group probes the cache for all members, then computes the
+// absentees with a single validated batch (batchEval — one serial-time
+// and one cycle-curve or optimal-allocation evaluation per group)
+// instead of |Procs| independent evaluations, and hands the whole group
+// to the consumer as one reusable chunk.
 func (e *Engine) streamSpeedupBatched(ctx context.Context, groupLen int, specs []Spec, pre []preResolved, onDone func()) <-chan *Chunk {
 	out := make(chan *Chunk, e.workers)
 	groups := len(specs) / groupLen
@@ -755,7 +786,7 @@ func (e *Engine) evalSpeedupGroup(cancel <-chan struct{}, specs []Spec, pre []pr
 		procs = append(procs, specs[i].Procs)
 	}
 	sc.procs = procs
-	vals, errs, batchErr := core.SpeedupBatch(r.problem, r.arch, procs)
+	vals, errs, batchErr := batchEval(specs[0].op(), r.problem, r.arch, procs)
 	<-e.sem
 	keys, outs := sc.keys[:0], sc.outs[:0]
 	for j, i := range missIdx {

@@ -61,6 +61,12 @@ func opCode(op Op) (uint8, bool) {
 		return 4, true
 	case OpScaled:
 		return 5, true
+	case OpAmdahl:
+		return 6, true
+	case OpGustafson:
+		return 7, true
+	case OpCriticalPath:
+		return 8, true
 	default:
 		return 0, false
 	}
@@ -157,6 +163,8 @@ func buildKey(s Spec, stCode uint8, sh partition.Shape, mk machKey) (specKey, er
 		k.n, k.procs, k.target = 0, int64(s.Procs), s.Target
 	case OpScaled:
 		k.f = s.PointsPerProc
+	case OpAmdahl, OpGustafson, OpCriticalPath:
+		k.procs = int64(s.Procs)
 	}
 	// A NaN field would break the comparable key's map semantics (see
 	// machKeyFor); such specs are invalid for their ops anyway, so they

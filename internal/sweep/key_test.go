@@ -16,7 +16,7 @@ import (
 // specs that must share a key and specs that must not.
 func keyTestSpecs() []Spec {
 	var specs []Spec
-	ops := []Op{OpOptimize, OpOptimizeSnapped, OpSpeedup, OpMinGrid, OpIsoeffGrid, OpScaled, ""}
+	ops := append(Ops(), "")
 	machines := []core.MachineSpec{}
 	for _, typ := range core.MachineTypes() {
 		machines = append(machines,

@@ -37,7 +37,39 @@ const (
 	// machine grows with the problem at PointsPerProc grid points per
 	// processor (buses take their unbounded optimum instead).
 	OpScaled Op = "scaled"
+	// OpAmdahl evaluates the fixed-size Amdahl speedup at Procs
+	// processors, at the serial fraction the model implies for the
+	// problem/machine pair (core.SerialFraction).
+	OpAmdahl Op = "amdahl"
+	// OpGustafson evaluates the scaled Gustafson-Barsis speedup at
+	// Procs processors, at the same serial fraction as OpAmdahl.
+	OpGustafson Op = "gustafson"
+	// OpCriticalPath evaluates Gunther's critical-path speedup bound
+	// min(Procs, T₁/T∞) for the problem/machine pair.
+	OpCriticalPath Op = "critical-path"
 )
+
+// Ops enumerates every declared op. The op-consistency tests iterate
+// it to hold opKey, the struct key, evaluate, request validation, and
+// the encoders to the same op set.
+func Ops() []Op {
+	return []Op{
+		OpOptimize, OpOptimizeSnapped, OpSpeedup, OpMinGrid,
+		OpIsoeffGrid, OpScaled, OpAmdahl, OpGustafson, OpCriticalPath,
+	}
+}
+
+// Valid reports whether the op is one the engine can evaluate. The
+// zero op is valid: it normalizes to OpOptimize. The service boundary
+// checks this before admission, so a typo'd op is a 400 instead of a
+// page of per-result errors.
+func (op Op) Valid() bool {
+	if op == "" {
+		return true
+	}
+	_, ok := opCode(op)
+	return ok
+}
 
 // Spec is one evaluation point: a problem, a machine, and an operation.
 // The zero Op means OpOptimize. Machine fields left zero take the
@@ -49,9 +81,10 @@ type Spec struct {
 	Shape   string           `json:"shape"`
 	Machine core.MachineSpec `json:"machine"`
 
-	// Procs is the processor count for OpSpeedup, OpMinGrid and
-	// OpIsoeffGrid. It is independent of Machine.Procs, which caps the
-	// admissible range for the optimize ops.
+	// Procs is the processor count for OpSpeedup, OpMinGrid,
+	// OpIsoeffGrid, and the scaling-law ops (OpAmdahl, OpGustafson,
+	// OpCriticalPath). It is independent of Machine.Procs, which caps
+	// the admissible range for the optimize ops.
 	Procs int `json:"procs,omitempty"`
 	// Target is the efficiency target for OpIsoeffGrid.
 	Target float64 `json:"target,omitempty"`
@@ -245,6 +278,8 @@ func (s Spec) opKey(mk string) (string, error) {
 		n, procs, target = 0, s.Procs, s.Target
 	case OpScaled:
 		f = s.PointsPerProc
+	case OpAmdahl, OpGustafson, OpCriticalPath:
+		procs = s.Procs
 	default:
 		return "", fmt.Errorf("sweep: unknown op %q", op)
 	}
@@ -369,8 +404,19 @@ func evaluate(s Spec, r resolved) outcome {
 			return outcome{err: err}
 		}
 		return outcome{scaled: series[0], value: series[0].Speedup}
+	case OpAmdahl:
+		v, err := core.AmdahlSpeedup(p, arch, s.Procs)
+		return outcome{value: v, err: err}
+	case OpGustafson:
+		v, err := core.GustafsonSpeedup(p, arch, s.Procs)
+		return outcome{value: v, err: err}
+	case OpCriticalPath:
+		v, err := core.CriticalPathBound(p, arch, s.Procs)
+		return outcome{value: v, err: err}
 	default:
-		return outcome{err: fmt.Errorf("sweep: unknown op %q", s.Op)}
+		// Normalized like every other path, so the unknown-op message
+		// matches opKey's for the same spec.
+		return outcome{err: fmt.Errorf("sweep: unknown op %q", s.op())}
 	}
 }
 

@@ -129,6 +129,29 @@ func Speedup(p Problem, a Architecture, procs int) (float64, error) {
 // OptimalSpeedup returns the speedup of the optimal allocation.
 func OptimalSpeedup(p Problem, a Architecture) (float64, error) { return core.OptimalSpeedup(p, a) }
 
+// SerialFraction is the Karp-Flatt effective serial fraction of the
+// problem/machine pair at the model's optimal allocation — the anchor
+// the scaling-law evaluators share.
+func SerialFraction(p Problem, a Architecture) (float64, error) { return core.SerialFraction(p, a) }
+
+// AmdahlSpeedup is the fixed-size Amdahl speedup at P processors at the
+// model-implied serial fraction.
+func AmdahlSpeedup(p Problem, a Architecture, procs int) (float64, error) {
+	return core.AmdahlSpeedup(p, a, procs)
+}
+
+// GustafsonSpeedup is the scaled Gustafson-Barsis speedup at P
+// processors at the same serial fraction as AmdahlSpeedup.
+func GustafsonSpeedup(p Problem, a Architecture, procs int) (float64, error) {
+	return core.GustafsonSpeedup(p, a, procs)
+}
+
+// CriticalPathBound is Gunther's critical-path speedup bound with
+// Brent's P-processor clamp: min(P, T₁/T∞).
+func CriticalPathBound(p Problem, a Architecture, procs int) (float64, error) {
+	return core.CriticalPathBound(p, a, procs)
+}
+
 // MinGridAllProcs returns the smallest grid size whose optimal
 // allocation uses all N processors (paper Fig. 7).
 func MinGridAllProcs(p Problem, a Architecture, procs int) (int, error) {
@@ -364,6 +387,12 @@ const (
 	SweepMinGrid         = sweep.OpMinGrid
 	SweepIsoeffGrid      = sweep.OpIsoeffGrid
 	SweepScaled          = sweep.OpScaled
+	// Scaling-law ops: fixed-size Amdahl and scaled Gustafson-Barsis at
+	// the model-implied serial fraction, and Gunther's critical-path
+	// bound min(P, T₁/T∞).
+	SweepAmdahl       = sweep.OpAmdahl
+	SweepGustafson    = sweep.OpGustafson
+	SweepCriticalPath = sweep.OpCriticalPath
 )
 
 // NewSweepEngine builds a sweep engine.
